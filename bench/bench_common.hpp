@@ -1,0 +1,70 @@
+#pragma once
+// Shared helpers for the reproduction benches: tower sweeps, table
+// printing, and log-log exponent fits against the paper's complexity
+// remarks.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/reconfig.hpp"
+#include "lattice/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace sb::bench {
+
+struct SweepRow {
+  int32_t blocks = 0;  // N
+  core::SessionResult result;
+};
+
+/// Runs the distributed algorithm over the Lemma-1 tower family for the
+/// given half-heights (N = 2k blocks each).
+inline std::vector<SweepRow> run_tower_sweep(
+    const std::vector<int32_t>& half_heights,
+    core::SessionConfig config = core::SessionConfig{}) {
+  std::vector<SweepRow> rows;
+  for (const int32_t k : half_heights) {
+    const lat::Scenario scenario = lat::make_tower_scenario(k);
+    SweepRow row;
+    row.blocks = static_cast<int32_t>(scenario.block_count());
+    row.result = core::ReconfigurationSession::run_scenario(scenario, config);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints an N-vs-metric series and its fitted power-law exponent, with
+/// the paper's claimed exponent for comparison.
+inline void print_exponent_series(const std::string& metric,
+                                  const std::vector<SweepRow>& rows,
+                                  double paper_exponent,
+                                  uint64_t (*extract)(
+                                      const core::SessionResult&)) {
+  std::printf("%8s  %14s\n", "N", metric.c_str());
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const SweepRow& row : rows) {
+    const uint64_t value = extract(row.result);
+    std::printf("%8d  %14llu%s\n", row.blocks,
+                static_cast<unsigned long long>(value),
+                row.result.complete ? "" : "   [INCOMPLETE]");
+    if (row.result.complete && value > 0) {
+      xs.push_back(static_cast<double>(row.blocks));
+      ys.push_back(static_cast<double>(value));
+    }
+  }
+  if (xs.size() >= 2) {
+    const LinearFit fit = fit_loglog(xs, ys);
+    std::printf("fitted exponent: %.2f (R^2 = %.3f); paper claims O(N^%.0f)\n",
+                fit.slope, fit.r2, paper_exponent);
+  }
+}
+
+inline const char* verdict(bool ok) { return ok ? "REPRODUCED" : "DIVERGES"; }
+
+}  // namespace sb::bench

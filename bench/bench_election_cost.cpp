@@ -1,0 +1,49 @@
+// Supplementary experiment: per-election cost decomposition.
+//
+// Remarks 2-3 are products of two factors: O(N^2) elections (Remark 4's
+// hops) times O(N) work per election. This bench isolates the second
+// factor - messages and distance computations in a single election scale
+// linearly with N - by dividing whole-run totals by the election count.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sb;
+  bench::print_header(
+      "per-election cost: messages/election and dBO evaluations/election, "
+      "both O(N)");
+  const auto rows = bench::run_tower_sweep({4, 6, 8, 12, 16, 24, 32});
+
+  std::printf("%8s %12s %20s %22s\n", "N", "elections", "messages/election",
+              "evaluations/election");
+  std::vector<double> xs;
+  std::vector<double> msgs_per;
+  std::vector<double> evals_per;
+  for (const auto& row : rows) {
+    const double elections =
+        static_cast<double>(row.result.elections_completed);
+    const double mp = static_cast<double>(row.result.messages_sent) /
+                      elections;
+    const double ep =
+        static_cast<double>(row.result.distance_computations) / elections;
+    std::printf("%8d %12llu %20.1f %22.1f\n", row.blocks,
+                static_cast<unsigned long long>(
+                    row.result.elections_completed),
+                mp, ep);
+    xs.push_back(row.blocks);
+    msgs_per.push_back(mp);
+    evals_per.push_back(ep);
+  }
+  const LinearFit msg_fit = fit_loglog(xs, msgs_per);
+  const LinearFit eval_fit = fit_loglog(xs, evals_per);
+  std::printf("messages/election exponent:    %.2f (expected ~1)\n",
+              msg_fit.slope);
+  std::printf("evaluations/election exponent: %.2f (expected ~1)\n",
+              eval_fit.slope);
+  const bool ok = msg_fit.slope > 0.6 && msg_fit.slope < 1.4 &&
+                  eval_fit.slope > 0.6 && eval_fit.slope < 1.4;
+  std::printf("verdict: %s (linear per-election cost, consistent with "
+              "Remarks 2-4 decomposition)\n",
+              sb::bench::verdict(ok));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// Experiment E6 (paper Remark 2): "The computation complexity of the
+// algorithm, i.e., the number of distance computation, is O(N^3)."
+//
+// On the Lemma-1 tower family the path has N-1 cells, elected blocks
+// travel O(N) hops each (O(N^2) elections), and every election activates
+// all N blocks (one dBO evaluation each) - so total distance computations
+// scale as N^3. The bench sweeps N and fits the log-log exponent.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sb;
+  bench::print_header("E6: Remark 2 - distance computations, paper O(N^3)");
+  const auto rows = bench::run_tower_sweep({4, 6, 8, 12, 16, 24, 32});
+  bench::print_exponent_series(
+      "distance computations", rows, 3.0,
+      [](const core::SessionResult& r) { return r.distance_computations; });
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& row : rows) {
+    if (!row.result.complete) continue;
+    xs.push_back(row.blocks);
+    ys.push_back(static_cast<double>(row.result.distance_computations));
+  }
+  const LinearFit fit = fit_loglog(xs, ys);
+  const bool ok = fit.slope > 2.4 && fit.slope < 3.6;
+  std::printf("verdict: %s (cubic growth of distance computations)\n",
+              bench::verdict(ok));
+  return ok ? 0 : 1;
+}

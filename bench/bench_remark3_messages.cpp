@@ -1,0 +1,38 @@
+// Experiment E7 (paper Remark 3): "The communication complexity of the
+// algorithm, i.e., the number of messages exchanged between blocks is
+// O(N^3)."
+//
+// Each election floods the N-block structure (O(N) Activates + Acks on the
+// grid's O(N) contacts) and O(N^2) elections run in total. The bench
+// sweeps tower sizes, reports the per-kind breakdown at the largest size,
+// and fits the total-message exponent.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sb;
+  bench::print_header("E7: Remark 3 - messages exchanged, paper O(N^3)");
+  const auto rows = bench::run_tower_sweep({4, 6, 8, 12, 16, 24, 32});
+  bench::print_exponent_series(
+      "messages sent", rows, 3.0,
+      [](const core::SessionResult& r) { return r.messages_sent; });
+
+  std::printf("\nmessage breakdown at N = %d:\n", rows.back().blocks);
+  for (const auto& [kind, count] : rows.back().result.messages_by_kind) {
+    std::printf("  %-12s %12llu\n", std::string(kind).c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& row : rows) {
+    if (!row.result.complete) continue;
+    xs.push_back(row.blocks);
+    ys.push_back(static_cast<double>(row.result.messages_sent));
+  }
+  const LinearFit fit = fit_loglog(xs, ys);
+  const bool ok = fit.slope > 2.4 && fit.slope < 3.6;
+  std::printf("verdict: %s (cubic growth of message count)\n",
+              bench::verdict(ok));
+  return ok ? 0 : 1;
+}

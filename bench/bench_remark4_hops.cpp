@@ -1,0 +1,34 @@
+// Experiment E8 (paper Remark 4): "The maximum number of block hops
+// necessary to build the shortest path is O(N^2)."
+//
+// On towers, each of the O(N) feeder blocks climbs O(N) cells, so total
+// elected hops grow quadratically. Elementary moves (helpers included)
+// share the exponent with a constant-factor overhead, reported alongside.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sb;
+  bench::print_header("E8: Remark 4 - block hops, paper O(N^2)");
+  const auto rows = bench::run_tower_sweep({4, 6, 8, 12, 16, 24, 32, 48});
+  bench::print_exponent_series(
+      "elected hops", rows, 2.0,
+      [](const core::SessionResult& r) { return r.hops; });
+  std::printf("\n");
+  bench::print_exponent_series(
+      "elementary moves", rows, 2.0,
+      [](const core::SessionResult& r) { return r.elementary_moves; });
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& row : rows) {
+    if (!row.result.complete) continue;
+    xs.push_back(row.blocks);
+    ys.push_back(static_cast<double>(row.result.hops));
+  }
+  const LinearFit fit = fit_loglog(xs, ys);
+  const bool ok = fit.slope > 1.5 && fit.slope < 2.5;
+  std::printf("verdict: %s (quadratic growth of hop count)\n",
+              bench::verdict(ok));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+// Experiment E10 (paper §V.E): VisibleSim "mixes a discrete-event core
+// simulator with discrete-time functionalities ... simulations with 2
+// millions of nodes at a rate of 650k events/sec on a simple laptop".
+//
+// The bench drives the simulator core with a message-flood workload (the
+// same event mix the algorithm produces: deliveries dominating) at rising
+// module counts and reports events/second. The paper's absolute figure is
+// hardware-specific; the reproduction target is the *shape*: throughput in
+// the hundreds of thousands of events/sec and staying flat as the module
+// count grows (event cost independent of N).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "msg/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace sb;
+
+struct TokenMsg final : msg::Message {
+  uint32_t remaining = 0;
+  [[nodiscard]] std::string_view kind() const override { return "Token"; }
+  [[nodiscard]] msg::MessagePtr clone() const override {
+    return std::make_unique<TokenMsg>(*this);
+  }
+  [[nodiscard]] size_t payload_bytes() const override {
+    return sizeof(remaining);
+  }
+};
+
+/// Forwards tokens along the row, decrementing a hop budget - a pure
+/// event-churn workload.
+class TokenModule final : public sim::Module {
+ public:
+  explicit TokenModule(lat::BlockId id) : Module(id) {}
+  void on_message(lat::Direction from,
+                  const msg::Message& message) override {
+    const auto& token = static_cast<const TokenMsg&>(message);
+    if (token.remaining == 0) return;
+    auto next = std::make_unique<TokenMsg>(token);
+    next->remaining -= 1;
+    // Bounce off the row ends.
+    const lat::Direction forward = opposite(from);
+    if (neighbor_table().neighbor(forward).valid()) {
+      send(forward, std::move(next));
+    } else {
+      send(from, std::move(next));
+    }
+  }
+};
+
+class SeedEvent final : public sim::Event {
+ public:
+  SeedEvent(sim::SimTime time, lat::BlockId target, uint32_t hops)
+      : Event(time), target_(target), hops_(hops) {}
+  [[nodiscard]] std::string_view kind() const override { return "Seed"; }
+  void execute(sim::Simulator& sim) override {
+    auto* module = sim.find_module(target_);
+    if (module == nullptr) return;
+    auto token = std::make_unique<TokenMsg>();
+    token->remaining = hops_;
+    sim.send_from(*module, lat::Direction::kEast, std::move(token));
+  }
+
+ private:
+  lat::BlockId target_;
+  uint32_t hops_;
+};
+
+/// Builds a W-wide strip of modules (rows of 1024) and floods it with
+/// tokens; returns events/second.
+double run_flood(size_t module_count, uint64_t target_events,
+                 sim::QueueKind queue) {
+  const auto width = static_cast<int32_t>(std::min<size_t>(
+      module_count, 1024));
+  const auto height =
+      static_cast<int32_t>((module_count + 1023) / 1024);
+  sim::World world(width, std::max<int32_t>(height, 1),
+                   motion::RuleLibrary::standard());
+  sim::SimConfig config;
+  config.queue = queue;
+  config.detailed_stats = false;  // measure the core, not the counters
+  uint32_t id = 1;
+  for (size_t i = 0; i < module_count; ++i) {
+    const lat::Vec2 pos{static_cast<int32_t>(i % 1024),
+                        static_cast<int32_t>(i / 1024)};
+    world.grid().place(lat::BlockId{id}, pos);
+    ++id;
+  }
+  sim::Simulator sim(std::move(world), config);
+  for (uint32_t m = 1; m < id; ++m) {
+    sim.add_module(std::make_unique<TokenModule>(lat::BlockId{m}));
+  }
+  // One token per 64 modules, each with a large hop budget.
+  const uint32_t tokens =
+      std::max<uint32_t>(1, static_cast<uint32_t>(module_count / 64));
+  for (uint32_t t = 0; t < tokens; ++t) {
+    const uint32_t target = std::min<uint32_t>(
+        t * 64 + 1, static_cast<uint32_t>(module_count));
+    sim.schedule(0,
+                 std::make_unique<SeedEvent>(0, lat::BlockId{target},
+                                             UINT32_MAX));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  sim.run({target_events, sim::kTimeMax});
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(sim.stats().events_processed) / seconds;
+}
+
+void report_table() {
+  std::printf("\n=== E10: simulator throughput (paper: 650k events/s, 2M "
+              "modules on a 2013 laptop) ===\n");
+  std::printf("%12s %18s\n", "modules", "events/second");
+  double smallest = 0;
+  double largest = 0;
+  for (const size_t n : {1024u, 16384u, 131072u, 1048576u}) {
+    const double rate = run_flood(n, 2'000'000, sim::QueueKind::kBinaryHeap);
+    std::printf("%12zu %18.0f\n", n, rate);
+    if (n == 1024u) smallest = rate;
+    largest = rate;
+  }
+  std::printf("throughput ratio (1M modules vs 1k): %.2fx\n",
+              largest / smallest);
+  std::printf(
+      "verdict: %s (hundreds of thousands of events/s at the 10^6-module "
+      "scale;\n  per-event cost is O(log queue) + cache effects, matching "
+      "the paper's 650k/s magnitude)\n",
+      largest > 100'000 ? "REPRODUCED" : "DIVERGES");
+}
+
+void BM_EventChurn(benchmark::State& state) {
+  const auto modules = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const double rate = run_flood(modules, 500'000,
+                                  sim::QueueKind::kBinaryHeap);
+    state.counters["events/s"] =
+        benchmark::Counter(rate, benchmark::Counter::kAvgThreads);
+  }
+}
+BENCHMARK(BM_EventChurn)->Arg(1024)->Arg(65536)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Production-line scenario from the paper's introduction: conveyors "have
+// to be replaced if their environment changes; this occurs in particular
+// if the input or output point of parts changes".
+//
+// A production engineer evaluates three candidate layouts for the next
+// batch - the output port moves between stations - and compares what each
+// changeover costs the Smart Blocks surface: block moves, messages,
+// reconfiguration time. A monolithic conveyor would need physical
+// replacement; the modular surface just reconfigures.
+//
+//   $ ./factory_line [--blocks 20]
+
+#include <cstdio>
+
+#include "baseline/centralized.hpp"
+#include "core/reconfig.hpp"
+#include "lattice/scenario.hpp"
+#include "util/cli.hpp"
+#include "viz/ascii.hpp"
+
+namespace {
+
+/// A surface whose block depot sits at the south-west, with the batch
+/// input fixed at I; the output station varies per batch.
+sb::lat::Scenario depot_scenario(int32_t blocks, sb::lat::Vec2 output) {
+  sb::lat::Scenario s;
+  s.name = "depot";
+  s.width = 8;
+  s.height = static_cast<int32_t>(blocks);  // head-room for any station
+  s.input = {1, 0};
+  s.output = output;
+  uint32_t id = 1;
+  for (int32_t y = 0; y < blocks / 2; ++y) {
+    for (int32_t x = 1; x <= 2; ++x) {
+      s.blocks.emplace_back(sb::lat::BlockId{id++}, sb::lat::Vec2{x, y});
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sb::CliParser cli(
+      "factory line changeover study: cost of moving the output station");
+  cli.add_int("blocks", 20, "depot size (even)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto blocks = static_cast<int32_t>(cli.get_int("blocks"));
+
+  struct Station {
+    const char* name;
+    sb::lat::Vec2 output;
+  };
+  const Station stations[] = {
+      {"station A (short run)", {1, blocks / 2 + 1}},
+      {"station B (mid run)", {1, (3 * blocks) / 4}},
+      {"station C (full run)", {1, blocks - 2}},
+  };
+
+  std::printf("%-22s %6s %8s %8s %10s %12s %12s\n", "layout", "path",
+              "moves", "hops", "messages", "sim ticks", "lower bound");
+  bool all_ok = true;
+  for (const Station& station : stations) {
+    const sb::lat::Scenario scenario = depot_scenario(blocks, station.output);
+    const auto issues = sb::lat::validate(scenario);
+    if (!issues.empty()) {
+      std::printf("%-22s invalid: %s\n", station.name, issues[0].c_str());
+      all_ok = false;
+      continue;
+    }
+    const auto bound = sb::baseline::plan_centralized(scenario);
+    const auto result =
+        sb::core::ReconfigurationSession::run_scenario(scenario, {});
+    std::printf("%-22s %6d %8llu %8llu %10llu %12llu %12llu\n", station.name,
+                result.path_cells,
+                static_cast<unsigned long long>(result.elementary_moves),
+                static_cast<unsigned long long>(result.hops),
+                static_cast<unsigned long long>(result.messages_sent),
+                static_cast<unsigned long long>(result.sim_ticks),
+                static_cast<unsigned long long>(bound.total_moves));
+    all_ok &= result.complete;
+  }
+  std::printf("\nAll changeovers are pure reconfigurations - no hardware "
+              "swap. Longer runs cost\nquadratically more block hops "
+              "(Remark 4), so station placement matters.\n");
+  return all_ok ? 0 : 1;
+}

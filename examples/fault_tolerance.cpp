@@ -1,0 +1,70 @@
+// Fault-tolerance extension (paper §VI future work: "we plan also to deal
+// with fault detection, e.g., block failures").
+//
+// Runs the fig10 task with an extra feeder block, kills one block mid-run,
+// and shows the election machinery detecting the silent neighbour (bounded
+// contact timeouts + SonNotify) and routing around it - or diagnosing the
+// reconfiguration as blocked when the dead block severs the structure.
+//
+//   $ ./fault_tolerance                  # survivable failure
+//   $ ./fault_tolerance --kill-path     # unsurvivable (cut vertex)
+
+#include <cstdio>
+
+#include "core/reconfig.hpp"
+#include "lattice/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "viz/ascii.hpp"
+
+int main(int argc, char** argv) {
+  sb::CliParser cli("block-failure injection demo");
+  cli.add_bool("kill-path", false,
+               "kill a path-seed block (becomes a cut vertex) instead of a "
+               "redundant feeder");
+  cli.add_int("at-event", 300, "inject the failure after this many events");
+  if (!cli.parse(argc, argv)) return 1;
+
+  sb::Log::set_level(sb::LogLevel::kWarn);  // show the fault diagnostics
+
+  // fig10 with one extra feeder block: the system tolerates losing one.
+  sb::lat::Scenario scenario = sb::lat::make_fig10_scenario();
+  scenario.name = "fig10-slack";
+  scenario.blocks.emplace_back(sb::lat::BlockId{13}, sb::lat::Vec2{2, 6});
+
+  const sb::lat::Vec2 victim_pos =
+      cli.get_bool("kill-path") ? sb::lat::Vec2{1, 2} : sb::lat::Vec2{2, 0};
+  sb::lat::BlockId victim;
+  for (const auto& [id, pos] : scenario.blocks) {
+    if (pos == victim_pos) victim = id;
+  }
+
+  sb::core::SessionConfig config;
+  config.ack_timeout = 500;  // arms the failure detector
+  sb::core::ReconfigurationSession session(scenario, config);
+
+  session.step_events(static_cast<uint64_t>(cli.get_int("at-event")));
+  std::printf("killing block #%u at %s (t=%llu)...\n", victim.value,
+              cli.get_bool("kill-path") ? "a path cell" : "the feeder lane",
+              static_cast<unsigned long long>(session.simulator().now()));
+  session.simulator().kill_module(victim);
+
+  const sb::core::SessionResult result = session.run();
+
+  std::printf("\nfinal state:\n%s",
+              sb::viz::render_ascii(session.simulator().world().grid(),
+                                    scenario.input, scenario.output)
+                  .c_str());
+  std::printf("\n%s", result.summary().c_str());
+  if (result.complete) {
+    std::printf("\nThe failure was routed around: elections excluded the "
+                "silent block and the\nremaining feeders finished the "
+                "path.\n");
+  } else if (result.blocked) {
+    std::printf("\nThe dead block eventually severed the alive structure; "
+                "the Root diagnosed the\nsituation as blocked instead of "
+                "hanging - exactly what a production line needs\nto "
+                "trigger a maintenance stop.\n");
+  }
+  return 0;
+}

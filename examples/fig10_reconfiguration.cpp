@@ -1,0 +1,80 @@
+// The paper's §V.D example (Figs 10-11): twelve blocks build an 11-cell
+// shortest path between I and O in the same column, with one block ending
+// off-path. Prints the reconfiguration step by step (like the paper's
+// figure sequence) and can export SVG snapshots and a machine-readable
+// trace.
+//
+//   $ ./fig10_reconfiguration --animate
+//   $ ./fig10_reconfiguration --svg-prefix /tmp/fig10 --trace /tmp/fig10.jsonl
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/reconfig.hpp"
+#include "lattice/scenario.hpp"
+#include "util/cli.hpp"
+#include "viz/ascii.hpp"
+#include "viz/svg.hpp"
+#include "viz/trace.hpp"
+
+int main(int argc, char** argv) {
+  sb::CliParser cli("paper Figs 10-11: the twelve-block reconfiguration");
+  cli.add_bool("animate", false, "print the surface after every hop");
+  cli.add_string("svg-prefix", "",
+                 "write <prefix>_initial.svg and <prefix>_final.svg");
+  cli.add_string("trace", "", "write a JSONL move trace to this file");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const sb::lat::Scenario scenario = sb::lat::make_fig10_scenario();
+  sb::core::ReconfigurationSession session(scenario, {});
+  const sb::lat::Grid& grid = session.simulator().world().grid();
+
+  sb::viz::MoveTrace trace;
+  const bool animate = cli.get_bool("animate");
+  session.set_move_listener(
+      [&](sb::core::Epoch epoch, sb::lat::BlockId mover,
+          const sb::motion::RuleApplication& app) {
+        trace.record(epoch, mover, app);
+        if (animate) {
+          std::printf("-- step %u: block #%u %s\n%s", epoch, mover.value,
+                      app.describe().c_str(),
+                      sb::viz::render_ascii(grid, scenario.input,
+                                            scenario.output)
+                          .c_str());
+        }
+      });
+
+  std::printf("initial state (cf. paper Fig 10):\n%s",
+              sb::viz::render_ascii(grid, scenario.input, scenario.output)
+                  .c_str());
+  const std::string svg_prefix = cli.get_string("svg-prefix");
+  if (!svg_prefix.empty()) {
+    sb::viz::save_svg(svg_prefix + "_initial.svg", grid, scenario.input,
+                      scenario.output);
+  }
+
+  const sb::core::SessionResult result = session.run();
+
+  std::printf("final state (cf. paper Fig 11):\n%s",
+              sb::viz::render_ascii(grid, scenario.input, scenario.output)
+                  .c_str());
+  std::printf("\n%s", result.summary().c_str());
+  std::printf("\nthe paper reports 55 elementary moves for its example; "
+              "this blob and rule set need %llu.\n",
+              static_cast<unsigned long long>(result.elementary_moves));
+
+  if (!svg_prefix.empty()) {
+    sb::viz::save_svg(svg_prefix + "_final.svg", grid, scenario.input,
+                      scenario.output);
+    std::printf("SVG snapshots written to %s_{initial,final}.svg\n",
+                svg_prefix.c_str());
+  }
+  const std::string trace_path = cli.get_string("trace");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    out << trace.to_jsonl();
+    std::printf("JSONL trace (%zu hops) written to %s\n", trace.size(),
+                trace_path.c_str());
+  }
+  return result.complete ? 0 : 1;
+}

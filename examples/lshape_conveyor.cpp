@@ -1,0 +1,55 @@
+// L-shaped conveyor (extension): input and output stations on different
+// rows AND columns - the paper's Fig 2 geometry ("left-up oriented
+// graph") taken to construction. The canonical-monotone path shape
+// freezes the horizontal leg along I's row and the vertical leg up O's
+// column; a corner tower feeds the vertical leg.
+//
+//   $ ./lshape_conveyor [--leg-x 6] [--leg-y 9] [--seed-height 5]
+
+#include <cstdio>
+
+#include "core/reconfig.hpp"
+#include "lattice/scenario.hpp"
+#include "util/cli.hpp"
+#include "viz/ascii.hpp"
+
+int main(int argc, char** argv) {
+  sb::CliParser cli("L-shaped conveyor between diagonal stations");
+  cli.add_int("leg-x", 6, "horizontal leg length in cells (>= 2)");
+  cli.add_int("leg-y", 9, "vertical leg height in cells (>= 3)");
+  cli.add_int("seed-height", 5,
+              "initially occupied cells of the vertical leg "
+              "(needs 2*seed >= leg-y + 1)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const sb::lat::Scenario scenario = sb::lat::make_lpath_scenario(
+      static_cast<int32_t>(cli.get_int("leg-x")),
+      static_cast<int32_t>(cli.get_int("leg-y")),
+      static_cast<int32_t>(cli.get_int("seed-height")));
+
+  sb::core::SessionConfig config;
+  config.path_shape = sb::core::PathShape::kCanonicalMonotone;
+  sb::core::ReconfigurationSession session(scenario, config);
+
+  std::printf("diagonal task: I=(%d,%d) -> O=(%d,%d), %zu blocks, "
+              "%d-cell L-path\n",
+              scenario.input.x, scenario.input.y, scenario.output.x,
+              scenario.output.y, scenario.block_count(),
+              sb::lat::shortest_path_cells(scenario.input, scenario.output));
+  std::printf("initial:\n%s",
+              sb::viz::render_ascii(session.simulator().world().grid(),
+                                    scenario.input, scenario.output)
+                  .c_str());
+
+  const sb::core::SessionResult result = session.run();
+
+  std::printf("final:\n%s",
+              sb::viz::render_ascii(session.simulator().world().grid(),
+                                    scenario.input, scenario.output)
+                  .c_str());
+  std::printf("\n%s", result.summary().c_str());
+  std::printf("\nUnder the paper's aligned-only Eq (8) this geometry is "
+              "not guaranteed;\nthe canonical-monotone extension freezes "
+              "both legs (DESIGN.md, finding 8).\n");
+  return result.complete ? 0 : 1;
+}

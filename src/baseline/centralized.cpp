@@ -1,0 +1,71 @@
+#include "baseline/centralized.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/free_motion.hpp"
+#include "util/assert.hpp"
+
+namespace sb::baseline {
+
+CentralizedResult plan_centralized(const lat::Scenario& scenario) {
+  const auto issues = lat::validate(scenario);
+  SB_EXPECTS(issues.empty(), "invalid scenario for the centralized planner");
+
+  CentralizedResult result;
+  const std::vector<lat::Vec2> path =
+      canonical_path(scenario.input, scenario.output);
+
+  // Cells already holding a block stay as they are (Lemma 1(b): occupied
+  // path positions never empty again); only the rest need assignees.
+  const lat::Grid grid = scenario.to_grid();
+  std::vector<lat::Vec2> targets;
+  for (const lat::Vec2 cell : path) {
+    if (!grid.occupied(cell)) targets.push_back(cell);
+  }
+  std::set<lat::BlockId> free_blocks;
+  for (const auto& [id, pos] : grid.blocks()) {
+    const bool on_path =
+        std::find(path.begin(), path.end(), pos) != path.end();
+    if (!on_path) free_blocks.insert(id);
+  }
+  if (free_blocks.size() < targets.size()) {
+    return result;  // infeasible: not enough movable blocks
+  }
+
+  // Greedy global matching: repeatedly take the cheapest (block, cell)
+  // pair. O(B * C * min(B, C)); fine at experiment scale.
+  std::vector<lat::Vec2> remaining = targets;
+  while (!remaining.empty()) {
+    int32_t best_cost = INT32_MAX;
+    lat::BlockId best_block;
+    size_t best_target = 0;
+    for (const lat::BlockId id : free_blocks) {
+      const lat::Vec2 pos = grid.position_of(id);
+      for (size_t t = 0; t < remaining.size(); ++t) {
+        const int32_t cost = manhattan(pos, remaining[t]);
+        if (cost < best_cost ||
+            (cost == best_cost && id < best_block)) {
+          best_cost = cost;
+          best_block = id;
+          best_target = t;
+        }
+      }
+    }
+    Assignment assignment;
+    assignment.block = best_block;
+    assignment.from = grid.position_of(best_block);
+    assignment.to = remaining[best_target];
+    assignment.moves = best_cost;
+    result.assignments.push_back(assignment);
+    result.total_moves += static_cast<uint64_t>(best_cost);
+    result.max_single_trip = std::max(result.max_single_trip, best_cost);
+    free_blocks.erase(best_block);
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(best_target));
+  }
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace sb::baseline

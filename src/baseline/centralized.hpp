@@ -1,0 +1,39 @@
+#pragma once
+// Baseline: an omniscient centralized planner.
+//
+// With global knowledge, path construction reduces to an assignment
+// problem: match blocks to the canonical path cells minimizing total
+// travel. The greedy matching below (repeatedly take the globally cheapest
+// unassigned block/cell pair) lower-bounds what any distributed execution
+// can achieve in elementary moves, giving the optimality yardstick for
+// bench_baselines. Collisions and support constraints are deliberately
+// ignored - this is a bound, not an executable plan.
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/scenario.hpp"
+
+namespace sb::baseline {
+
+struct Assignment {
+  lat::BlockId block;
+  lat::Vec2 from;
+  lat::Vec2 to;
+  int32_t moves = 0;  // Manhattan travel
+};
+
+struct CentralizedResult {
+  bool feasible = false;
+  /// Sum of assigned Manhattan distances (lower bound on total moves).
+  uint64_t total_moves = 0;
+  /// Longest single assignment (lower bound on makespan in hops).
+  int32_t max_single_trip = 0;
+  std::vector<Assignment> assignments;
+};
+
+/// Plans the canonical-path construction with global knowledge.
+[[nodiscard]] CentralizedResult plan_centralized(
+    const lat::Scenario& scenario);
+
+}  // namespace sb::baseline

@@ -1,0 +1,131 @@
+#include "baseline/free_motion.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "core/distance.hpp"
+#include "lattice/connectivity.hpp"
+#include "lattice/region.hpp"
+#include "util/assert.hpp"
+
+namespace sb::baseline {
+
+std::vector<lat::Vec2> canonical_path(lat::Vec2 input, lat::Vec2 output) {
+  std::vector<lat::Vec2> path;
+  lat::Vec2 cursor = input;
+  path.push_back(cursor);
+  const int32_t step_x = output.x > input.x ? 1 : -1;
+  while (cursor.x != output.x) {
+    cursor.x += step_x;
+    path.push_back(cursor);
+  }
+  const int32_t step_y = output.y > input.y ? 1 : -1;
+  while (cursor.y != output.y) {
+    cursor.y += step_y;
+    path.push_back(cursor);
+  }
+  return path;
+}
+
+namespace {
+
+/// BFS through empty cells from `from` to `to`; returns the hop count, or
+/// -1 when unreachable. Free motion: any empty in-bounds cell is passable.
+int64_t bfs_walk_length(const lat::Grid& grid, lat::Vec2 from, lat::Vec2 to) {
+  if (from == to) return 0;
+  std::unordered_map<lat::Vec2, int64_t, lat::Vec2Hash> dist;
+  std::queue<lat::Vec2> queue;
+  dist[from] = 0;
+  queue.push(from);
+  while (!queue.empty()) {
+    const lat::Vec2 p = queue.front();
+    queue.pop();
+    for (lat::Direction d : lat::all_directions()) {
+      const lat::Vec2 q = p + delta(d);
+      if (q == to) return dist[p] + 1;
+      if (!grid.in_bounds(q) || grid.occupied(q) || dist.count(q)) continue;
+      dist[q] = dist[p] + 1;
+      queue.push(q);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+FreeMotionResult run_free_motion(const lat::Scenario& scenario,
+                                 FreeMotionConfig config) {
+  const auto issues = lat::validate(scenario);
+  SB_EXPECTS(issues.empty(), "invalid scenario for the free-motion baseline");
+
+  FreeMotionResult result;
+  result.path = canonical_path(scenario.input, scenario.output);
+  lat::Grid grid = scenario.to_grid();
+
+  core::DistanceParams params;
+  params.input = scenario.input;
+  params.output = scenario.output;
+  params.freeze_aligned = config.freeze_aligned;
+
+  const lat::BlockId root = scenario.root_id();
+
+  for (uint64_t iteration = 0; iteration < config.max_iterations;
+       ++iteration) {
+    // Next empty cell of the canonical path (filled from I towards O).
+    const auto next_cell =
+        std::find_if(result.path.begin(), result.path.end(),
+                     [&](lat::Vec2 cell) { return !grid.occupied(cell); });
+    if (next_cell == result.path.end()) {
+      result.complete = true;
+      return result;
+    }
+
+    // Election: every block evaluates dBO (a distance computation each);
+    // candidates are the movable blocks, ordered by distance then id.
+    struct Candidate {
+      int32_t distance;
+      lat::BlockId id;
+    };
+    std::vector<Candidate> candidates;
+    for (const auto& [id, pos] : grid.blocks()) {
+      ++result.distance_computations;
+      if (id == root) continue;  // the Root anchors I
+      // Lemma 1(b): blocks that joined the path stay there. (Eq (8) covers
+      // most of this, but its one-hop-from-O exception must not re-elect a
+      // block already resting one cell before O.)
+      if (std::find(result.path.begin(), result.path.end(), pos) !=
+          result.path.end()) {
+        continue;
+      }
+      const int32_t d = core::base_distance(pos, params);
+      if (d == core::kInfiniteDistance) continue;
+      candidates.push_back({d, id});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+
+    ++result.elections;
+    bool moved = false;
+    for (const Candidate& candidate : candidates) {
+      const lat::Vec2 from = grid.position_of(candidate.id);
+      const int64_t walk = bfs_walk_length(grid, from, *next_cell);
+      if (walk < 0) continue;  // boxed in; try the next candidate
+      grid.move(from, *next_cell);
+      result.elementary_moves += static_cast<uint64_t>(walk);
+      moved = true;
+      break;
+    }
+    if (!moved) {
+      result.blocked = true;
+      return result;
+    }
+  }
+  result.blocked = true;  // iteration cap
+  return result;
+}
+
+}  // namespace sb::baseline

@@ -1,0 +1,51 @@
+#pragma once
+// Baseline: the free-motion model of the paper's predecessor [14]
+// (Tembo & El-Baz, iThings 2013).
+//
+// In [14] blocks move on the surface without needing support from other
+// blocks (only the surface contact below), so an elected block travels
+// directly to its destination. This baseline reuses the same election
+// semantics (minimum hop distance, Eq (8) alignment freezing) but lets the
+// elected block walk an unobstructed BFS route to the next empty path
+// cell. Comparing it against the constrained algorithm quantifies the cost
+// of the Smart Blocks support constraints (paper §II: "the context
+// considered in this paper is far more constrained").
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/scenario.hpp"
+
+namespace sb::baseline {
+
+struct FreeMotionConfig {
+  /// Keep Eq (8) freezing so the election semantics match the main
+  /// algorithm.
+  bool freeze_aligned = true;
+  uint64_t max_iterations = 1'000'000;
+};
+
+struct FreeMotionResult {
+  bool complete = false;
+  bool blocked = false;
+  /// Elections run (= elected-block trips).
+  uint64_t elections = 0;
+  /// Total one-cell moves walked by elected blocks.
+  uint64_t elementary_moves = 0;
+  /// dBO evaluations, one per block per election (Remark 2 equivalent).
+  uint64_t distance_computations = 0;
+  /// The canonical path cells, in order from I to O.
+  std::vector<lat::Vec2> path;
+};
+
+/// The canonical shortest path used by the baseline and the centralized
+/// planner: x varies first (from I's column to O's column at I's row),
+/// then y (along O's column). For aligned I/O this is the straight segment.
+[[nodiscard]] std::vector<lat::Vec2> canonical_path(lat::Vec2 input,
+                                                    lat::Vec2 output);
+
+/// Runs the free-motion baseline to completion on a copy of the scenario.
+[[nodiscard]] FreeMotionResult run_free_motion(
+    const lat::Scenario& scenario, FreeMotionConfig config = FreeMotionConfig{});
+
+}  // namespace sb::baseline

@@ -1,0 +1,133 @@
+#pragma once
+// The message vocabulary of the distributed election (paper §V.C).
+//
+//   Activate [Father, Son, O, ShortestDistance, IDshortest]
+//   Ack      [Son, Father, ShortestDistance, IDshortest]
+//   Select   - routed from the Root to the elected block down the
+//              father/son tree
+//   ElectedAck - routed from the elected block back up to the Root
+//   MoveDone - flooded after the elected block's hop so the Root can start
+//              the next iteration (DESIGN.md, interpretation note 3); its
+//              reached_output flag doubles as the termination broadcast.
+
+#include "core/distance.hpp"
+#include "lattice/block_id.hpp"
+#include "lattice/vec2.hpp"
+#include "msg/message.hpp"
+#include "util/fmt.hpp"
+
+namespace sb::core {
+
+/// Epoch = the iteration counter IT of the paper's Algorithm 1. Every
+/// message carries it; stale-epoch messages are discarded on receipt.
+using Epoch = uint32_t;
+
+struct ActivateMsg final : msg::Message {
+  Epoch epoch = 0;
+  lat::BlockId father;       // sender
+  lat::BlockId son;          // intended receiver
+  lat::Vec2 output;          // location of O
+  int32_t shortest_distance = kInfiniteDistance;
+  lat::BlockId id_shortest;  // block with the shortest recorded distance
+
+  [[nodiscard]] std::string_view kind() const override { return "Activate"; }
+  [[nodiscard]] msg::MessagePtr clone() const override {
+    return std::make_unique<ActivateMsg>(*this);
+  }
+  [[nodiscard]] size_t payload_bytes() const override {
+    return sizeof(epoch) + 2 * sizeof(lat::BlockId) + sizeof(lat::Vec2) +
+           sizeof(shortest_distance) + sizeof(lat::BlockId);
+  }
+  [[nodiscard]] std::string describe() const override {
+    return fmt("Activate[e={} father={} best={}@{}]", epoch, father,
+               shortest_distance == kInfiniteDistance
+                   ? -1
+                   : shortest_distance,
+               id_shortest);
+  }
+};
+
+struct AckMsg final : msg::Message {
+  Epoch epoch = 0;
+  lat::BlockId son;     // sender
+  lat::BlockId father;  // receiver
+  int32_t shortest_distance = kInfiniteDistance;
+  lat::BlockId id_shortest;
+  /// True for a subtree report; false for the immediate ack a block sends
+  /// when it receives an Activate while already engaged (the sender must
+  /// not count it as a son).
+  bool engaged = true;
+
+  [[nodiscard]] std::string_view kind() const override { return "Ack"; }
+  [[nodiscard]] msg::MessagePtr clone() const override {
+    return std::make_unique<AckMsg>(*this);
+  }
+  [[nodiscard]] size_t payload_bytes() const override {
+    return sizeof(epoch) + 2 * sizeof(lat::BlockId) +
+           sizeof(shortest_distance) + sizeof(lat::BlockId) + 1;
+  }
+};
+
+/// Fault-tolerance extension only: a block that adopts a father replies
+/// immediately with this contact notice (its subtree Ack may legitimately
+/// take unbounded time, but *some* reply - reject-Ack or SonNotify - must
+/// arrive within a couple of link latencies; silence identifies a dead
+/// neighbour).
+struct SonNotifyMsg final : msg::Message {
+  Epoch epoch = 0;
+  lat::BlockId son;
+
+  [[nodiscard]] std::string_view kind() const override { return "SonNotify"; }
+  [[nodiscard]] msg::MessagePtr clone() const override {
+    return std::make_unique<SonNotifyMsg>(*this);
+  }
+  [[nodiscard]] size_t payload_bytes() const override {
+    return sizeof(epoch) + sizeof(lat::BlockId);
+  }
+};
+
+struct SelectMsg final : msg::Message {
+  Epoch epoch = 0;
+  lat::BlockId target;  // the elected block
+
+  [[nodiscard]] std::string_view kind() const override { return "Select"; }
+  [[nodiscard]] msg::MessagePtr clone() const override {
+    return std::make_unique<SelectMsg>(*this);
+  }
+  [[nodiscard]] size_t payload_bytes() const override {
+    return sizeof(epoch) + sizeof(lat::BlockId);
+  }
+};
+
+struct ElectedAckMsg final : msg::Message {
+  Epoch epoch = 0;
+  lat::BlockId elected;
+
+  [[nodiscard]] std::string_view kind() const override {
+    return "ElectedAck";
+  }
+  [[nodiscard]] msg::MessagePtr clone() const override {
+    return std::make_unique<ElectedAckMsg>(*this);
+  }
+  [[nodiscard]] size_t payload_bytes() const override {
+    return sizeof(epoch) + sizeof(lat::BlockId);
+  }
+};
+
+struct MoveDoneMsg final : msg::Message {
+  Epoch epoch = 0;
+  lat::BlockId mover;
+  /// True when the hop landed on O: the path is complete and every block
+  /// (including the Root) stops.
+  bool reached_output = false;
+
+  [[nodiscard]] std::string_view kind() const override { return "MoveDone"; }
+  [[nodiscard]] msg::MessagePtr clone() const override {
+    return std::make_unique<MoveDoneMsg>(*this);
+  }
+  [[nodiscard]] size_t payload_bytes() const override {
+    return sizeof(epoch) + sizeof(lat::BlockId) + 1;
+  }
+};
+
+}  // namespace sb::core

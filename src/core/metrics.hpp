@@ -1,0 +1,43 @@
+#pragma once
+// Counters for the quantities the paper reasons about:
+//   Remark 2 - number of distance computations   O(N^3)
+//   Remark 3 - number of messages                O(N^3)  (from sim stats)
+//   Remark 4 - number of block hops              O(N^2)
+// plus the elementary-move count of the Figs 10-11 example (55 moves).
+
+#include <cstdint>
+
+#include "lattice/block_id.hpp"
+
+namespace sb::core {
+
+struct ReconfigMetrics {
+  /// Elections initiated by the Root (one per Algorithm-1 iteration).
+  uint64_t elections_started = 0;
+  /// Elections that produced an elected block.
+  uint64_t elections_completed = 0;
+  /// One-cell hops performed by elected blocks (Remark 4's metric).
+  uint64_t hops = 0;
+  /// Subset of hops that were tier-2 repositioning detours.
+  uint64_t repositioning_hops = 0;
+  /// dBO evaluations (Remark 2's metric): one per block activation.
+  uint64_t distance_computations = 0;
+  /// Select messages forwarded along the father/son path.
+  uint64_t select_forwards = 0;
+  /// ElectedAck messages that were lost to a broken contact (the Root
+  /// advances on MoveDone, so losses are harmless; see DESIGN.md).
+  uint64_t elected_acks_missing = 0;
+  /// Election restarts triggered by the fault-tolerance extension.
+  uint64_t election_restarts = 0;
+
+  /// Terminal status.
+  bool complete = false;  // a block reached O; shortest path built
+  bool blocked = false;   // no eligible block was found
+
+  /// Epoch (iteration counter IT) at termination.
+  uint32_t final_epoch = 0;
+  /// The block that performed the final hop onto O.
+  lat::BlockId final_block{};
+};
+
+}  // namespace sb::core

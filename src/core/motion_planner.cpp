@@ -1,0 +1,140 @@
+#include "core/motion_planner.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sb::core {
+
+int32_t net_progress(const motion::RuleApplication& app, lat::Vec2 output) {
+  int32_t net = 0;
+  for (const auto& [from, to] : app.world_moves()) {
+    net += manhattan(from, output) - manhattan(to, output);
+  }
+  return net;
+}
+
+MotionPlanner::MotionPlanner(const motion::RuleLibrary* rules,
+                             PlannerConfig config)
+    : rules_(rules), config_(config) {
+  SB_EXPECTS(rules_ != nullptr && !rules_->empty(),
+             "the planner needs a non-empty rule library");
+}
+
+bool leaves_path_gap(const motion::RuleApplication& app,
+                     const DistanceParams& params) {
+  const auto moves = app.world_moves();
+  for (const auto& [from, to] : moves) {
+    // The Root block itself never moves: the root role does not migrate in
+    // this implementation, so no rule may displace the block on I - not
+    // even a handover that would refill the cell.
+    if (from == params.input) return true;
+    if (!is_path_cell(from, params)) continue;
+    // Lemma 1(b): a path cell, once occupied, stays occupied. A handover
+    // that refills the cell within the same rule application is fine.
+    bool refilled = false;
+    for (const auto& [from2, to2] : moves) {
+      refilled |= to2 == from;
+    }
+    if (!refilled) return true;
+  }
+  return false;
+}
+
+std::vector<motion::RuleApplication> MotionPlanner::legal_moves(
+    const sim::World& world, lat::Vec2 pos) const {
+  SB_EXPECTS(world.grid().occupied(pos), "no block at ", pos);
+  // Rule matching runs on the block's sensed window (local knowledge);
+  // connectivity is then checked by the world's physics oracle.
+  const lat::Neighborhood window = world.sense(pos);
+  std::vector<motion::RuleApplication> candidates =
+      motion::enumerate_applications(*rules_, window, pos);
+  std::erase_if(candidates, [&](const motion::RuleApplication& app) {
+    return !world.can_apply(app);
+  });
+  return candidates;
+}
+
+std::optional<motion::RuleApplication> MotionPlanner::pick(
+    std::vector<motion::RuleApplication>& candidates, Rng* rng) const {
+  if (candidates.empty()) return std::nullopt;
+  switch (config_.tie) {
+    case MoveTie::kFirst:
+      return candidates.front();
+    case MoveTie::kRandom:
+      SB_EXPECTS(rng != nullptr, "MoveTie::kRandom needs an RNG");
+      return candidates[rng->pick_index(candidates)];
+    case MoveTie::kPreferEnterPath: {
+      const auto enters_path = [&](const motion::RuleApplication& app) {
+        return is_path_cell(app.subject_to(), config_.distance);
+      };
+      const auto it =
+          std::find_if(candidates.begin(), candidates.end(), enters_path);
+      return it != candidates.end() ? *it : candidates.front();
+    }
+  }
+  SB_UNREACHABLE();
+}
+
+MoveDecision MotionPlanner::evaluate(const sim::World& world, lat::Vec2 pos,
+                                     const TabuList* tabu, uint32_t epoch,
+                                     ReconfigMetrics* metrics,
+                                     Rng* rng) const {
+  if (metrics != nullptr) ++metrics->distance_computations;
+
+  MoveDecision decision;
+  const int32_t base = base_distance(pos, config_.distance);
+  if (base == kInfiniteDistance) return decision;  // Eq (8): frozen
+
+  const lat::Vec2 output = config_.distance.output;
+  const int32_t here = manhattan(pos, output);
+
+  std::vector<motion::RuleApplication> legal = legal_moves(world, pos);
+
+  // -- tier 1: hops towards O with positive net progress --------------------
+  std::vector<motion::RuleApplication> improving;
+  int32_t best = here;
+  for (const motion::RuleApplication& app : legal) {
+    const int32_t there = manhattan(app.subject_to(), output);
+    if (there >= here) continue;  // the hop itself must approach O
+    if (net_progress(app, output) <= 0) continue;  // anti-livelock potential
+    if (leaves_path_gap(app, config_.distance)) continue;  // Lemma 1(b)
+    if (there > best) continue;
+    if (there < best) {
+      best = there;
+      improving.clear();
+    }
+    improving.push_back(app);
+  }
+  if (auto move = pick(improving, rng)) {
+    decision.distance = base;  // Eq (10)
+    decision.move = std::move(move);
+    return decision;
+  }
+  if (!config_.allow_repositioning) return decision;  // Eq (9) strict
+
+  // -- tier 2: tabu-guarded single-block repositioning ----------------------
+  std::vector<motion::RuleApplication> detours;
+  int32_t best_detour = kInfiniteDistance;
+  for (const motion::RuleApplication& app : legal) {
+    if (app.rule->moves().size() != 1) continue;  // never displace helpers
+    if (leaves_path_gap(app, config_.distance)) continue;  // Lemma 1(b)
+    const lat::Vec2 to = app.subject_to();
+    if (tabu != nullptr && tabu->contains(to, epoch)) continue;
+    const int32_t there = manhattan(to, output);
+    if (there > best_detour) continue;
+    if (there < best_detour) {
+      best_detour = there;
+      detours.clear();
+    }
+    detours.push_back(app);
+  }
+  if (auto move = pick(detours, rng)) {
+    decision.distance = base + kRepositionPenalty;
+    decision.move = std::move(move);
+    decision.repositioning = true;
+  }
+  return decision;  // no move at all -> Eq (9): +inf
+}
+
+}  // namespace sb::core

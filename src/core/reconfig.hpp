@@ -1,0 +1,138 @@
+#pragma once
+// ReconfigurationSession: sets up a scenario on the simulator, runs the
+// distributed algorithm to completion, and reports the paper's metrics.
+//
+// This is the library's main entry point:
+//
+//   auto scenario = sb::lat::make_fig10_scenario();
+//   sb::core::SessionConfig config;
+//   auto result = sb::core::ReconfigurationSession::run_scenario(scenario,
+//                                                                config);
+//   // result.complete, result.hops, result.elementary_moves, ...
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/block_code.hpp"
+#include "lattice/scenario.hpp"
+#include "motion/rule_library.hpp"
+#include "sim/simulator.hpp"
+
+namespace sb::core {
+
+struct SessionConfig {
+  sim::SimConfig sim;
+  /// Motion capabilities; defaults to RuleLibrary::standard(). Supply
+  /// RuleLibrary::standard_with_trains() or a custom XML-loaded library to
+  /// change what the blocks can do.
+  std::optional<motion::RuleLibrary> rules;
+  ElectionTie election_tie = ElectionTie::kFirst;
+  MoveTie move_tie = MoveTie::kPreferEnterPath;
+  /// Path-freezing geometry; kCanonicalMonotone enables diagonal I/O
+  /// tasks (extension, DESIGN.md finding 8).
+  PathShape path_shape = PathShape::kAlignedWithOutput;
+  bool paper_eq6_init = false;
+  /// Fault-tolerance extension; 0 disables (see AlgorithmConfig).
+  sim::Ticks ack_timeout = 0;
+  /// Iteration cap; 0 = automatic (20 N^2 + 500, per Remark 4's O(N^2)
+  /// hop bound). Reaching the cap reports the run as blocked.
+  uint32_t max_iterations = 0;
+  /// Tier-2 repositioning (see PlannerConfig::allow_repositioning).
+  bool allow_repositioning = true;
+  /// Per-block tabu capacity for tier-2 detours.
+  size_t tabu_capacity = 8;
+  /// Tabu expiry horizon in epochs; also bounds empty-election retries.
+  uint32_t tabu_horizon = 64;
+  /// Safety limits for the event loop.
+  uint64_t max_events = 500'000'000ULL;
+  sim::SimTime max_time = sim::kTimeMax;
+};
+
+struct SessionResult {
+  // Terminal status.
+  bool complete = false;  // shortest path built (a block reached O)
+  bool blocked = false;   // an election found no eligible block
+  sim::StopReason stop_reason = sim::StopReason::kQueueEmpty;
+
+  // Algorithm-level counters.
+  uint32_t iterations = 0;             ///< Algorithm-1 iterations (epochs)
+  uint64_t elections_completed = 0;
+  uint64_t hops = 0;                   ///< Remark 4 metric
+  uint64_t repositioning_hops = 0;     ///< tier-2 detours among the hops
+  uint64_t elementary_moves = 0;       ///< §V.D metric ("55 block moves")
+  uint64_t distance_computations = 0;  ///< Remark 2 metric
+  uint64_t election_restarts = 0;      ///< fault-tolerance extension
+
+  // Communication counters (Remark 3 metric).
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  std::map<std::string_view, uint64_t> messages_by_kind;
+
+  // Costs.
+  sim::SimTime sim_ticks = 0;
+  double wall_seconds = 0.0;
+  uint64_t events_processed = 0;
+
+  // Outcome.
+  size_t block_count = 0;
+  int32_t path_cells = 0;  ///< cells on the target shortest path
+  std::optional<std::vector<lat::Vec2>> path;  ///< built path, if complete
+  /// A block reached O (Algorithm 1's literal termination condition) but
+  /// no fully occupied shortest path exists. Cannot occur in the
+  /// constructive scenario families (towers, fig10); flagged for honesty
+  /// on adversarial inputs where the paper's termination rule is
+  /// under-specified.
+  bool premature_completion = false;
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+class ReconfigurationSession {
+ public:
+  /// Validates the scenario (aborts on violations of the paper's
+  /// assumptions) and stages it on a fresh simulator.
+  ReconfigurationSession(const lat::Scenario& scenario, SessionConfig config);
+
+  [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
+  [[nodiscard]] const lat::Scenario& scenario() const { return scenario_; }
+  [[nodiscard]] const ReconfigMetrics& metrics() const {
+    return shared_.metrics;
+  }
+
+  /// Observer invoked after every elected hop (epoch, mover, application).
+  void set_move_listener(
+      std::function<void(Epoch, lat::BlockId, const motion::RuleApplication&)>
+          listener) {
+    shared_.move_listener = std::move(listener);
+  }
+
+  /// Runs the distributed algorithm to termination (or a limit).
+  [[nodiscard]] SessionResult run();
+
+  /// Starts the modules (idempotent) and processes at most `max_events`
+  /// events. Useful to pause mid-run, e.g. for fault injection:
+  ///   session.step_events(2000);
+  ///   session.simulator().kill_module(id);
+  ///   auto result = session.run();
+  sim::StopReason step_events(uint64_t max_events);
+
+  /// One-shot convenience wrapper.
+  [[nodiscard]] static SessionResult run_scenario(
+      const lat::Scenario& scenario, SessionConfig config = SessionConfig{});
+
+ private:
+  void start_if_needed();
+
+  lat::Scenario scenario_;
+  SessionConfig config_;
+  SessionShared shared_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<MotionPlanner> planner_;
+  bool started_ = false;
+};
+
+}  // namespace sb::core

@@ -1,0 +1,43 @@
+#pragma once
+// Strongly-typed block identifier.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace sb::lat {
+
+/// Identifier of a physical block. Stable for the lifetime of a simulation;
+/// block *positions* change, ids never do (the paper's Figs 10-11 track
+/// blocks by number the same way).
+struct BlockId {
+  uint32_t value = UINT32_MAX;
+
+  constexpr BlockId() = default;
+  constexpr explicit BlockId(uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != UINT32_MAX; }
+
+  friend constexpr bool operator==(BlockId a, BlockId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(BlockId a, BlockId b) { return !(a == b); }
+  friend constexpr bool operator<(BlockId a, BlockId b) {
+    return a.value < b.value;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, BlockId id) {
+    if (!id.valid()) return os << "#invalid";
+    return os << '#' << id.value;
+  }
+};
+
+inline constexpr BlockId kInvalidBlock{};
+
+struct BlockIdHash {
+  size_t operator()(BlockId id) const {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+
+}  // namespace sb::lat

@@ -1,0 +1,198 @@
+#include "lattice/connectivity.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace sb::lat {
+
+namespace {
+
+/// BFS over occupied cells starting from `start`; returns visited count.
+size_t flood_count(const Grid& grid, Vec2 start,
+                   const std::unordered_set<Vec2, Vec2Hash>& extra_empty,
+                   const std::unordered_set<Vec2, Vec2Hash>& extra_full) {
+  const auto occupied = [&](Vec2 p) {
+    if (extra_full.count(p)) return true;
+    if (extra_empty.count(p)) return false;
+    return grid.occupied(p);
+  };
+  if (!occupied(start)) return 0;
+  std::unordered_set<Vec2, Vec2Hash> seen;
+  std::vector<Vec2> frontier{start};
+  seen.insert(start);
+  while (!frontier.empty()) {
+    const Vec2 p = frontier.back();
+    frontier.pop_back();
+    for (Direction d : all_directions()) {
+      const Vec2 q = p + delta(d);
+      if (!seen.count(q) && occupied(q)) {
+        seen.insert(q);
+        frontier.push_back(q);
+      }
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace
+
+bool is_connected(const Grid& grid) {
+  if (grid.block_count() <= 1) return true;
+  const Vec2 start = grid.blocks().begin()->second;
+  return flood_count(grid, start, {}, {}) == grid.block_count();
+}
+
+bool connected_after_moves(const Grid& grid,
+                           const std::vector<std::pair<Vec2, Vec2>>& moves) {
+  std::unordered_set<Vec2, Vec2Hash> vacated;
+  std::unordered_set<Vec2, Vec2Hash> filled;
+  for (const auto& [from, to] : moves) {
+    SB_EXPECTS(grid.occupied(from), "hypothetical move from empty cell ",
+               from);
+    vacated.insert(from);
+  }
+  for (const auto& [from, to] : moves) {
+    filled.insert(to);
+    vacated.erase(to);  // handover: destination stays occupied
+  }
+  // Find any occupied cell in the hypothetical configuration.
+  Vec2 start{-1, -1};
+  bool found = false;
+  size_t total = 0;
+  for (const auto& [id, pos] : grid.blocks()) {
+    Vec2 p = pos;
+    // Where does this block end up?
+    for (const auto& [from, to] : moves) {
+      if (from == pos) {
+        p = to;
+        break;
+      }
+    }
+    if (!found) {
+      start = p;
+      found = true;
+    }
+    ++total;
+  }
+  if (total <= 1) return true;
+  return flood_count(grid, start, vacated, filled) == total;
+}
+
+std::vector<Vec2> articulation_points(const Grid& grid) {
+  // Hopcroft–Tarjan on the block adjacency graph via iterative DFS.
+  std::vector<Vec2> nodes;
+  nodes.reserve(grid.block_count());
+  for (const auto& [id, pos] : grid.blocks()) nodes.push_back(pos);
+  std::sort(nodes.begin(), nodes.end());
+  std::unordered_map<Vec2, int, Vec2Hash> index_of;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    index_of[nodes[i]] = static_cast<int>(i);
+  }
+  const int n = static_cast<int>(nodes.size());
+  if (n <= 2) return {};  // removing one of <=2 blocks cannot disconnect
+
+  std::vector<int> disc(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<int> parent(static_cast<size_t>(n), -1);
+  std::vector<bool> is_art(static_cast<size_t>(n), false);
+  int timer = 0;
+
+  const auto neighbors = [&](int u) {
+    std::vector<int> out;
+    for (Direction d : all_directions()) {
+      const auto it = index_of.find(nodes[static_cast<size_t>(u)] + delta(d));
+      if (it != index_of.end()) out.push_back(it->second);
+    }
+    return out;
+  };
+
+  for (int root = 0; root < n; ++root) {
+    if (disc[static_cast<size_t>(root)] != -1) continue;
+    // Iterative DFS with an explicit stack of (node, neighbor cursor).
+    std::vector<std::pair<int, size_t>> stack;
+    std::vector<std::vector<int>> adj_cache(static_cast<size_t>(n));
+    disc[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] =
+        timer++;
+    adj_cache[static_cast<size_t>(root)] = neighbors(root);
+    stack.emplace_back(root, 0);
+    int root_children = 0;
+    while (!stack.empty()) {
+      auto& [u, cursor] = stack.back();
+      const auto& adj = adj_cache[static_cast<size_t>(u)];
+      if (cursor < adj.size()) {
+        const int v = adj[cursor++];
+        if (disc[static_cast<size_t>(v)] == -1) {
+          parent[static_cast<size_t>(v)] = u;
+          if (u == root) ++root_children;
+          disc[static_cast<size_t>(v)] = low[static_cast<size_t>(v)] =
+              timer++;
+          adj_cache[static_cast<size_t>(v)] = neighbors(v);
+          stack.emplace_back(v, 0);
+        } else if (v != parent[static_cast<size_t>(u)]) {
+          low[static_cast<size_t>(u)] = std::min(
+              low[static_cast<size_t>(u)], disc[static_cast<size_t>(v)]);
+        }
+      } else {
+        stack.pop_back();
+        const int p = parent[static_cast<size_t>(u)];
+        if (p != -1) {
+          low[static_cast<size_t>(p)] =
+              std::min(low[static_cast<size_t>(p)], low[static_cast<size_t>(u)]);
+          if (p != root &&
+              low[static_cast<size_t>(u)] >= disc[static_cast<size_t>(p)]) {
+            is_art[static_cast<size_t>(p)] = true;
+          }
+        }
+      }
+    }
+    if (root_children > 1) is_art[static_cast<size_t>(root)] = true;
+  }
+
+  std::vector<Vec2> out;
+  for (int i = 0; i < n; ++i) {
+    if (is_art[static_cast<size_t>(i)]) out.push_back(nodes[static_cast<size_t>(i)]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool is_single_line(const Grid& grid) {
+  if (grid.block_count() <= 1) return true;
+  bool same_x = true;
+  bool same_y = true;
+  const Vec2 first = grid.blocks().begin()->second;
+  for (const auto& [id, pos] : grid.blocks()) {
+    same_x &= pos.x == first.x;
+    same_y &= pos.y == first.y;
+  }
+  return same_x || same_y;
+}
+
+int component_count(const Grid& grid) {
+  std::unordered_set<Vec2, Vec2Hash> seen;
+  int components = 0;
+  for (const auto& [id, pos] : grid.blocks()) {
+    if (seen.count(pos)) continue;
+    ++components;
+    std::vector<Vec2> frontier{pos};
+    seen.insert(pos);
+    while (!frontier.empty()) {
+      const Vec2 p = frontier.back();
+      frontier.pop_back();
+      for (Direction d : all_directions()) {
+        const Vec2 q = p + delta(d);
+        if (grid.occupied(q) && !seen.count(q)) {
+          seen.insert(q);
+          frontier.push_back(q);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace sb::lat

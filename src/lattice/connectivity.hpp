@@ -1,0 +1,36 @@
+#pragma once
+// Connectivity analysis of block configurations.
+//
+// Remark 1 of the paper prohibits motions that disconnect the set of blocks
+// (a detached block can never move again). The world uses these checks as
+// the physics oracle that rejects such motions.
+
+#include <vector>
+
+#include "lattice/grid.hpp"
+
+namespace sb::lat {
+
+/// True when all blocks form one 4-connected component (vacuously true for
+/// zero or one block).
+[[nodiscard]] bool is_connected(const Grid& grid);
+
+/// True when the configuration would remain connected after atomically
+/// applying `moves` (pairs of from -> to). Does not mutate the grid.
+[[nodiscard]] bool connected_after_moves(
+    const Grid& grid, const std::vector<std::pair<Vec2, Vec2>>& moves);
+
+/// Positions of blocks whose removal would disconnect the configuration
+/// (articulation points of the adjacency graph), in row-major order.
+/// A single block is never an articulation point.
+[[nodiscard]] std::vector<Vec2> articulation_points(const Grid& grid);
+
+/// True when every block position lies on a single row or a single column.
+/// Assumption 1 excludes such degenerate initial patterns (they cannot
+/// support any motion).
+[[nodiscard]] bool is_single_line(const Grid& grid);
+
+/// Number of 4-connected components among the blocks.
+[[nodiscard]] int component_count(const Grid& grid);
+
+}  // namespace sb::lat

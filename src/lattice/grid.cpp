@@ -1,0 +1,91 @@
+#include "lattice/grid.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sb::lat {
+
+Grid::Grid(int32_t width, int32_t height) : width_(width), height_(height) {
+  SB_EXPECTS(width > 0 && height > 0, "grid dimensions must be positive, got ",
+             width, "x", height);
+  cells_.assign(cell_count(), kInvalidBlock);
+}
+
+Vec2 Grid::position_of(BlockId id) const {
+  const auto it = positions_.find(id);
+  SB_EXPECTS(it != positions_.end(), "block ", id, " is not on the surface");
+  return it->second;
+}
+
+std::vector<BlockId> Grid::block_ids() const {
+  std::vector<BlockId> ids;
+  ids.reserve(positions_.size());
+  for (const auto& [id, pos] : positions_) ids.push_back(id);
+  return ids;
+}
+
+void Grid::place(BlockId id, Vec2 p) {
+  SB_EXPECTS(id.valid(), "cannot place an invalid block id");
+  SB_EXPECTS(in_bounds(p), "place ", id, " out of bounds at ", p);
+  SB_EXPECTS(!cells_[index(p)].valid(), "cell ", p, " already holds ",
+             cells_[index(p)]);
+  SB_EXPECTS(positions_.count(id) == 0, "block ", id,
+             " is already on the surface");
+  cells_[index(p)] = id;
+  positions_[id] = p;
+}
+
+BlockId Grid::remove(Vec2 p) {
+  SB_EXPECTS(in_bounds(p), "remove out of bounds at ", p);
+  const BlockId id = cells_[index(p)];
+  SB_EXPECTS(id.valid(), "cell ", p, " is empty");
+  cells_[index(p)] = kInvalidBlock;
+  positions_.erase(id);
+  return id;
+}
+
+void Grid::move(Vec2 from, Vec2 to) {
+  move_simultaneously({{from, to}});
+}
+
+void Grid::move_simultaneously(
+    const std::vector<std::pair<Vec2, Vec2>>& moves) {
+  // Phase 1: lift all movers off the surface.
+  std::vector<std::pair<BlockId, Vec2>> landing;
+  landing.reserve(moves.size());
+  for (const auto& [from, to] : moves) {
+    SB_EXPECTS(in_bounds(from) && in_bounds(to), "move ", from, " -> ", to,
+               " leaves the surface");
+    const BlockId id = cells_[index(from)];
+    SB_EXPECTS(id.valid(), "move source ", from, " is empty");
+    cells_[index(from)] = kInvalidBlock;
+    landing.emplace_back(id, to);
+  }
+  // Phase 2: land them. After lifting, destinations must all be free; this
+  // accepts handovers (A -> B while B -> C) and rejects true collisions.
+  for (const auto& [id, to] : landing) {
+    SB_EXPECTS(!cells_[index(to)].valid(), "move destination ", to,
+               " is occupied after lifting movers");
+    cells_[index(to)] = id;
+    positions_[id] = to;
+  }
+}
+
+std::array<BlockId, 4> Grid::neighbors_of(Vec2 p) const {
+  std::array<BlockId, 4> out{};
+  for (Direction d : all_directions()) {
+    out[static_cast<size_t>(d)] = at(p + delta(d));
+  }
+  return out;
+}
+
+int Grid::occupied_neighbor_count(Vec2 p) const {
+  int count = 0;
+  for (Direction d : all_directions()) {
+    if (occupied(p + delta(d))) ++count;
+  }
+  return count;
+}
+
+}  // namespace sb::lat

@@ -1,0 +1,98 @@
+#pragma once
+// Occupancy grid for the modular surface (paper §III, Fig. 2).
+//
+// The grid tracks which block (if any) occupies each cell, plus the inverse
+// map from block id to position. All mutations keep the two maps consistent.
+
+#include <map>
+#include <vector>
+
+#include "lattice/block_id.hpp"
+#include "lattice/direction.hpp"
+#include "lattice/vec2.hpp"
+
+namespace sb::lat {
+
+class Grid {
+ public:
+  /// Creates an empty surface of `width` x `height` cells (paper: W, H).
+  Grid(int32_t width, int32_t height);
+
+  [[nodiscard]] int32_t width() const { return width_; }
+  [[nodiscard]] int32_t height() const { return height_; }
+  [[nodiscard]] size_t cell_count() const {
+    return static_cast<size_t>(width_) * static_cast<size_t>(height_);
+  }
+
+  [[nodiscard]] bool in_bounds(Vec2 p) const {
+    return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+  }
+
+  /// True when the (in-bounds) cell holds a block. Out-of-bounds cells are
+  /// reported as unoccupied: physically there is nothing beyond the surface.
+  [[nodiscard]] bool occupied(Vec2 p) const {
+    return in_bounds(p) && cells_[index(p)].valid();
+  }
+
+  /// Block at a cell; kInvalidBlock when empty or out of bounds.
+  [[nodiscard]] BlockId at(Vec2 p) const {
+    return in_bounds(p) ? cells_[index(p)] : kInvalidBlock;
+  }
+
+  [[nodiscard]] bool contains(BlockId id) const {
+    return positions_.count(id) > 0;
+  }
+
+  /// Position of a block; the block must be on the surface.
+  [[nodiscard]] Vec2 position_of(BlockId id) const;
+
+  [[nodiscard]] size_t block_count() const { return positions_.size(); }
+
+  /// Blocks in deterministic (id) order.
+  [[nodiscard]] std::vector<BlockId> block_ids() const;
+
+  /// (id, position) pairs in id order.
+  [[nodiscard]] const std::map<BlockId, Vec2>& blocks() const {
+    return positions_;
+  }
+
+  /// Places a new block. The cell must be empty and the id unused.
+  void place(BlockId id, Vec2 p);
+
+  /// Removes the block at `p` (must be occupied). Returns its id.
+  BlockId remove(Vec2 p);
+
+  /// Moves the block at `from` to the empty cell `to` (both in bounds).
+  void move(Vec2 from, Vec2 to);
+
+  /// Applies several moves as one atomic step (the simultaneous elementary
+  /// moves of a carrying rule). Sources must be occupied, and after removing
+  /// all sources every destination must be empty — this correctly validates
+  /// handover chains where one block's source is another's destination.
+  void move_simultaneously(const std::vector<std::pair<Vec2, Vec2>>& moves);
+
+  /// Ids of the 4-neighbors of `p`, in N,E,S,W order; absent sides yield
+  /// kInvalidBlock.
+  [[nodiscard]] std::array<BlockId, 4> neighbors_of(Vec2 p) const;
+
+  /// Number of occupied 4-neighbors (the "support" count).
+  [[nodiscard]] int occupied_neighbor_count(Vec2 p) const;
+
+  friend bool operator==(const Grid& a, const Grid& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.cells_ == b.cells_;
+  }
+
+ private:
+  [[nodiscard]] size_t index(Vec2 p) const {
+    return static_cast<size_t>(p.y) * static_cast<size_t>(width_) +
+           static_cast<size_t>(p.x);
+  }
+
+  int32_t width_;
+  int32_t height_;
+  std::vector<BlockId> cells_;
+  std::map<BlockId, Vec2> positions_;
+};
+
+}  // namespace sb::lat

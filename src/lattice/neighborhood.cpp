@@ -1,0 +1,36 @@
+#include "lattice/neighborhood.hpp"
+
+#include "util/assert.hpp"
+
+namespace sb::lat {
+
+Neighborhood::Neighborhood(Vec2 center, int32_t radius, int32_t surface_width,
+                           int32_t surface_height)
+    : center_(center),
+      radius_(radius),
+      surface_width_(surface_width),
+      surface_height_(surface_height) {
+  SB_EXPECTS(radius >= 0, "sensing radius must be non-negative");
+  const auto side = static_cast<size_t>(2 * radius + 1);
+  presence_.assign(side * side, false);
+}
+
+size_t Neighborhood::index(Vec2 p) const {
+  SB_EXPECTS(covers(p), "query outside the sensed window: ", p,
+             " from center ", center_, " radius ", radius_);
+  const auto side = static_cast<size_t>(2 * radius_ + 1);
+  const auto row = static_cast<size_t>(p.y - center_.y + radius_);
+  const auto col = static_cast<size_t>(p.x - center_.x + radius_);
+  return row * side + col;
+}
+
+bool Neighborhood::occupied(Vec2 p) const {
+  if (!in_bounds(p)) return false;
+  return presence_[index(p)];
+}
+
+void Neighborhood::set_occupied(Vec2 p, bool value) {
+  presence_[index(p)] = value;
+}
+
+}  // namespace sb::lat

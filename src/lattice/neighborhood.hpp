@@ -1,0 +1,51 @@
+#pragma once
+// Local occupancy view available to a block.
+//
+// Hardware blocks sense lateral contacts directly and learn nearby state
+// from one round of neighbor-of-neighbor exchange; the simulator models the
+// result as a square window of presence bits centred on the block, with a
+// configurable Chebyshev radius (DESIGN.md, substitutions).
+
+#include <vector>
+
+#include "lattice/vec2.hpp"
+
+namespace sb::lat {
+
+class Neighborhood {
+ public:
+  /// Builds an unknown-free window; cells default to empty.
+  Neighborhood(Vec2 center, int32_t radius, int32_t surface_width,
+               int32_t surface_height);
+
+  [[nodiscard]] Vec2 center() const { return center_; }
+  [[nodiscard]] int32_t radius() const { return radius_; }
+
+  /// True when `p` lies inside the sensed window.
+  [[nodiscard]] bool covers(Vec2 p) const {
+    return chebyshev(p, center_) <= radius_;
+  }
+
+  /// Presence at `p`. Cells outside the surface are empty; cells outside
+  /// the sensing window must not be queried (checked).
+  [[nodiscard]] bool occupied(Vec2 p) const;
+
+  /// True when `p` is a real surface cell (blocks know W and H registers).
+  [[nodiscard]] bool in_bounds(Vec2 p) const {
+    return p.x >= 0 && p.x < surface_width_ && p.y >= 0 &&
+           p.y < surface_height_;
+  }
+
+  void set_occupied(Vec2 p, bool value);
+
+ private:
+  [[nodiscard]] size_t index(Vec2 p) const;
+
+  Vec2 center_;
+  int32_t radius_;
+  int32_t surface_width_;
+  int32_t surface_height_;
+  std::vector<bool> presence_;
+};
+
+}  // namespace sb::lat

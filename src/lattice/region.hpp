@@ -1,0 +1,68 @@
+#pragma once
+// The I/O rectangle and oriented path graph of paper §III.
+//
+// The paper considers the rectangle bounded by the input I and output O; Br
+// is the set of grid nodes inside it and L the set of links oriented from I
+// toward O, giving the oriented graph G = (Br, L) that contains every
+// shortest path between I and O.
+
+#include <optional>
+#include <vector>
+
+#include "lattice/grid.hpp"
+
+namespace sb::lat {
+
+/// Axis-aligned inclusive rectangle.
+struct Rect {
+  Vec2 lo;  // minimum x and y
+  Vec2 hi;  // maximum x and y
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  [[nodiscard]] constexpr int32_t width() const { return hi.x - lo.x + 1; }
+  [[nodiscard]] constexpr int32_t height() const { return hi.y - lo.y + 1; }
+};
+
+/// Rectangle bounded by I and O (the node set Br).
+[[nodiscard]] constexpr Rect bounding_rect(Vec2 input, Vec2 output) {
+  return Rect{{input.x < output.x ? input.x : output.x,
+               input.y < output.y ? input.y : output.y},
+              {input.x > output.x ? input.x : output.x,
+               input.y > output.y ? input.y : output.y}};
+}
+
+/// The one or two axis directions that lead from I toward O (e.g. "left-up"
+/// in the paper's Fig 2). Empty when I == O.
+[[nodiscard]] std::vector<Direction> oriented_directions(Vec2 input,
+                                                         Vec2 output);
+
+/// All links of the oriented graph G = (Br, L), as (from, to) pairs in
+/// deterministic order. Every shortest I->O path uses only these links.
+[[nodiscard]] std::vector<std::pair<Vec2, Vec2>> oriented_graph_links(
+    Vec2 input, Vec2 output);
+
+/// Number of cells on any shortest path between I and O (hops + 1).
+[[nodiscard]] constexpr int32_t shortest_path_cells(Vec2 input, Vec2 output) {
+  return manhattan(input, output) + 1;
+}
+
+/// Paper §III: the maximum length (in cells) of a shortest path on a W x H
+/// surface is W + H - 1 (I and O at opposite corners).
+[[nodiscard]] constexpr int32_t max_shortest_path_cells(int32_t width,
+                                                        int32_t height) {
+  return width + height - 1;
+}
+
+/// If a fully-occupied monotone (shortest) path from I to O exists on the
+/// grid, returns its cells from I to O; otherwise nullopt. This is the
+/// completion criterion for the reconfiguration: stray blocks elsewhere are
+/// allowed.
+[[nodiscard]] std::optional<std::vector<Vec2>> occupied_shortest_path(
+    const Grid& grid, Vec2 input, Vec2 output);
+
+/// Convenience wrapper: true when occupied_shortest_path() finds a path.
+[[nodiscard]] bool path_complete(const Grid& grid, Vec2 input, Vec2 output);
+
+}  // namespace sb::lat

@@ -1,0 +1,363 @@
+#include "lattice/scenario.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "lattice/connectivity.hpp"
+#include "lattice/region.hpp"
+#include "util/assert.hpp"
+#include "util/fmt.hpp"
+#include "util/string_util.hpp"
+
+namespace sb::lat {
+
+Grid Scenario::to_grid() const {
+  Grid grid(width, height);
+  for (const auto& [id, pos] : blocks) grid.place(id, pos);
+  return grid;
+}
+
+BlockId Scenario::root_id() const {
+  for (const auto& [id, pos] : blocks) {
+    if (pos == input) return id;
+  }
+  return kInvalidBlock;
+}
+
+std::vector<std::string> validate(const Scenario& s) {
+  std::vector<std::string> issues;
+  if (s.width <= 0 || s.height <= 0) {
+    issues.push_back(fmt("surface dimensions must be positive, got {}x{}",
+                         s.width, s.height));
+    return issues;
+  }
+  const auto in_bounds = [&](Vec2 p) {
+    return p.x >= 0 && p.x < s.width && p.y >= 0 && p.y < s.height;
+  };
+  if (!in_bounds(s.input)) {
+    issues.push_back(fmt("input {} is outside the surface", s.input));
+  }
+  if (!in_bounds(s.output)) {
+    issues.push_back(fmt("output {} is outside the surface", s.output));
+  }
+  if (s.input == s.output) {
+    issues.push_back("input and output must differ");
+  }
+  if (!issues.empty()) return issues;
+
+  std::set<BlockId> ids;
+  std::set<Vec2> cells;
+  for (const auto& [id, pos] : s.blocks) {
+    if (!id.valid()) issues.push_back("invalid block id in scenario");
+    if (!ids.insert(id).second) {
+      issues.push_back(fmt("duplicate block id {}", id));
+    }
+    if (!in_bounds(pos)) {
+      issues.push_back(fmt("block {} at {} is outside the surface", id, pos));
+    } else if (!cells.insert(pos).second) {
+      issues.push_back(fmt("two blocks share cell {}", pos));
+    }
+  }
+  if (!issues.empty()) return issues;
+
+  if (!cells.count(s.input)) {
+    issues.push_back(
+        "no block on the input cell (Assumption 2 requires the Root at I)");
+  }
+  if (cells.count(s.output)) {
+    issues.push_back("the output cell must start empty");
+  }
+  // Lemma 1: a path of N-1 cells needs N blocks (one spare for the final
+  // insertion); fewer than the path's cell count can never tile it.
+  const int32_t path_cells = shortest_path_cells(s.input, s.output);
+  if (static_cast<int32_t>(s.blocks.size()) < path_cells) {
+    issues.push_back(fmt(
+        "only {} blocks for a {}-cell shortest path; the path cannot be built",
+        s.blocks.size(), path_cells));
+  }
+
+  const Grid grid = s.to_grid();
+  if (!is_connected(grid)) {
+    issues.push_back("blocks are not connected (Assumption 1)");
+  }
+  if (grid.block_count() > 1 && is_single_line(grid)) {
+    issues.push_back(
+        "blocks form a single row/column (excluded by Assumption 1: such a "
+        "pattern cannot support any motion)");
+  }
+  return issues;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(int line_no, const std::string& message) {
+  throw std::runtime_error(
+      fmt("scenario parse error at line {}: {}", line_no, message));
+}
+
+int32_t parse_coord(const std::string& token, int line_no) {
+  const auto value = parse_int(token);
+  if (!value) parse_fail(line_no, fmt("expected an integer, got '{}'", token));
+  return static_cast<int32_t>(*value);
+}
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& text) {
+  Scenario s;
+  bool saw_size = false;
+  bool saw_input = false;
+  bool saw_output = false;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::vector<std::string> tokens = split_ws(stripped);
+    const std::string& keyword = tokens[0];
+    if (keyword == "name") {
+      if (tokens.size() != 2) parse_fail(line_no, "name expects one token");
+      s.name = tokens[1];
+    } else if (keyword == "size") {
+      if (tokens.size() != 3) parse_fail(line_no, "size expects W H");
+      s.width = parse_coord(tokens[1], line_no);
+      s.height = parse_coord(tokens[2], line_no);
+      saw_size = true;
+    } else if (keyword == "input") {
+      if (tokens.size() != 3) parse_fail(line_no, "input expects x y");
+      s.input = {parse_coord(tokens[1], line_no),
+                 parse_coord(tokens[2], line_no)};
+      saw_input = true;
+    } else if (keyword == "output") {
+      if (tokens.size() != 3) parse_fail(line_no, "output expects x y");
+      s.output = {parse_coord(tokens[1], line_no),
+                  parse_coord(tokens[2], line_no)};
+      saw_output = true;
+    } else if (keyword == "block") {
+      if (tokens.size() != 4) parse_fail(line_no, "block expects id x y");
+      const auto id = parse_int(tokens[1]);
+      if (!id || *id < 0) parse_fail(line_no, "block id must be >= 0");
+      s.blocks.emplace_back(
+          BlockId{static_cast<uint32_t>(*id)},
+          Vec2{parse_coord(tokens[2], line_no),
+               parse_coord(tokens[3], line_no)});
+    } else {
+      parse_fail(line_no, fmt("unknown keyword '{}'", keyword));
+    }
+  }
+  if (!saw_size) throw std::runtime_error("scenario is missing 'size'");
+  if (!saw_input) throw std::runtime_error("scenario is missing 'input'");
+  if (!saw_output) throw std::runtime_error("scenario is missing 'output'");
+  return s;
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(fmt("cannot open scenario '{}'", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scenario(buffer.str());
+}
+
+std::string serialize_scenario(const Scenario& s) {
+  std::ostringstream os;
+  os << "# smartblocks scenario\n";
+  os << "name " << s.name << "\n";
+  os << "size " << s.width << ' ' << s.height << "\n";
+  os << "input " << s.input.x << ' ' << s.input.y << "\n";
+  os << "output " << s.output.x << ' ' << s.output.y << "\n";
+  for (const auto& [id, pos] : s.blocks) {
+    os << "block " << id.value << ' ' << pos.x << ' ' << pos.y << "\n";
+  }
+  return os.str();
+}
+
+Scenario make_fig10_scenario() {
+  // Twelve blocks, I and O in the same column, shortest path of 11 cells
+  // (paper §V.D: "shortest path distance ... equal to eleven"); exactly one
+  // spare block remains off-path at the end, as in Fig 11 (block #2 there).
+  // The blob is two columns of six: the path-seed column on x=1 (Root at I)
+  // and a feeder lane on x=2. Lane blocks climb along the growing path,
+  // are carried over its top by the block behind them (the paper's
+  // "block #5 carries block #9" steps), and slide in; the lane's last
+  // block ends as the off-path spare that Lemma 1 requires. Ids are
+  // assigned row-major through the initial 2x6 blob.
+  Scenario s;
+  s.name = "fig10";
+  s.width = 6;
+  s.height = 12;
+  s.input = {1, 0};
+  s.output = {1, 10};
+  uint32_t next_id = 1;
+  for (int32_t y = 0; y < 6; ++y) {
+    for (int32_t x = 1; x < 3; ++x) {
+      s.blocks.emplace_back(BlockId{next_id++}, Vec2{x, y});
+    }
+  }
+  SB_ENSURES(validate(s).empty(), "fig10 scenario must be valid");
+  return s;
+}
+
+Scenario make_tower_scenario(int32_t half_height) {
+  SB_EXPECTS(half_height >= 2, "towers need at least two rows, got ",
+             half_height);
+  Scenario s;
+  const int32_t k = half_height;
+  s.name = fmt("tower{}", 2 * k);
+  s.width = 5;
+  s.height = 2 * k;
+  s.input = {1, 0};
+  s.output = {1, 2 * k - 2};
+  uint32_t next_id = 1;
+  for (int32_t y = 0; y < k; ++y) {
+    for (int32_t x = 1; x < 3; ++x) {
+      s.blocks.emplace_back(BlockId{next_id++}, Vec2{x, y});
+    }
+  }
+  SB_ENSURES(validate(s).empty(), "tower scenario must be valid");
+  return s;
+}
+
+Scenario make_lpath_scenario(int32_t leg_x, int32_t leg_y,
+                             int32_t column_seed) {
+  SB_EXPECTS(leg_x >= 2 && leg_y >= 3, "degenerate L-path legs");
+  SB_EXPECTS(column_seed >= 2 && column_seed < leg_y,
+             "column seed must cover part of the vertical leg");
+  // The feeder lane may not stand taller than the seeded column: lane
+  // blocks above the seed have no lateral support and could never move
+  // (the same invariant the tower family satisfies by construction).
+  SB_EXPECTS(2 * column_seed >= leg_y + 1,
+             "column seed too short for the required feeder lane: need "
+             "2*seed >= leg_y + 1");
+  Scenario s;
+  s.name = fmt("lpath{}x{}", leg_x, leg_y);
+  const int32_t corner_x = leg_x;  // I=(1,1): leg cells x=1..leg_x at y=1
+  s.width = corner_x + 3;          // room for the feeder lane + clearance
+  s.height = leg_y + 2;
+  s.input = {1, 1};
+  s.output = {corner_x, leg_y};
+  uint32_t id = 1;
+  // First leg, fully seeded (these cells are frozen path from the start).
+  for (int32_t x = 1; x <= corner_x; ++x) {
+    s.blocks.emplace_back(BlockId{id++}, Vec2{x, 1});
+  }
+  // Partial column seed above the corner.
+  for (int32_t y = 2; y <= column_seed; ++y) {
+    s.blocks.emplace_back(BlockId{id++}, Vec2{corner_x, y});
+  }
+  // East feeder lane beside the column: enough for the remaining cells
+  // plus the final-carry spare.
+  const int32_t entries = leg_y - column_seed;
+  for (int32_t j = 0; j <= entries; ++j) {
+    s.blocks.emplace_back(BlockId{id++}, Vec2{corner_x + 1, 1 + j});
+  }
+  SB_ENSURES(validate(s).empty(), "lpath scenario must be valid");
+  return s;
+}
+
+Scenario make_rectangle_scenario(int32_t surface_w, int32_t surface_h,
+                                 Vec2 origin, int32_t w, int32_t h,
+                                 Vec2 input, Vec2 output) {
+  Scenario s;
+  s.name = fmt("rect{}x{}", w, h);
+  s.width = surface_w;
+  s.height = surface_h;
+  s.input = input;
+  s.output = output;
+  uint32_t next_id = 1;
+  for (int32_t y = 0; y < h; ++y) {
+    for (int32_t x = 0; x < w; ++x) {
+      s.blocks.emplace_back(BlockId{next_id++},
+                            Vec2{origin.x + x, origin.y + y});
+    }
+  }
+  return s;
+}
+
+namespace {
+
+Scenario try_random_blob(const BlobParams& params, Rng& rng) {
+  Scenario s;
+  s.name = "blob";
+  s.width = params.surface_width;
+  s.height = params.surface_height;
+  s.input = params.input;
+  s.output = params.output;
+
+  const Rect rect = bounding_rect(params.input, params.output);
+  const auto forbidden = [&](Vec2 p) {
+    if (p == params.output) return true;
+    if (!params.avoid_output_alignment || p == params.input) return false;
+    return rect.contains(p) &&
+           (p.x == params.output.x || p.y == params.output.y);
+  };
+
+  std::unordered_set<Vec2, Vec2Hash> blob{params.input};
+  std::vector<Vec2> cells{params.input};
+  const auto in_bounds = [&](Vec2 p) {
+    return p.x >= 0 && p.x < params.surface_width && p.y >= 0 &&
+           p.y < params.surface_height;
+  };
+
+  while (static_cast<int32_t>(blob.size()) < params.block_count) {
+    // Gather the frontier: empty legal cells adjacent to the blob.
+    std::vector<Vec2> frontier;
+    for (Vec2 p : cells) {
+      for (Direction d : all_directions()) {
+        const Vec2 q = p + delta(d);
+        if (in_bounds(q) && !blob.count(q) && !forbidden(q)) {
+          frontier.push_back(q);
+        }
+      }
+    }
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+    SB_ASSERT(!frontier.empty(),
+              "random blob cannot grow to ", params.block_count,
+              " blocks on a ", params.surface_width, "x",
+              params.surface_height, " surface");
+    // Compactness bias: prefer pockets (>= 2 occupied neighbours) so the
+    // blob stays locally two-dimensional and hence physically mobile.
+    std::vector<Vec2> pockets;
+    for (const Vec2 q : frontier) {
+      int neighbors = 0;
+      for (Direction d : all_directions()) neighbors += blob.count(q + delta(d)) ? 1 : 0;
+      if (neighbors >= 2) pockets.push_back(q);
+    }
+    const bool use_pockets =
+        !pockets.empty() && rng.next_bool(params.compactness);
+    const std::vector<Vec2>& pool = use_pockets ? pockets : frontier;
+    const Vec2 pick = pool[rng.pick_index(pool)];
+    blob.insert(pick);
+    cells.push_back(pick);
+  }
+
+  uint32_t next_id = 1;
+  std::sort(cells.begin(), cells.end());
+  for (Vec2 p : cells) {
+    s.blocks.emplace_back(BlockId{next_id++}, p);
+  }
+  return s;
+}
+
+}  // namespace
+
+Scenario random_blob_scenario(const BlobParams& params, Rng& rng) {
+  SB_EXPECTS(params.block_count >=
+                 shortest_path_cells(params.input, params.output),
+             "block_count must cover the shortest path");
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    Scenario s = try_random_blob(params, rng);
+    if (validate(s).empty()) return s;
+  }
+  SB_UNREACHABLE("random_blob_scenario failed to produce a valid scenario; "
+                 "parameters are too constrained");
+}
+
+}  // namespace sb::lat

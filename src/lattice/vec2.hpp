@@ -1,0 +1,79 @@
+#pragma once
+// Integer 2-D coordinates on the modular surface.
+//
+// Convention (paper §III): x is the column, 0 <= x < W, increasing to the
+// east (right); y is the row, 0 <= y < H, increasing to the north (up).
+// The paper's position components (B1, B2) map to (x, y).
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+namespace sb::lat {
+
+struct Vec2 {
+  int32_t x = 0;
+  int32_t y = 0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(int32_t x_, int32_t y_) : x(x_), y(y_) {}
+
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(Vec2 a, Vec2 b) { return !(a == b); }
+  /// Lexicographic (y, then x): row-major order, useful for deterministic
+  /// iteration.
+  friend constexpr bool operator<(Vec2 a, Vec2 b) {
+    return a.y != b.y ? a.y < b.y : a.x < b.x;
+  }
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  constexpr Vec2& operator+=(Vec2 other) {
+    x += other.x;
+    y += other.y;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << '(' << v.x << ',' << v.y << ')';
+  }
+};
+
+/// L1 distance — the "number of hops" metric of the paper's Eq (10).
+[[nodiscard]] constexpr int32_t manhattan(Vec2 a, Vec2 b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Chebyshev (L-inf) distance; used for sensing-radius computations.
+[[nodiscard]] constexpr int32_t chebyshev(Vec2 a, Vec2 b) {
+  const int32_t dx = std::abs(a.x - b.x);
+  const int32_t dy = std::abs(a.y - b.y);
+  return dx > dy ? dx : dy;
+}
+
+/// True when the two cells share a side (a lateral contact in hardware).
+[[nodiscard]] constexpr bool adjacent4(Vec2 a, Vec2 b) {
+  return manhattan(a, b) == 1;
+}
+
+struct Vec2Hash {
+  size_t operator()(Vec2 v) const {
+    // 2-D -> 1-D mix; coordinates are small so collisions are irrelevant.
+    const auto ux = static_cast<uint64_t>(static_cast<uint32_t>(v.x));
+    const auto uy = static_cast<uint64_t>(static_cast<uint32_t>(v.y));
+    uint64_t h = ux * 0x9E3779B97F4A7C15ULL ^ (uy + 0x7F4A7C15ULL);
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace sb::lat

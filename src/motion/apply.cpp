@@ -1,0 +1,71 @@
+#include "motion/apply.hpp"
+
+#include "util/assert.hpp"
+#include "util/fmt.hpp"
+
+namespace sb::motion {
+
+lat::Vec2 RuleApplication::subject_from() const {
+  SB_EXPECTS(rule != nullptr && subject_move < rule->moves().size());
+  return rule->world_cell(anchor, rule->moves()[subject_move].from);
+}
+
+lat::Vec2 RuleApplication::subject_to() const {
+  SB_EXPECTS(rule != nullptr && subject_move < rule->moves().size());
+  return rule->world_cell(anchor, rule->moves()[subject_move].to);
+}
+
+std::vector<std::pair<lat::Vec2, lat::Vec2>> RuleApplication::world_moves()
+    const {
+  SB_EXPECTS(rule != nullptr);
+  return rule->world_moves(anchor);
+}
+
+std::string RuleApplication::describe() const {
+  if (rule == nullptr) return "<empty application>";
+  return fmt("{}@{} moving {}->{}", rule->name(), anchor, subject_from(),
+             subject_to());
+}
+
+bool physically_valid(const lat::Grid& grid, const RuleApplication& app) {
+  SB_EXPECTS(app.rule != nullptr);
+  const GridView view{&grid};
+  if (!rule_applicable(*app.rule, view, app.anchor)) return false;
+  const auto moves = app.world_moves();
+  if (!lat::connected_after_moves(grid, moves)) return false;
+  if (single_line_after_moves(grid, moves)) return false;
+  return true;
+}
+
+void apply_to_grid(lat::Grid& grid, const RuleApplication& app) {
+  grid.move_simultaneously(app.world_moves());
+}
+
+bool single_line_after_moves(
+    const lat::Grid& grid,
+    const std::vector<std::pair<lat::Vec2, lat::Vec2>>& moves) {
+  if (grid.block_count() <= 1) return true;
+  bool same_x = true;
+  bool same_y = true;
+  bool first = true;
+  lat::Vec2 reference;
+  for (const auto& [id, pos] : grid.blocks()) {
+    lat::Vec2 p = pos;
+    for (const auto& [from, to] : moves) {
+      if (from == pos) {
+        p = to;
+        break;
+      }
+    }
+    if (first) {
+      reference = p;
+      first = false;
+    } else {
+      same_x &= p.x == reference.x;
+      same_y &= p.y == reference.y;
+    }
+  }
+  return same_x || same_y;
+}
+
+}  // namespace sb::motion

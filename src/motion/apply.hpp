@@ -1,0 +1,73 @@
+#pragma once
+// Candidate rule applications and their execution on the physical grid.
+//
+// A RuleApplication pins a rule to a world anchor and designates one of its
+// elementary moves as the *subject* — the elected block whose hop the rule
+// realizes; any other moves displace helper blocks (e.g. the carrier of a
+// carrying rule).
+
+#include <string>
+#include <vector>
+
+#include "lattice/connectivity.hpp"
+#include "lattice/grid.hpp"
+#include "motion/rule_library.hpp"
+#include "motion/validate.hpp"
+
+namespace sb::motion {
+
+struct RuleApplication {
+  const MotionRule* rule = nullptr;
+  /// World position of the rule matrix center.
+  lat::Vec2 anchor;
+  /// Index into rule->moves() of the subject (elected) block's move.
+  size_t subject_move = 0;
+
+  [[nodiscard]] lat::Vec2 subject_from() const;
+  [[nodiscard]] lat::Vec2 subject_to() const;
+
+  /// All elementary moves in world coordinates, time-ordered.
+  [[nodiscard]] std::vector<std::pair<lat::Vec2, lat::Vec2>> world_moves()
+      const;
+
+  /// Human-readable description, e.g. "carry_ES@(2,3) moving (2,3)->(3,3)".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Enumerates every application in which the block at `mover` is the
+/// subject of some elementary move and the rule validates against `view`
+/// (MM (x) MP plus surface bounds). Deterministic order: by library order,
+/// then move index.
+template <typename View>
+[[nodiscard]] std::vector<RuleApplication> enumerate_applications(
+    const RuleLibrary& library, const View& view, lat::Vec2 mover) {
+  std::vector<RuleApplication> out;
+  for (const MotionRule& rule : library.rules()) {
+    for (size_t i = 0; i < rule.moves().size(); ++i) {
+      const lat::Vec2 offset =
+          world_offset(rule.size(), rule.moves()[i].from);
+      const lat::Vec2 anchor = mover - offset;
+      if (rule_applicable(rule, view, anchor)) {
+        out.push_back(RuleApplication{&rule, anchor, i});
+      }
+    }
+  }
+  return out;
+}
+
+/// Physics oracle: applicability on the real grid plus the global
+/// constraints of Remark 1 — the configuration stays connected and does not
+/// degenerate to a single line (which could never move again).
+[[nodiscard]] bool physically_valid(const lat::Grid& grid,
+                                    const RuleApplication& app);
+
+/// Executes the application's moves atomically. The caller must have
+/// checked physically_valid().
+void apply_to_grid(lat::Grid& grid, const RuleApplication& app);
+
+/// True when all blocks would lie on one row or column after the moves.
+[[nodiscard]] bool single_line_after_moves(
+    const lat::Grid& grid,
+    const std::vector<std::pair<lat::Vec2, lat::Vec2>>& moves);
+
+}  // namespace sb::motion

@@ -1,0 +1,198 @@
+#include "motion/code_matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "motion/truth_table.hpp"
+#include "util/assert.hpp"
+#include "util/fmt.hpp"
+#include "util/string_util.hpp"
+
+namespace sb::motion {
+
+CodeMatrix::CodeMatrix(int32_t size, EventCode fill)
+    : size_(size),
+      codes_(static_cast<size_t>(size) * static_cast<size_t>(size), fill) {
+  SB_EXPECTS(size > 0 && size % 2 == 1,
+             "rule matrices must have odd positive size, got ", size);
+}
+
+size_t CodeMatrix::index(MatrixCoord mc) const {
+  SB_EXPECTS(contains(mc), "matrix coordinate (", mc.row, ",", mc.col,
+             ") outside ", size_, "x", size_);
+  return static_cast<size_t>(mc.row) * static_cast<size_t>(size_) +
+         static_cast<size_t>(mc.col);
+}
+
+EventCode CodeMatrix::at(MatrixCoord mc) const { return codes_[index(mc)]; }
+
+void CodeMatrix::set(MatrixCoord mc, EventCode code) {
+  codes_[index(mc)] = code;
+}
+
+CodeMatrix CodeMatrix::parse(const std::string& text) {
+  const std::vector<std::string> tokens = split_ws(text);
+  const auto count = tokens.size();
+  const auto size = static_cast<int32_t>(std::lround(std::sqrt(
+      static_cast<double>(count))));
+  if (count == 0 ||
+      static_cast<size_t>(size) * static_cast<size_t>(size) != count ||
+      size % 2 == 0) {
+    throw std::runtime_error(
+        fmt("motion matrix needs an odd perfect-square token count, got {}",
+            count));
+  }
+  CodeMatrix mm(size);
+  for (int32_t row = 0; row < size; ++row) {
+    for (int32_t col = 0; col < size; ++col) {
+      const std::string& token =
+          tokens[static_cast<size_t>(row) * static_cast<size_t>(size) +
+                 static_cast<size_t>(col)];
+      const auto value = sb::parse_int(token);
+      const auto code = value ? event_code_from_int(*value) : std::nullopt;
+      if (!code) {
+        throw std::runtime_error(
+            fmt("invalid event code '{}' in motion matrix", token));
+      }
+      mm.set(row, col, *code);
+    }
+  }
+  return mm;
+}
+
+CodeMatrix CodeMatrix::from_rows(const std::vector<std::vector<int>>& rows) {
+  const auto size = static_cast<int32_t>(rows.size());
+  CodeMatrix mm(size);
+  for (int32_t row = 0; row < size; ++row) {
+    SB_EXPECTS(static_cast<int32_t>(rows[static_cast<size_t>(row)].size()) ==
+                   size,
+               "motion matrix rows must be square");
+    for (int32_t col = 0; col < size; ++col) {
+      const auto code =
+          event_code_from_int(rows[static_cast<size_t>(row)]
+                                  [static_cast<size_t>(col)]);
+      SB_EXPECTS(code.has_value(), "invalid event code in from_rows");
+      mm.set(row, col, *code);
+    }
+  }
+  return mm;
+}
+
+std::string CodeMatrix::to_text() const {
+  std::ostringstream os;
+  for (int32_t row = 0; row < size_; ++row) {
+    for (int32_t col = 0; col < size_; ++col) {
+      if (col) os << ' ';
+      os << to_int(at(row, col));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+PresenceMatrix::PresenceMatrix(int32_t size)
+    : size_(size),
+      bits_(static_cast<size_t>(size) * static_cast<size_t>(size), 0) {
+  SB_EXPECTS(size > 0 && size % 2 == 1,
+             "presence matrices must have odd positive size, got ", size);
+}
+
+size_t PresenceMatrix::index(MatrixCoord mc) const {
+  SB_EXPECTS(mc.row >= 0 && mc.row < size_ && mc.col >= 0 && mc.col < size_,
+             "matrix coordinate (", mc.row, ",", mc.col, ") outside ", size_,
+             "x", size_);
+  return static_cast<size_t>(mc.row) * static_cast<size_t>(size_) +
+         static_cast<size_t>(mc.col);
+}
+
+bool PresenceMatrix::at(MatrixCoord mc) const { return bits_[index(mc)] != 0; }
+
+void PresenceMatrix::set(MatrixCoord mc, bool occupied) {
+  bits_[index(mc)] = occupied ? 1 : 0;
+}
+
+PresenceMatrix PresenceMatrix::from_rows(
+    const std::vector<std::vector<int>>& rows) {
+  const auto size = static_cast<int32_t>(rows.size());
+  PresenceMatrix mp(size);
+  for (int32_t row = 0; row < size; ++row) {
+    SB_EXPECTS(static_cast<int32_t>(rows[static_cast<size_t>(row)].size()) ==
+                   size,
+               "presence matrix rows must be square");
+    for (int32_t col = 0; col < size; ++col) {
+      const int bit =
+          rows[static_cast<size_t>(row)][static_cast<size_t>(col)];
+      SB_EXPECTS(bit == 0 || bit == 1, "presence entries must be 0 or 1");
+      mp.set(row, col, bit == 1);
+    }
+  }
+  return mp;
+}
+
+std::string PresenceMatrix::to_text() const {
+  std::ostringstream os;
+  for (int32_t row = 0; row < size_; ++row) {
+    for (int32_t col = 0; col < size_; ++col) {
+      if (col) os << ' ';
+      os << (at(row, col) ? 1 : 0);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+ValidationMatrix::ValidationMatrix(int32_t size)
+    : size_(size),
+      bits_(static_cast<size_t>(size) * static_cast<size_t>(size), 0) {
+  SB_EXPECTS(size > 0, "validation matrix size must be positive");
+}
+
+size_t ValidationMatrix::index(MatrixCoord mc) const {
+  SB_EXPECTS(mc.row >= 0 && mc.row < size_ && mc.col >= 0 && mc.col < size_,
+             "matrix coordinate outside validation matrix");
+  return static_cast<size_t>(mc.row) * static_cast<size_t>(size_) +
+         static_cast<size_t>(mc.col);
+}
+
+bool ValidationMatrix::at(MatrixCoord mc) const {
+  return bits_[index(mc)] != 0;
+}
+
+void ValidationMatrix::set(MatrixCoord mc, bool valid) {
+  bits_[index(mc)] = valid ? 1 : 0;
+}
+
+bool ValidationMatrix::all_valid() const {
+  for (uint8_t bit : bits_) {
+    if (!bit) return false;
+  }
+  return true;
+}
+
+std::string ValidationMatrix::to_text() const {
+  std::ostringstream os;
+  for (int32_t row = 0; row < size_; ++row) {
+    for (int32_t col = 0; col < size_; ++col) {
+      if (col) os << ' ';
+      os << (at(row, col) ? 1 : 0);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+ValidationMatrix combine(const CodeMatrix& mm, const PresenceMatrix& mp) {
+  SB_EXPECTS(mm.size() == mp.size(),
+             "MM (x) MP requires matrices of equal size, got ", mm.size(),
+             " and ", mp.size());
+  ValidationMatrix result(mm.size());
+  for (int32_t row = 0; row < mm.size(); ++row) {
+    for (int32_t col = 0; col < mm.size(); ++col) {
+      const MatrixCoord mc{row, col};
+      result.set(mc, motion_entry_valid(mp.at(mc), mm.at(mc)));
+    }
+  }
+  return result;
+}
+
+}  // namespace sb::motion

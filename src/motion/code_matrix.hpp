@@ -1,0 +1,171 @@
+#pragma once
+// Square matrices of event codes (the paper's Motion Matrix) and of
+// presence bits (the Presence Matrix), plus the coordinate conventions
+// shared by the rule engine.
+//
+// Matrix layout follows the paper's figures: row 0 is the NORTH row, rows
+// grow southward; column 0 is the WEST column, columns grow eastward. The
+// matrix center is anchored on a world cell; world offsets are therefore
+//   dx = col - center,   dy = center - row.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lattice/vec2.hpp"
+#include "motion/event_code.hpp"
+
+namespace sb::motion {
+
+/// A (row, col) position inside a rule matrix.
+struct MatrixCoord {
+  int32_t row = 0;
+  int32_t col = 0;
+
+  friend constexpr bool operator==(MatrixCoord a, MatrixCoord b) {
+    return a.row == b.row && a.col == b.col;
+  }
+  friend constexpr bool operator!=(MatrixCoord a, MatrixCoord b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(MatrixCoord a, MatrixCoord b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  }
+};
+
+/// World offset of a matrix cell relative to the anchored center.
+[[nodiscard]] constexpr lat::Vec2 world_offset(int32_t size, MatrixCoord mc) {
+  const int32_t center = size / 2;
+  return {mc.col - center, center - mc.row};
+}
+
+/// Inverse of world_offset().
+[[nodiscard]] constexpr MatrixCoord matrix_coord(int32_t size,
+                                                 lat::Vec2 offset) {
+  const int32_t center = size / 2;
+  return {center - offset.y, center + offset.x};
+}
+
+/// Square matrix of event codes — the paper's Motion Matrix MM.
+class CodeMatrix {
+ public:
+  /// Builds a size x size matrix filled with `fill` (default: don't-care).
+  explicit CodeMatrix(int32_t size, EventCode fill = EventCode::kAny);
+
+  [[nodiscard]] int32_t size() const { return size_; }
+  [[nodiscard]] int32_t center() const { return size_ / 2; }
+
+  [[nodiscard]] bool contains(MatrixCoord mc) const {
+    return mc.row >= 0 && mc.row < size_ && mc.col >= 0 && mc.col < size_;
+  }
+
+  [[nodiscard]] EventCode at(MatrixCoord mc) const;
+  [[nodiscard]] EventCode at(int32_t row, int32_t col) const {
+    return at(MatrixCoord{row, col});
+  }
+  void set(MatrixCoord mc, EventCode code);
+  void set(int32_t row, int32_t col, EventCode code) {
+    set(MatrixCoord{row, col}, code);
+  }
+
+  /// Parses the whitespace-separated row-major text used in capability XML
+  /// (e.g. "2 0 0\n2 4 3\n2 1 1"). The token count must be a perfect square
+  /// of an odd size. Throws std::runtime_error on malformed input.
+  [[nodiscard]] static CodeMatrix parse(const std::string& text);
+
+  /// Builds from explicit rows (row 0 = north); all rows must have equal,
+  /// odd length. Ints must be valid Table I codes.
+  [[nodiscard]] static CodeMatrix from_rows(
+      const std::vector<std::vector<int>>& rows);
+
+  /// Row-major text form, one row per line (round-trips through parse()).
+  [[nodiscard]] std::string to_text() const;
+
+  friend bool operator==(const CodeMatrix& a, const CodeMatrix& b) {
+    return a.size_ == b.size_ && a.codes_ == b.codes_;
+  }
+
+ private:
+  [[nodiscard]] size_t index(MatrixCoord mc) const;
+
+  int32_t size_;
+  std::vector<EventCode> codes_;
+};
+
+/// Square 0/1 matrix — the paper's Presence Matrix MP.
+class PresenceMatrix {
+ public:
+  explicit PresenceMatrix(int32_t size);
+
+  [[nodiscard]] int32_t size() const { return size_; }
+  [[nodiscard]] bool at(MatrixCoord mc) const;
+  [[nodiscard]] bool at(int32_t row, int32_t col) const {
+    return at(MatrixCoord{row, col});
+  }
+  void set(MatrixCoord mc, bool occupied);
+  void set(int32_t row, int32_t col, bool occupied) {
+    set(MatrixCoord{row, col}, occupied);
+  }
+
+  /// Builds from explicit 0/1 rows (row 0 = north).
+  [[nodiscard]] static PresenceMatrix from_rows(
+      const std::vector<std::vector<int>>& rows);
+
+  /// Captures the presence window of `view` centred on `anchor`.
+  /// View must provide occupied(Vec2) -> bool.
+  template <typename View>
+  [[nodiscard]] static PresenceMatrix capture(const View& view,
+                                              lat::Vec2 anchor, int32_t size) {
+    PresenceMatrix mp(size);
+    for (int32_t row = 0; row < size; ++row) {
+      for (int32_t col = 0; col < size; ++col) {
+        const MatrixCoord mc{row, col};
+        mp.set(mc, view.occupied(anchor + world_offset(size, mc)));
+      }
+    }
+    return mp;
+  }
+
+  [[nodiscard]] std::string to_text() const;
+
+  friend bool operator==(const PresenceMatrix& a, const PresenceMatrix& b) {
+    return a.size_ == b.size_ && a.bits_ == b.bits_;
+  }
+
+ private:
+  [[nodiscard]] size_t index(MatrixCoord mc) const;
+
+  int32_t size_;
+  std::vector<uint8_t> bits_;
+};
+
+/// Result of MM (x) MP: one validity bit per cell.
+class ValidationMatrix {
+ public:
+  explicit ValidationMatrix(int32_t size);
+
+  [[nodiscard]] int32_t size() const { return size_; }
+  [[nodiscard]] bool at(MatrixCoord mc) const;
+  [[nodiscard]] bool at(int32_t row, int32_t col) const {
+    return at(MatrixCoord{row, col});
+  }
+  void set(MatrixCoord mc, bool valid);
+
+  /// True when every entry is valid — the paper's "resulting matrix is
+  /// filled by 1".
+  [[nodiscard]] bool all_valid() const;
+
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  [[nodiscard]] size_t index(MatrixCoord mc) const;
+
+  int32_t size_;
+  std::vector<uint8_t> bits_;
+};
+
+/// The paper's MM (x) MP operator: applies Table II entry-wise.
+[[nodiscard]] ValidationMatrix combine(const CodeMatrix& mm,
+                                       const PresenceMatrix& mp);
+
+}  // namespace sb::motion

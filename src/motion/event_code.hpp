@@ -1,0 +1,90 @@
+#pragma once
+// Event codes of the paper's Table I: what happens at a cell during a block
+// motion. The numeric values match the paper exactly (they appear verbatim
+// in capability XML files).
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string_view>
+
+namespace sb::motion {
+
+enum class EventCode : uint8_t {
+  /// Code 0 (static): the cell remains empty.
+  kRemainsEmpty = 0,
+  /// Code 1 (static): the cell remains occupied by the same block.
+  kRemainsOccupied = 1,
+  /// Code 2 (static or dynamic): every possible event can occur here; the
+  /// cell has no incidence on the motion ("don't care").
+  kAny = 2,
+  /// Code 3 (dynamic): an empty cell becomes occupied.
+  kBecomesOccupied = 3,
+  /// Code 4 (dynamic): an occupied cell becomes empty.
+  kBecomesEmpty = 4,
+  /// Code 5 (dynamic): a new block occupies immediately a cell abandoned by
+  /// a previous block (handover).
+  kHandover = 5,
+};
+
+inline constexpr int kEventCodeCount = 6;
+
+/// True for codes describing a change of state (Table I "Dynamic" rows;
+/// code 2 counts as potentially dynamic).
+[[nodiscard]] constexpr bool is_dynamic(EventCode code) {
+  return code == EventCode::kAny || code == EventCode::kBecomesOccupied ||
+         code == EventCode::kBecomesEmpty || code == EventCode::kHandover;
+}
+
+/// True when a block leaves this cell as part of the motion (4 or 5).
+[[nodiscard]] constexpr bool is_move_source(EventCode code) {
+  return code == EventCode::kBecomesEmpty || code == EventCode::kHandover;
+}
+
+/// True when a block arrives at this cell as part of the motion (3 or 5).
+[[nodiscard]] constexpr bool is_move_destination(EventCode code) {
+  return code == EventCode::kBecomesOccupied || code == EventCode::kHandover;
+}
+
+/// True when the cell must initially hold a block (codes 1, 4, 5).
+[[nodiscard]] constexpr bool requires_block(EventCode code) {
+  return code == EventCode::kRemainsOccupied ||
+         code == EventCode::kBecomesEmpty || code == EventCode::kHandover;
+}
+
+/// True when the cell must initially be empty (codes 0, 3).
+[[nodiscard]] constexpr bool requires_empty(EventCode code) {
+  return code == EventCode::kRemainsEmpty ||
+         code == EventCode::kBecomesOccupied;
+}
+
+[[nodiscard]] constexpr std::optional<EventCode> event_code_from_int(
+    int64_t value) {
+  if (value < 0 || value >= kEventCodeCount) return std::nullopt;
+  return static_cast<EventCode>(value);
+}
+
+[[nodiscard]] constexpr int to_int(EventCode code) {
+  return static_cast<int>(code);
+}
+
+[[nodiscard]] constexpr std::string_view describe(EventCode code) {
+  switch (code) {
+    case EventCode::kRemainsEmpty: return "the cell remains empty";
+    case EventCode::kRemainsOccupied:
+      return "the cell remains occupied by the same block";
+    case EventCode::kAny: return "every possible event can occur";
+    case EventCode::kBecomesOccupied: return "an empty cell becomes occupied";
+    case EventCode::kBecomesEmpty: return "an occupied cell becomes empty";
+    case EventCode::kHandover:
+      return "a new block occupies immediately a cell abandoned by a "
+             "previous block";
+  }
+  return "?";
+}
+
+inline std::ostream& operator<<(std::ostream& os, EventCode code) {
+  return os << to_int(code);
+}
+
+}  // namespace sb::motion

@@ -1,0 +1,127 @@
+#include "motion/rule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/fmt.hpp"
+
+namespace sb::motion {
+
+MotionRule::MotionRule(std::string name, CodeMatrix matrix,
+                       std::vector<ElementaryMove> moves)
+    : name_(std::move(name)),
+      matrix_(std::move(matrix)),
+      moves_(std::move(moves)) {
+  SB_EXPECTS(!name_.empty(), "motion rules need a name");
+}
+
+std::vector<std::pair<lat::Vec2, lat::Vec2>> MotionRule::world_moves(
+    lat::Vec2 anchor) const {
+  std::vector<const ElementaryMove*> ordered;
+  ordered.reserve(moves_.size());
+  for (const auto& move : moves_) ordered.push_back(&move);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ElementaryMove* a, const ElementaryMove* b) {
+                     return a->time < b->time;
+                   });
+  std::vector<std::pair<lat::Vec2, lat::Vec2>> out;
+  out.reserve(ordered.size());
+  for (const ElementaryMove* move : ordered) {
+    out.emplace_back(world_cell(anchor, move->from),
+                     world_cell(anchor, move->to));
+  }
+  return out;
+}
+
+std::vector<std::string> MotionRule::semantic_issues() const {
+  std::vector<std::string> issues;
+  if (moves_.empty()) {
+    issues.push_back("rule has no elementary moves");
+  }
+  std::map<MatrixCoord, int> sources;
+  std::map<MatrixCoord, int> destinations;
+  for (const auto& move : moves_) {
+    if (!matrix_.contains(move.from) || !matrix_.contains(move.to)) {
+      issues.push_back("move references a cell outside the matrix");
+      continue;
+    }
+    const lat::Vec2 from_off = world_offset(matrix_.size(), move.from);
+    const lat::Vec2 to_off = world_offset(matrix_.size(), move.to);
+    if (manhattan(from_off, to_off) != 1) {
+      issues.push_back(
+          fmt("move from ({},{}) to ({},{}) is not a one-cell rectilinear "
+              "hop",
+              move.from.row, move.from.col, move.to.row, move.to.col));
+    }
+    ++sources[move.from];
+    ++destinations[move.to];
+    if (!is_move_source(matrix_.at(move.from))) {
+      issues.push_back(fmt(
+          "move starts at ({},{}) whose code {} is not a source (4 or 5)",
+          move.from.row, move.from.col, to_int(matrix_.at(move.from))));
+    }
+    if (!is_move_destination(matrix_.at(move.to))) {
+      issues.push_back(fmt(
+          "move ends at ({},{}) whose code {} is not a destination (3 or 5)",
+          move.to.row, move.to.col, to_int(matrix_.at(move.to))));
+    }
+  }
+  for (int32_t row = 0; row < matrix_.size(); ++row) {
+    for (int32_t col = 0; col < matrix_.size(); ++col) {
+      const MatrixCoord mc{row, col};
+      const EventCode code = matrix_.at(mc);
+      const int as_source = sources.count(mc) ? sources.at(mc) : 0;
+      const int as_dest = destinations.count(mc) ? destinations.at(mc) : 0;
+      const auto complain = [&](const char* what) {
+        issues.push_back(fmt("cell ({},{}) with code {} {}", row, col,
+                             to_int(code), what));
+      };
+      switch (code) {
+        case EventCode::kBecomesEmpty:  // 4: vacated, never refilled
+          if (as_source != 1) complain("must be the source of exactly one move");
+          if (as_dest != 0) complain("must not be a move destination");
+          break;
+        case EventCode::kBecomesOccupied:  // 3: filled, never vacated
+          if (as_dest != 1) {
+            complain("must be the destination of exactly one move");
+          }
+          if (as_source != 0) complain("must not be a move source");
+          break;
+        case EventCode::kHandover:  // 5: simultaneously vacated and refilled
+          if (as_source != 1 || as_dest != 1) {
+            complain("must be both vacated and refilled (handover)");
+          }
+          break;
+        case EventCode::kRemainsEmpty:
+        case EventCode::kRemainsOccupied:
+        case EventCode::kAny:
+          if (as_source != 0 || as_dest != 0) {
+            complain("is static and must take part in no move");
+          }
+          break;
+      }
+    }
+  }
+  return issues;
+}
+
+std::string MotionRule::canonical_key() const {
+  std::ostringstream os;
+  os << matrix_.to_text() << '|';
+  std::vector<ElementaryMove> ordered = moves_;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ElementaryMove& a, const ElementaryMove& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (!(a.from == b.from)) return a.from < b.from;
+              return a.to < b.to;
+            });
+  for (const auto& move : ordered) {
+    os << move.time << ':' << move.from.row << ',' << move.from.col << "->"
+       << move.to.row << ',' << move.to.col << ';';
+  }
+  return os.str();
+}
+
+}  // namespace sb::motion

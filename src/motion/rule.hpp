@@ -1,0 +1,76 @@
+#pragma once
+// A block-motion rule: a Motion Matrix plus the list of elementary moves it
+// performs (paper §IV and the <capability> vocabulary of Fig. 7).
+
+#include <string>
+#include <vector>
+
+#include "lattice/vec2.hpp"
+#include "motion/code_matrix.hpp"
+
+namespace sb::motion {
+
+/// One elementary displacement inside a rule. Moves with the same time
+/// execute simultaneously (the carrying rules move two blocks at time 0).
+struct ElementaryMove {
+  int32_t time = 0;
+  MatrixCoord from;
+  MatrixCoord to;
+
+  friend constexpr bool operator==(const ElementaryMove& a,
+                                   const ElementaryMove& b) {
+    return a.time == b.time && a.from == b.from && a.to == b.to;
+  }
+};
+
+class MotionRule {
+ public:
+  MotionRule(std::string name, CodeMatrix matrix,
+             std::vector<ElementaryMove> moves);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const CodeMatrix& matrix() const { return matrix_; }
+  [[nodiscard]] int32_t size() const { return matrix_.size(); }
+  [[nodiscard]] const std::vector<ElementaryMove>& moves() const {
+    return moves_;
+  }
+
+  /// World offset of a matrix cell when the matrix center sits on `anchor`.
+  [[nodiscard]] lat::Vec2 world_cell(lat::Vec2 anchor, MatrixCoord mc) const {
+    return anchor + world_offset(matrix_.size(), mc);
+  }
+
+  /// All elementary moves as world (from, to) pairs, ordered by time then
+  /// declaration order.
+  [[nodiscard]] std::vector<std::pair<lat::Vec2, lat::Vec2>> world_moves(
+      lat::Vec2 anchor) const;
+
+  /// Consistency problems between the matrix and the move list; empty means
+  /// the rule is well-formed. Checked:
+  ///  - every move goes from a source code (4/5) to a destination code (3/5)
+  ///  - every code-4 cell is the source of exactly one move and never a
+  ///    destination; dually for code-3 cells;
+  ///  - every code-5 cell is both vacated and refilled (handover);
+  ///  - moves are one-cell rectilinear hops;
+  ///  - static cells (0/1/2) take part in no move;
+  ///  - at least one move exists.
+  [[nodiscard]] std::vector<std::string> semantic_issues() const;
+
+  /// Canonical text form of matrix + moves; two rules with equal keys are
+  /// behaviourally identical regardless of their names. Used for library
+  /// deduplication.
+  [[nodiscard]] std::string canonical_key() const;
+
+  friend bool operator==(const MotionRule& a, const MotionRule& b) {
+    return a.matrix_ == b.matrix_ && a.moves_ == b.moves_;
+  }
+
+ private:
+  std::string name_;
+  CodeMatrix matrix_;
+  std::vector<ElementaryMove> moves_;
+};
+
+}  // namespace sb::motion

@@ -1,0 +1,94 @@
+#include "motion/transform.hpp"
+
+#include "util/assert.hpp"
+
+namespace sb::motion {
+
+// Derivation of the index maps: a matrix cell (r, c) has world offset
+// (dx, dy) = (c - m, m - r) with m = size/2. A clockwise world rotation
+// maps (dx, dy) -> (dy, -dx); substituting back gives r' = c and
+// c' = size - 1 - r. The mirrors negate dy (vertical) or dx (horizontal).
+
+MatrixCoord rotate_cw(int32_t size, MatrixCoord mc) {
+  return {mc.col, size - 1 - mc.row};
+}
+
+MatrixCoord mirror_vertical(int32_t size, MatrixCoord mc) {
+  return {size - 1 - mc.row, mc.col};
+}
+
+MatrixCoord mirror_horizontal(int32_t size, MatrixCoord mc) {
+  return {mc.row, size - 1 - mc.col};
+}
+
+namespace {
+
+template <typename CoordMap>
+CodeMatrix transform_matrix(const CodeMatrix& matrix, CoordMap map) {
+  CodeMatrix out(matrix.size());
+  for (int32_t row = 0; row < matrix.size(); ++row) {
+    for (int32_t col = 0; col < matrix.size(); ++col) {
+      const MatrixCoord mc{row, col};
+      out.set(map(matrix.size(), mc), matrix.at(mc));
+    }
+  }
+  return out;
+}
+
+template <typename CoordMap>
+MotionRule transform_rule(const MotionRule& rule, std::string name,
+                          CoordMap map) {
+  std::vector<ElementaryMove> moves;
+  moves.reserve(rule.moves().size());
+  for (const auto& move : rule.moves()) {
+    moves.push_back({move.time, map(rule.size(), move.from),
+                     map(rule.size(), move.to)});
+  }
+  MotionRule out(std::move(name), transform_matrix(rule.matrix(), map),
+                 std::move(moves));
+  SB_ENSURES(out.semantic_issues().empty(),
+             "transforming a well-formed rule must keep it well-formed");
+  return out;
+}
+
+}  // namespace
+
+CodeMatrix rotate_cw(const CodeMatrix& matrix) {
+  return transform_matrix(
+      matrix, [](int32_t size, MatrixCoord mc) { return rotate_cw(size, mc); });
+}
+
+CodeMatrix mirror_vertical(const CodeMatrix& matrix) {
+  return transform_matrix(matrix, [](int32_t size, MatrixCoord mc) {
+    return mirror_vertical(size, mc);
+  });
+}
+
+CodeMatrix mirror_horizontal(const CodeMatrix& matrix) {
+  return transform_matrix(matrix, [](int32_t size, MatrixCoord mc) {
+    return mirror_horizontal(size, mc);
+  });
+}
+
+MotionRule rotate_cw(const MotionRule& rule, std::string name) {
+  return transform_rule(rule, std::move(name),
+                        [](int32_t size, MatrixCoord mc) {
+                          return rotate_cw(size, mc);
+                        });
+}
+
+MotionRule mirror_vertical(const MotionRule& rule, std::string name) {
+  return transform_rule(rule, std::move(name),
+                        [](int32_t size, MatrixCoord mc) {
+                          return mirror_vertical(size, mc);
+                        });
+}
+
+MotionRule mirror_horizontal(const MotionRule& rule, std::string name) {
+  return transform_rule(rule, std::move(name),
+                        [](int32_t size, MatrixCoord mc) {
+                          return mirror_horizontal(size, mc);
+                        });
+}
+
+}  // namespace sb::motion

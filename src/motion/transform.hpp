@@ -1,0 +1,29 @@
+#pragma once
+// Symmetry transforms on rules (paper §IV: "block motions can be derived
+// via symmetry or rotation of a selected block motion", Fig. 4).
+//
+// The transforms act on the world plane: rotate_cw turns the rule 90
+// degrees clockwise (a motion to the east becomes a motion to the south);
+// mirror_vertical flips north<->south (the paper's "vertical symmetry");
+// mirror_horizontal flips east<->west.
+
+#include "motion/rule.hpp"
+
+namespace sb::motion {
+
+[[nodiscard]] CodeMatrix rotate_cw(const CodeMatrix& matrix);
+[[nodiscard]] CodeMatrix mirror_vertical(const CodeMatrix& matrix);
+[[nodiscard]] CodeMatrix mirror_horizontal(const CodeMatrix& matrix);
+
+[[nodiscard]] MatrixCoord rotate_cw(int32_t size, MatrixCoord mc);
+[[nodiscard]] MatrixCoord mirror_vertical(int32_t size, MatrixCoord mc);
+[[nodiscard]] MatrixCoord mirror_horizontal(int32_t size, MatrixCoord mc);
+
+/// Rotated/mirrored copies of a rule under the given name.
+[[nodiscard]] MotionRule rotate_cw(const MotionRule& rule, std::string name);
+[[nodiscard]] MotionRule mirror_vertical(const MotionRule& rule,
+                                         std::string name);
+[[nodiscard]] MotionRule mirror_horizontal(const MotionRule& rule,
+                                           std::string name);
+
+}  // namespace sb::motion

@@ -1,0 +1,32 @@
+#pragma once
+// The validation truth table of the paper's Table II.
+//
+//   Motion code:      0  1  2  3  4  5
+//   Presence 0 row:   1  0  1  1  0  0
+//   Presence 1 row:   0  1  1  0  1  1
+//
+// Entry (p, c) is true when event code c is compatible with initial cell
+// presence p. The MM (x) MP operator applies this table entry-wise.
+
+#include <array>
+
+#include "motion/event_code.hpp"
+
+namespace sb::motion {
+
+/// Table II, exactly as printed in the paper.
+inline constexpr std::array<std::array<bool, kEventCodeCount>, 2>
+    kMotionTruthTable{{
+        {true, false, true, true, false, false},   // presence 0 (empty)
+        {false, true, true, false, true, true},    // presence 1 (occupied)
+    }};
+
+/// True when `code` is a valid event for a cell whose initial presence is
+/// `occupied`.
+[[nodiscard]] constexpr bool motion_entry_valid(bool occupied,
+                                                EventCode code) {
+  return kMotionTruthTable[occupied ? 1u : 0u]
+                          [static_cast<size_t>(to_int(code))];
+}
+
+}  // namespace sb::motion

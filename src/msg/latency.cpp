@@ -1,0 +1,55 @@
+#include "msg/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/fmt.hpp"
+
+namespace sb::msg {
+
+LatencyModel LatencyModel::fixed(Ticks value) {
+  SB_EXPECTS(value >= 1, "latency must be at least one tick");
+  return LatencyModel(Kind::kFixed, static_cast<double>(value), 0.0);
+}
+
+LatencyModel LatencyModel::uniform(Ticks lo, Ticks hi) {
+  SB_EXPECTS(lo >= 1 && lo <= hi, "uniform latency needs 1 <= lo <= hi");
+  return LatencyModel(Kind::kUniform, static_cast<double>(lo),
+                      static_cast<double>(hi));
+}
+
+LatencyModel LatencyModel::exponential(double mean) {
+  SB_EXPECTS(mean >= 1.0, "exponential latency mean must be >= 1 tick");
+  return LatencyModel(Kind::kExponential, mean, 0.0);
+}
+
+Ticks LatencyModel::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return static_cast<Ticks>(a_);
+    case Kind::kUniform:
+      return static_cast<Ticks>(
+          rng.next_in(static_cast<int64_t>(a_), static_cast<int64_t>(b_)));
+    case Kind::kExponential: {
+      const double draw = rng.next_exponential(a_);
+      return std::max<Ticks>(1, static_cast<Ticks>(std::llround(draw)));
+    }
+  }
+  SB_UNREACHABLE();
+}
+
+std::string LatencyModel::describe() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return fmt("fixed({})", static_cast<Ticks>(a_));
+    case Kind::kUniform:
+      return fmt("uniform({},{})", static_cast<Ticks>(a_),
+                 static_cast<Ticks>(b_));
+    case Kind::kExponential:
+      return fmt("exponential(mean={})", a_);
+  }
+  return "?";
+}
+
+}  // namespace sb::msg

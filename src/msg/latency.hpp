@@ -1,0 +1,44 @@
+#pragma once
+// Link latency models.
+//
+// Assumption 3 of the paper only requires communications to complete in
+// finite time; the simulator lets experiments choose how that time is
+// distributed. All models produce at least 1 tick so causality is strict.
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace sb::msg {
+
+/// Simulated-time duration in ticks (the simulator does not prescribe a
+/// physical unit; benches treat 1 tick = 1 microsecond for readability).
+using Ticks = uint64_t;
+
+class LatencyModel {
+ public:
+  /// Every message takes exactly `value` ticks.
+  [[nodiscard]] static LatencyModel fixed(Ticks value);
+
+  /// Uniform in [lo, hi].
+  [[nodiscard]] static LatencyModel uniform(Ticks lo, Ticks hi);
+
+  /// Exponential with the given mean (rounded to ticks, min 1) — a heavy
+  /// tail that exercises the asynchronous-election code paths.
+  [[nodiscard]] static LatencyModel exponential(double mean);
+
+  [[nodiscard]] Ticks sample(Rng& rng) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  enum class Kind { kFixed, kUniform, kExponential };
+  LatencyModel(Kind kind, double a, double b) : kind_(kind), a_(a), b_(b) {}
+
+  Kind kind_;
+  double a_;
+  double b_;
+};
+
+}  // namespace sb::msg

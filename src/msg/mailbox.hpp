@@ -1,0 +1,87 @@
+#pragma once
+// Per-side communication bookkeeping of a block (paper Fig. 8: one buffer
+// per lateral port, plus the Neighbor Table NT).
+
+#include <array>
+#include <cstdint>
+
+#include "lattice/block_id.hpp"
+#include "lattice/direction.hpp"
+
+namespace sb::msg {
+
+struct SideCounters {
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t messages_dropped = 0;  // contact broke while the message was in flight
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// The four directional buffers of Fig. 8, reduced to traffic counters: the
+/// simulator dispatches arrivals immediately (process-to-completion), so
+/// queue depth never exceeds one and only the flow statistics are
+/// interesting.
+class Mailbox {
+ public:
+  void record_send(lat::Direction side, size_t bytes) {
+    auto& c = side_(side);
+    ++c.messages_sent;
+    c.bytes_sent += bytes;
+  }
+  void record_receive(lat::Direction side, size_t bytes) {
+    auto& c = side_(side);
+    ++c.messages_received;
+    c.bytes_received += bytes;
+  }
+  void record_drop(lat::Direction side) { ++side_(side).messages_dropped; }
+
+  [[nodiscard]] const SideCounters& side(lat::Direction d) const {
+    return counters_[static_cast<size_t>(d)];
+  }
+
+  [[nodiscard]] uint64_t total_sent() const {
+    uint64_t n = 0;
+    for (const auto& c : counters_) n += c.messages_sent;
+    return n;
+  }
+  [[nodiscard]] uint64_t total_received() const {
+    uint64_t n = 0;
+    for (const auto& c : counters_) n += c.messages_received;
+    return n;
+  }
+  [[nodiscard]] uint64_t total_dropped() const {
+    uint64_t n = 0;
+    for (const auto& c : counters_) n += c.messages_dropped;
+    return n;
+  }
+
+ private:
+  SideCounters& side_(lat::Direction d) {
+    return counters_[static_cast<size_t>(d)];
+  }
+  std::array<SideCounters, lat::kDirectionCount> counters_{};
+};
+
+/// The Neighbor Table NT of Fig. 8: which block is attached on each side.
+class NeighborTable {
+ public:
+  [[nodiscard]] lat::BlockId neighbor(lat::Direction d) const {
+    return table_[static_cast<size_t>(d)];
+  }
+  void set_neighbor(lat::Direction d, lat::BlockId id) {
+    table_[static_cast<size_t>(d)] = id;
+  }
+  void clear(lat::Direction d) { set_neighbor(d, lat::kInvalidBlock); }
+
+  [[nodiscard]] int attached_count() const {
+    int n = 0;
+    for (const auto id : table_) n += id.valid() ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::array<lat::BlockId, lat::kDirectionCount> table_{};
+};
+
+}  // namespace sb::msg

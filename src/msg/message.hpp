@@ -1,0 +1,37 @@
+#pragma once
+// Message abstraction for inter-block communication.
+//
+// Blocks exchange messages only across lateral contacts (paper Fig. 9).
+// Concrete message types (Activate, Ack, Select, ...) live with the
+// algorithm in src/core; this layer only defines the envelope.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace sb::msg {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Stable kind tag, e.g. "Activate"; used for statistics (the paper's
+  /// Remark 3 counts messages) and debugging.
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+
+  /// Deep copy. Messages are value-like: flooding forwards clones.
+  [[nodiscard]] virtual std::unique_ptr<Message> clone() const = 0;
+
+  /// Estimated payload size in bytes (excluding the envelope); used for
+  /// bandwidth accounting in the mailbox counters.
+  [[nodiscard]] virtual size_t payload_bytes() const { return 0; }
+
+  /// One-line rendering for traces.
+  [[nodiscard]] virtual std::string describe() const {
+    return std::string(kind());
+  }
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+}  // namespace sb::msg

@@ -1,0 +1,48 @@
+#pragma once
+// Discrete events. The simulator is a classic event-driven core (the
+// paper's VisibleSim "mixes a discrete-event core simulator with
+// discrete-time functionalities"); every behaviour — message delivery,
+// timers, motion completion — is an Event subclass.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace sb::sim {
+
+class Simulator;
+
+class Event {
+ public:
+  explicit Event(SimTime time) : time_(time) {}
+  virtual ~Event() = default;
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  [[nodiscard]] SimTime time() const { return time_; }
+
+  /// Monotone insertion sequence; breaks timestamp ties deterministically
+  /// (same seed -> identical execution order). Assigned by the queue.
+  [[nodiscard]] uint64_t seq() const { return seq_; }
+  void set_seq(uint64_t seq) { seq_ = seq; }
+
+  /// Stable tag for statistics ("Delivery", "Timer", ...).
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+
+  virtual void execute(Simulator& sim) = 0;
+
+ private:
+  SimTime time_;
+  uint64_t seq_ = 0;
+};
+
+/// Total order on events: by time, then insertion sequence.
+[[nodiscard]] inline bool event_before(const Event& a, const Event& b) {
+  if (a.time() != b.time()) return a.time() < b.time();
+  return a.seq() < b.seq();
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,73 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sb::sim {
+
+namespace {
+// std::push_heap builds a max-heap; invert the order for a min-queue.
+const auto kHeapLater = [](const std::unique_ptr<Event>& a,
+                           const std::unique_ptr<Event>& b) {
+  return event_before(*b, *a);
+};
+}  // namespace
+
+void BinaryHeapEventQueue::push(std::unique_ptr<Event> event) {
+  SB_EXPECTS(event != nullptr);
+  event->set_seq(next_seq_++);
+  heap_.push_back(std::move(event));
+  std::push_heap(heap_.begin(), heap_.end(), kHeapLater);
+}
+
+std::unique_ptr<Event> BinaryHeapEventQueue::pop() {
+  SB_EXPECTS(!heap_.empty(), "pop from empty event queue");
+  std::pop_heap(heap_.begin(), heap_.end(), kHeapLater);
+  std::unique_ptr<Event> event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
+}
+
+const Event* BinaryHeapEventQueue::peek() const {
+  return heap_.empty() ? nullptr : heap_.front().get();
+}
+
+void BucketMapEventQueue::push(std::unique_ptr<Event> event) {
+  SB_EXPECTS(event != nullptr);
+  event->set_seq(next_seq_++);
+  buckets_[event->time()].push_back(std::move(event));
+  ++size_;
+}
+
+std::unique_ptr<Event> BucketMapEventQueue::pop() {
+  SB_EXPECTS(size_ > 0, "pop from empty event queue");
+  auto it = buckets_.begin();
+  auto& bucket = it->second;
+  // Buckets are FIFO by construction (seq is monotone), so the front is the
+  // earliest; erase from the front via index bookkeeping would be O(n), so
+  // keep a rotating cursor instead: swap-pop is incorrect for FIFO order,
+  // and buckets are short, so an O(bucket) front erase is fine.
+  std::unique_ptr<Event> event = std::move(bucket.front());
+  bucket.erase(bucket.begin());
+  if (bucket.empty()) buckets_.erase(it);
+  --size_;
+  return event;
+}
+
+const Event* BucketMapEventQueue::peek() const {
+  if (size_ == 0) return nullptr;
+  return buckets_.begin()->second.front().get();
+}
+
+std::unique_ptr<EventQueue> make_event_queue(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kBinaryHeap:
+      return std::make_unique<BinaryHeapEventQueue>();
+    case QueueKind::kBucketMap:
+      return std::make_unique<BucketMapEventQueue>();
+  }
+  SB_UNREACHABLE();
+}
+
+}  // namespace sb::sim

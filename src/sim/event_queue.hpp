@@ -1,0 +1,69 @@
+#pragma once
+// Pending-event set implementations.
+//
+// Two interchangeable structures back the simulator: a binary heap (the
+// default) and a time-bucketed ordered map. bench_ablations compares their
+// throughput; the VisibleSim paper's 650k events/s claim is sensitive to
+// exactly this choice.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace sb::sim {
+
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+
+  /// Takes ownership; assigns the tie-breaking sequence number.
+  virtual void push(std::unique_ptr<Event> event) = 0;
+
+  /// Removes and returns the earliest event (time, then seq). Queue must be
+  /// non-empty.
+  virtual std::unique_ptr<Event> pop() = 0;
+
+  /// Earliest event without removing it; nullptr when empty.
+  [[nodiscard]] virtual const Event* peek() const = 0;
+
+  [[nodiscard]] virtual size_t size() const = 0;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ protected:
+  uint64_t next_seq_ = 0;
+};
+
+/// Array-backed binary min-heap.
+class BinaryHeapEventQueue final : public EventQueue {
+ public:
+  void push(std::unique_ptr<Event> event) override;
+  std::unique_ptr<Event> pop() override;
+  [[nodiscard]] const Event* peek() const override;
+  [[nodiscard]] size_t size() const override { return heap_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Event>> heap_;
+};
+
+/// Ordered map from timestamp to FIFO bucket. Pops are O(1) amortized when
+/// many events share timestamps (synchronous phases); pushes pay the map
+/// lookup.
+class BucketMapEventQueue final : public EventQueue {
+ public:
+  void push(std::unique_ptr<Event> event) override;
+  std::unique_ptr<Event> pop() override;
+  [[nodiscard]] const Event* peek() const override;
+  [[nodiscard]] size_t size() const override { return size_; }
+
+ private:
+  std::map<SimTime, std::vector<std::unique_ptr<Event>>> buckets_;
+  size_t size_ = 0;
+};
+
+enum class QueueKind { kBinaryHeap, kBucketMap };
+
+[[nodiscard]] std::unique_ptr<EventQueue> make_event_queue(QueueKind kind);
+
+}  // namespace sb::sim

@@ -1,0 +1,97 @@
+#pragma once
+// Module: the per-block program (VisibleSim calls this a "BlockCode").
+//
+// A module interacts with the world exclusively through the protected
+// services below — sending messages across lateral contacts, timers,
+// sensing, and requesting motions. Subclasses implement the on_* hooks.
+
+#include <memory>
+
+#include "lattice/block_id.hpp"
+#include "lattice/direction.hpp"
+#include "lattice/neighborhood.hpp"
+#include "lattice/vec2.hpp"
+#include "motion/apply.hpp"
+#include "msg/mailbox.hpp"
+#include "msg/message.hpp"
+#include "sim/time.hpp"
+
+namespace sb::sim {
+
+class Simulator;
+
+class Module {
+ public:
+  explicit Module(lat::BlockId id) : id_(id) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] lat::BlockId id() const { return id_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+
+  [[nodiscard]] const msg::Mailbox& mailbox() const { return mailbox_; }
+  [[nodiscard]] const msg::NeighborTable& neighbor_table() const {
+    return neighbors_;
+  }
+
+  // -- hooks (called by the simulator) -------------------------------------
+
+  /// Called once when the simulation starts.
+  virtual void on_start() {}
+
+  /// A message arrived on the given side (the side of *this* block facing
+  /// the sender).
+  virtual void on_message(lat::Direction from_side, const msg::Message& m) = 0;
+
+  /// A timer set with set_timer() fired.
+  virtual void on_timer(uint64_t tag) { (void)tag; }
+
+  /// A motion this module requested has completed; position() is updated.
+  virtual void on_motion_complete() {}
+
+  /// The block attached on `side` changed (kInvalidBlock = detached).
+  virtual void on_neighbor_change(lat::Direction side, lat::BlockId now) {
+    (void)side;
+    (void)now;
+  }
+
+ protected:
+  // -- services (valid once the module is registered) ----------------------
+
+  [[nodiscard]] Simulator& sim() const;
+
+  /// Current physical position (the block's position register).
+  [[nodiscard]] lat::Vec2 position() const;
+
+  /// Sends across the lateral contact on `side`; silently dropped (and
+  /// counted) when no neighbor is attached there.
+  void send(lat::Direction side, msg::MessagePtr message);
+
+  /// Sends a clone of `message` to every attached neighbor, except the one
+  /// on `skip` if given.
+  void broadcast(const msg::Message& message,
+                 std::optional<lat::Direction> skip = std::nullopt);
+
+  /// Schedules on_timer(tag) after `delay` ticks.
+  void set_timer(Ticks delay, uint64_t tag);
+
+  /// Requests execution of a motion (this module must be the subject).
+  /// on_motion_complete() fires when it lands.
+  void start_motion(const motion::RuleApplication& app);
+
+  /// Sensing window centred on this block (radius from the rule library).
+  [[nodiscard]] lat::Neighborhood sense() const;
+
+ private:
+  friend class Simulator;
+
+  lat::BlockId id_;
+  bool alive_ = true;
+  Simulator* host_ = nullptr;
+  msg::Mailbox mailbox_;
+  msg::NeighborTable neighbors_;
+};
+
+}  // namespace sb::sim

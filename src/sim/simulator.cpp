@@ -1,0 +1,319 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/log.hpp"
+
+namespace sb::sim {
+
+std::string_view to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kQueueEmpty: return "queue-empty";
+    case StopReason::kEventLimit: return "event-limit";
+    case StopReason::kTimeLimit: return "time-limit";
+    case StopReason::kHalted: return "halted";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Event types
+// ---------------------------------------------------------------------------
+
+class StartEvent final : public Event {
+ public:
+  StartEvent(SimTime time, lat::BlockId target)
+      : Event(time), target_(target) {}
+  [[nodiscard]] std::string_view kind() const override { return "Start"; }
+  void execute(Simulator& sim) override {
+    Module* module = sim.find_module(target_);
+    if (module != nullptr && module->alive()) module->on_start();
+  }
+
+ private:
+  lat::BlockId target_;
+};
+
+class TimerEvent final : public Event {
+ public:
+  TimerEvent(SimTime time, lat::BlockId target, uint64_t tag)
+      : Event(time), target_(target), tag_(tag) {}
+  [[nodiscard]] std::string_view kind() const override { return "Timer"; }
+  void execute(Simulator& sim) override {
+    Module* module = sim.find_module(target_);
+    if (module != nullptr && module->alive()) module->on_timer(tag_);
+  }
+
+ private:
+  lat::BlockId target_;
+  uint64_t tag_;
+};
+
+class DeliveryEvent final : public Event {
+ public:
+  DeliveryEvent(SimTime time, lat::BlockId sender, lat::BlockId receiver,
+                msg::MessagePtr message)
+      : Event(time),
+        sender_(sender),
+        receiver_(receiver),
+        message_(std::move(message)) {}
+  [[nodiscard]] std::string_view kind() const override { return "Delivery"; }
+  void execute(Simulator& sim) override {
+    sim.deliver(sender_, receiver_, *message_);
+  }
+
+ private:
+  lat::BlockId sender_;
+  lat::BlockId receiver_;
+  msg::MessagePtr message_;
+};
+
+class MotionCompleteEvent final : public Event {
+ public:
+  MotionCompleteEvent(SimTime time, lat::BlockId subject,
+                      motion::RuleApplication app)
+      : Event(time), subject_(subject), app_(app) {}
+  [[nodiscard]] std::string_view kind() const override {
+    return "MotionComplete";
+  }
+  void execute(Simulator& sim) override {
+    sim.complete_motion(subject_, app_);
+  }
+
+ private:
+  lat::BlockId subject_;
+  motion::RuleApplication app_;
+};
+
+// ---------------------------------------------------------------------------
+// Module services (need the full Simulator definition)
+// ---------------------------------------------------------------------------
+
+Simulator& Module::sim() const {
+  SB_EXPECTS(host_ != nullptr, "module ", id_, " is not registered");
+  return *host_;
+}
+
+lat::Vec2 Module::position() const {
+  return sim().world().grid().position_of(id_);
+}
+
+void Module::send(lat::Direction side, msg::MessagePtr message) {
+  sim().send_from(*this, side, std::move(message));
+}
+
+void Module::broadcast(const msg::Message& message,
+                       std::optional<lat::Direction> skip) {
+  for (lat::Direction d : lat::all_directions()) {
+    if (skip && *skip == d) continue;
+    if (neighbors_.neighbor(d).valid()) {
+      sim().send_from(*this, d, message.clone());
+    }
+  }
+}
+
+void Module::set_timer(Ticks delay, uint64_t tag) {
+  sim().timer_for(*this, delay, tag);
+}
+
+void Module::start_motion(const motion::RuleApplication& app) {
+  sim().start_motion_for(*this, app);
+}
+
+lat::Neighborhood Module::sense() const {
+  return sim().world().sense(position());
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+Simulator::Simulator(World world, SimConfig config)
+    : world_(std::move(world)),
+      config_(config),
+      rng_(config.seed),
+      queue_(make_event_queue(config.queue)) {}
+
+Module& Simulator::add_module(std::unique_ptr<Module> module) {
+  SB_EXPECTS(module != nullptr);
+  const lat::BlockId id = module->id();
+  SB_EXPECTS(world_.grid().contains(id), "block ", id,
+             " must be placed on the grid before registering its module");
+  SB_EXPECTS(modules_.count(id) == 0, "module for ", id,
+             " is already registered");
+  module->host_ = this;
+  // Initialize the neighbor table from the physical contacts.
+  const lat::Vec2 pos = world_.grid().position_of(id);
+  for (lat::Direction d : lat::all_directions()) {
+    module->neighbors_.set_neighbor(d, world_.grid().at(pos + delta(d)));
+  }
+  auto& slot = modules_[id];
+  slot = std::move(module);
+  return *slot;
+}
+
+Module* Simulator::find_module(lat::BlockId id) {
+  const auto it = modules_.find(id);
+  return it == modules_.end() ? nullptr : it->second.get();
+}
+
+void Simulator::kill_module(lat::BlockId id) {
+  Module* module = find_module(id);
+  SB_EXPECTS(module != nullptr, "cannot kill unknown block ", id);
+  module->alive_ = false;
+  log_debug("block {} killed at t={}", id.value, now_);
+}
+
+void Simulator::schedule(SimTime when, std::unique_ptr<Event> event) {
+  SB_EXPECTS(when >= now_, "cannot schedule into the past (t=", when,
+             " < now=", now_, ")");
+  queue_->push(std::move(event));
+}
+
+void Simulator::start_all_modules() {
+  for (auto& [id, module] : modules_) {
+    schedule(now_, std::make_unique<StartEvent>(now_, id));
+  }
+}
+
+void Simulator::count_event(const Event& event) {
+  ++stats_.events_processed;
+  if (config_.detailed_stats) ++stats_.events_by_kind[event.kind()];
+}
+
+bool Simulator::step() {
+  if (queue_->empty()) return false;
+  std::unique_ptr<Event> event = queue_->pop();
+  SB_ASSERT(event->time() >= now_, "event time ran backwards");
+  now_ = event->time();
+  count_event(*event);
+  event->execute(*this);
+  return true;
+}
+
+StopReason Simulator::run(RunLimits limits) {
+  uint64_t processed = 0;
+  while (!halted_) {
+    const Event* next = queue_->peek();
+    if (next == nullptr) return StopReason::kQueueEmpty;
+    if (next->time() > limits.until) return StopReason::kTimeLimit;
+    if (processed >= limits.max_events) return StopReason::kEventLimit;
+    step();
+    ++processed;
+  }
+  return StopReason::kHalted;
+}
+
+void Simulator::send_from(Module& sender, lat::Direction side,
+                          msg::MessagePtr message) {
+  SB_EXPECTS(message != nullptr);
+  const size_t bytes = message->payload_bytes();
+  sender.mailbox_.record_send(side, bytes);
+  ++stats_.messages_sent;
+  if (config_.detailed_stats) ++stats_.messages_by_kind[message->kind()];
+
+  const lat::BlockId receiver = sender.neighbors_.neighbor(side);
+  if (!receiver.valid()) {
+    sender.mailbox_.record_drop(side);
+    ++stats_.messages_dropped;
+    return;
+  }
+  const Ticks latency = config_.latency.sample(rng_);
+  schedule(now_ + latency,
+           std::make_unique<DeliveryEvent>(now_ + latency, sender.id(),
+                                           receiver, std::move(message)));
+}
+
+void Simulator::deliver(lat::BlockId sender, lat::BlockId receiver,
+                        const msg::Message& message) {
+  Module* target = find_module(receiver);
+  if (target == nullptr || !target->alive()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  // The physical contact must still exist: both blocks on the surface and
+  // laterally adjacent (messages in flight are lost when a block departs).
+  const lat::Grid& grid = world_.grid();
+  if (!grid.contains(sender) || !grid.contains(receiver)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const lat::Vec2 sender_pos = grid.position_of(sender);
+  const lat::Vec2 receiver_pos = grid.position_of(receiver);
+  const auto from_side = lat::direction_from(receiver_pos, sender_pos);
+  if (!from_side) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  target->mailbox_.record_receive(*from_side, message.payload_bytes());
+  ++stats_.messages_delivered;
+  target->on_message(*from_side, message);
+}
+
+void Simulator::timer_for(Module& module, Ticks delay, uint64_t tag) {
+  schedule(now_ + delay,
+           std::make_unique<TimerEvent>(now_ + delay, module.id(), tag));
+}
+
+void Simulator::start_motion_for(Module& subject,
+                                 const motion::RuleApplication& app) {
+  SB_EXPECTS(app.subject_from() ==
+                 world_.grid().position_of(subject.id()),
+             "block ", subject.id(), " is not the subject of ",
+             app.describe());
+  SB_EXPECTS(world_.can_apply(app), "physically invalid motion requested: ",
+             app.describe());
+  ++stats_.motions_started;
+  const SimTime lands = now_ + config_.motion_duration;
+  schedule(lands,
+           std::make_unique<MotionCompleteEvent>(lands, subject.id(), app));
+}
+
+void Simulator::complete_motion(lat::BlockId subject,
+                                const motion::RuleApplication& app) {
+  // Physics may have changed since the request was validated; re-check.
+  SB_ASSERT(world_.can_apply(app),
+            "motion became invalid while executing: ", app.describe(),
+            " (concurrent motions are not supported)");
+  const auto moves = app.world_moves();
+  world_.apply(app);
+  ++stats_.motions_completed;
+
+  std::vector<lat::Vec2> touched;
+  for (const auto& [from, to] : moves) {
+    touched.push_back(from);
+    touched.push_back(to);
+  }
+  refresh_neighbors_around(touched);
+
+  Module* module = find_module(subject);
+  if (module != nullptr && module->alive()) module->on_motion_complete();
+}
+
+void Simulator::refresh_neighbors_around(const std::vector<lat::Vec2>& cells) {
+  // Collect every block adjacent to a touched cell (or on one), then diff
+  // its stored neighbor table against the grid.
+  std::set<lat::BlockId> affected;
+  for (const lat::Vec2 cell : cells) {
+    if (world_.grid().occupied(cell)) affected.insert(world_.grid().at(cell));
+    for (lat::Direction d : lat::all_directions()) {
+      const lat::Vec2 q = cell + delta(d);
+      if (world_.grid().occupied(q)) affected.insert(world_.grid().at(q));
+    }
+  }
+  for (const lat::BlockId id : affected) {
+    Module* module = find_module(id);
+    if (module == nullptr) continue;
+    const lat::Vec2 pos = world_.grid().position_of(id);
+    for (lat::Direction d : lat::all_directions()) {
+      const lat::BlockId current = world_.grid().at(pos + delta(d));
+      if (module->neighbors_.neighbor(d) != current) {
+        module->neighbors_.set_neighbor(d, current);
+        if (module->alive()) module->on_neighbor_change(d, current);
+      }
+    }
+  }
+}
+
+}  // namespace sb::sim

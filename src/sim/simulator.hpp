@@ -1,0 +1,153 @@
+#pragma once
+// The discrete-event simulator: world + modules + event loop.
+//
+// This is the library's stand-in for VisibleSim (paper §V.E): an
+// event-driven core where block programs run asynchronously and interact
+// only through messages with randomized link latency. Executions are
+// deterministic for a fixed seed.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "motion/apply.hpp"
+#include "msg/latency.hpp"
+#include "msg/message.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/module.hpp"
+#include "sim/time.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sb::sim {
+
+struct SimConfig {
+  /// Master seed; all simulation randomness derives from it.
+  uint64_t seed = 0x5eedULL;
+  /// Link latency model (Assumption 3: finite delivery time).
+  msg::LatencyModel latency = msg::LatencyModel::fixed(1);
+  /// Ticks a motion takes from request to landing.
+  Ticks motion_duration = 10;
+  QueueKind queue = QueueKind::kBinaryHeap;
+  /// Disable per-kind counter maps in tight throughput benches.
+  bool detailed_stats = true;
+};
+
+struct SimStats {
+  uint64_t events_processed = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t motions_started = 0;
+  uint64_t motions_completed = 0;
+  /// Per message kind (Activate, Ack, ...); keys are static string tags.
+  std::map<std::string_view, uint64_t> messages_by_kind;
+  std::map<std::string_view, uint64_t> events_by_kind;
+};
+
+struct RunLimits {
+  uint64_t max_events = UINT64_MAX;
+  SimTime until = kTimeMax;
+};
+
+enum class StopReason { kQueueEmpty, kEventLimit, kTimeLimit, kHalted };
+
+[[nodiscard]] std::string_view to_string(StopReason reason);
+
+class Simulator {
+ public:
+  explicit Simulator(World world, SimConfig config = SimConfig{});
+
+  [[nodiscard]] World& world() { return world_; }
+  [[nodiscard]] const World& world() const { return world_; }
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] SimStats& stats() { return stats_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  // -- modules --------------------------------------------------------------
+
+  /// Registers the program for a block already placed on the grid.
+  Module& add_module(std::unique_ptr<Module> module);
+
+  [[nodiscard]] Module* find_module(lat::BlockId id);
+  [[nodiscard]] size_t module_count() const { return modules_.size(); }
+
+  template <typename T>
+  [[nodiscard]] T& module_as(lat::BlockId id) {
+    Module* module = find_module(id);
+    SB_EXPECTS(module != nullptr, "no module for block ", id);
+    auto* typed = dynamic_cast<T*>(module);
+    SB_EXPECTS(typed != nullptr, "module for block ", id,
+               " has an unexpected type");
+    return *typed;
+  }
+
+  /// Iterates modules in id order.
+  template <typename Fn>
+  void for_each_module(Fn&& fn) {
+    for (auto& [id, module] : modules_) fn(*module);
+  }
+
+  /// Fault injection: the block's program stops responding; the block stays
+  /// on the grid as an inert obstacle (paper §VI future work).
+  void kill_module(lat::BlockId id);
+
+  // -- event loop -----------------------------------------------------------
+
+  void schedule(SimTime when, std::unique_ptr<Event> event);
+  void schedule_in(Ticks delay, std::unique_ptr<Event> event) {
+    schedule(now_ + delay, std::move(event));
+  }
+
+  /// Queues on_start() for every registered module at the current time.
+  void start_all_modules();
+
+  /// Runs until the queue drains, a limit hits, or halt() is called.
+  StopReason run(RunLimits limits = RunLimits{});
+
+  /// Processes a single event; false when the queue is empty.
+  bool step();
+
+  /// Stops the run loop after the current event (modules call this through
+  /// their program when the distributed computation finishes).
+  void halt() { halted_ = true; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  void clear_halt() { halted_ = false; }
+
+  [[nodiscard]] size_t pending_events() const { return queue_->size(); }
+
+  // -- services used by Module ----------------------------------------------
+
+  void send_from(Module& sender, lat::Direction side, msg::MessagePtr message);
+  void timer_for(Module& module, Ticks delay, uint64_t tag);
+  void start_motion_for(Module& subject, const motion::RuleApplication& app);
+
+ private:
+  friend class DeliveryEvent;
+  friend class TimerEvent;
+  friend class StartEvent;
+  friend class MotionCompleteEvent;
+
+  void deliver(lat::BlockId sender, lat::BlockId receiver,
+               const msg::Message& message);
+  void complete_motion(lat::BlockId subject,
+                       const motion::RuleApplication& app);
+  /// Recomputes neighbor tables around the given cells and fires
+  /// on_neighbor_change for every block whose contacts changed.
+  void refresh_neighbors_around(const std::vector<lat::Vec2>& cells);
+
+  void count_event(const Event& event);
+
+  World world_;
+  SimConfig config_;
+  Rng rng_;
+  SimTime now_ = 0;
+  bool halted_ = false;
+  std::unique_ptr<EventQueue> queue_;
+  std::map<lat::BlockId, std::unique_ptr<Module>> modules_;
+  SimStats stats_;
+};
+
+}  // namespace sb::sim

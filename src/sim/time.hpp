@@ -1,0 +1,19 @@
+#pragma once
+// Simulated-time primitives.
+
+#include <cstdint>
+
+#include "msg/latency.hpp"
+
+namespace sb::sim {
+
+/// Absolute simulated time in ticks. The library does not prescribe a
+/// physical unit; documentation and benches read 1 tick as 1 microsecond.
+using SimTime = uint64_t;
+
+/// Relative duration, shared with the latency models.
+using Ticks = msg::Ticks;
+
+inline constexpr SimTime kTimeMax = UINT64_MAX;
+
+}  // namespace sb::sim

@@ -1,0 +1,28 @@
+#include "sim/world.hpp"
+
+#include "util/assert.hpp"
+
+namespace sb::sim {
+
+World::World(int32_t width, int32_t height, motion::RuleLibrary rules)
+    : grid_(width, height), rules_(std::move(rules)) {}
+
+lat::Neighborhood World::sense(lat::Vec2 center, int32_t radius) const {
+  lat::Neighborhood window(center, radius, grid_.width(), grid_.height());
+  for (int32_t dy = -radius; dy <= radius; ++dy) {
+    for (int32_t dx = -radius; dx <= radius; ++dx) {
+      const lat::Vec2 p = center + lat::Vec2{dx, dy};
+      if (grid_.in_bounds(p)) window.set_occupied(p, grid_.occupied(p));
+    }
+  }
+  return window;
+}
+
+void World::apply(const motion::RuleApplication& app) {
+  SB_EXPECTS(can_apply(app), "physically invalid motion: ", app.describe());
+  const auto moves = app.world_moves();
+  grid_.move_simultaneously(moves);
+  elementary_moves_ += moves.size();
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,54 @@
+#pragma once
+// The physical surface: occupancy grid + rule library + the physics oracle
+// that accepts or rejects motions (Remark 1: no disconnecting moves).
+
+#include <cstdint>
+
+#include "lattice/grid.hpp"
+#include "lattice/neighborhood.hpp"
+#include "motion/apply.hpp"
+#include "motion/rule_library.hpp"
+
+namespace sb::sim {
+
+class World {
+ public:
+  World(int32_t width, int32_t height, motion::RuleLibrary rules);
+
+  [[nodiscard]] lat::Grid& grid() { return grid_; }
+  [[nodiscard]] const lat::Grid& grid() const { return grid_; }
+  [[nodiscard]] const motion::RuleLibrary& rules() const { return rules_; }
+
+  /// Sensing radius implied by the rule library (see DESIGN.md,
+  /// substitutions: one round of neighbor-of-neighbor exchange).
+  [[nodiscard]] int32_t sensing_radius() const {
+    return rules_.sensing_radius();
+  }
+
+  /// Captures the presence window a block at `center` can observe.
+  [[nodiscard]] lat::Neighborhood sense(lat::Vec2 center) const {
+    return sense(center, sensing_radius());
+  }
+  [[nodiscard]] lat::Neighborhood sense(lat::Vec2 center,
+                                        int32_t radius) const;
+
+  /// Physics oracle: rule validation on the real grid plus connectivity
+  /// and no-single-line (Remark 1).
+  [[nodiscard]] bool can_apply(const motion::RuleApplication& app) const {
+    return motion::physically_valid(grid_, app);
+  }
+
+  /// Executes a motion; the application must be physically valid. Counts
+  /// elementary block moves (the metric of the paper's §V.D "55 moves").
+  void apply(const motion::RuleApplication& app);
+
+  /// Total elementary block displacements executed so far.
+  [[nodiscard]] uint64_t elementary_moves() const { return elementary_moves_; }
+
+ private:
+  lat::Grid grid_;
+  motion::RuleLibrary rules_;
+  uint64_t elementary_moves_ = 0;
+};
+
+}  // namespace sb::sim

@@ -1,0 +1,18 @@
+#include "util/assert.hpp"
+
+#include <cstdio>
+
+namespace sb {
+
+void assert_fail(const char* kind, const char* expr, const char* file,
+                 int line, const std::string& message) {
+  std::fprintf(stderr, "[smartblocks] %s failed: %s\n  at %s:%d\n", kind,
+               expr, file, line);
+  if (!message.empty()) {
+    std::fprintf(stderr, "  %s\n", message.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sb

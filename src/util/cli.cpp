@@ -1,0 +1,155 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace sb {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_string(const std::string& name, std::string default_value,
+                           std::string help) {
+  flags_[name] = Flag{Kind::kString, default_value, std::move(default_value),
+                      std::move(help)};
+}
+
+void CliParser::add_int(const std::string& name, int64_t default_value,
+                        std::string help) {
+  const std::string text = std::to_string(default_value);
+  flags_[name] = Flag{Kind::kInt, text, text, std::move(help)};
+}
+
+void CliParser::add_double(const std::string& name, double default_value,
+                           std::string help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Kind::kDouble, os.str(), os.str(), std::move(help)};
+}
+
+void CliParser::add_bool(const std::string& name, bool default_value,
+                         std::string help) {
+  const std::string text = default_value ? "true" : "false";
+  flags_[name] = Flag{Kind::kBool, text, text, std::move(help)};
+}
+
+CliParser::Flag* CliParser::find(const std::string& name) {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? nullptr : &it->second;
+}
+
+bool CliParser::set_value(const std::string& name, const std::string& value) {
+  Flag* flag = find(name);
+  if (flag == nullptr) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    return false;
+  }
+  switch (flag->kind) {
+    case Kind::kInt:
+      if (!parse_int(value)) {
+        std::fprintf(stderr, "flag --%s expects an integer, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Kind::kDouble:
+      if (!parse_double(value)) {
+        std::fprintf(stderr, "flag --%s expects a number, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Kind::kBool: {
+      const std::string lower = to_lower(value);
+      if (lower != "true" && lower != "false" && lower != "1" &&
+          lower != "0") {
+        std::fprintf(stderr, "flag --%s expects true/false, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    }
+    case Kind::kString:
+      break;
+  }
+  flag->value = value;
+  return true;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  program_name_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      if (!set_value(arg.substr(0, eq), arg.substr(eq + 1))) return false;
+      continue;
+    }
+    Flag* flag = find(arg);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (flag->kind == Kind::kBool) {
+      flag->value = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag --%s expects a value\n", arg.c_str());
+      return false;
+    }
+    if (!set_value(arg, argv[++i])) return false;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::require(const std::string& name,
+                                          Kind kind) const {
+  auto it = flags_.find(name);
+  SB_EXPECTS(it != flags_.end(), "flag --", name, " was never registered");
+  SB_EXPECTS(it->second.kind == kind, "flag --", name,
+             " accessed with the wrong type");
+  return it->second;
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return require(name, Kind::kString).value;
+}
+
+int64_t CliParser::get_int(const std::string& name) const {
+  return *parse_int(require(name, Kind::kInt).value);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return *parse_double(require(name, Kind::kDouble).value);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string lower = to_lower(require(name, Kind::kBool).value);
+  return lower == "true" || lower == "1";
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nUsage: " << program_name_ << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sb

@@ -1,0 +1,66 @@
+#pragma once
+// Minimal command-line flag parser for the examples and bench drivers.
+//
+// Supports "--name=value", "--name value", bare boolean flags ("--verbose"),
+// and "--help" generation. Unknown flags are an error by default so typos in
+// experiment sweeps fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sb {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a string flag with a default value.
+  void add_string(const std::string& name, std::string default_value,
+                  std::string help);
+  /// Registers an integer flag with a default value.
+  void add_int(const std::string& name, int64_t default_value,
+               std::string help);
+  /// Registers a floating-point flag with a default value.
+  void add_double(const std::string& name, double default_value,
+                  std::string help);
+  /// Registers a boolean flag (default false; presence or =true enables).
+  void add_bool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or error.
+  /// Positional arguments are collected into positionals().
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  /// Renders the --help text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string default_value;
+    std::string help;
+  };
+
+  Flag* find(const std::string& name);
+  [[nodiscard]] const Flag& require(const std::string& name, Kind kind) const;
+  bool set_value(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace sb

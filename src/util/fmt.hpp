@@ -1,0 +1,70 @@
+#pragma once
+// Tiny "{}"-placeholder string formatting.
+//
+// libstdc++ 12 (the toolchain pinned for this project) does not ship
+// std::format, so the library carries this minimal replacement. Supported:
+// positional-order "{}" placeholders, "{{" / "}}" escapes. Arguments are
+// rendered with operator<<.
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/assert.hpp"
+
+namespace sb {
+
+namespace detail {
+
+inline void format_rest(std::ostream& os, std::string_view spec) {
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (spec[i] == '{' && i + 1 < spec.size() && spec[i + 1] == '{') {
+      os << '{';
+      ++i;
+    } else if (spec[i] == '}' && i + 1 < spec.size() && spec[i + 1] == '}') {
+      os << '}';
+      ++i;
+    } else {
+      SB_ASSERT(spec[i] != '{',
+                "fmt: more '{}' placeholders than arguments in \"", spec,
+                "\"");
+      os << spec[i];
+    }
+  }
+}
+
+template <typename Arg, typename... Rest>
+void format_rest(std::ostream& os, std::string_view spec, const Arg& arg,
+                 const Rest&... rest) {
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (spec[i] == '{' && i + 1 < spec.size() && spec[i + 1] == '{') {
+      os << '{';
+      ++i;
+    } else if (spec[i] == '}' && i + 1 < spec.size() && spec[i + 1] == '}') {
+      os << '}';
+      ++i;
+    } else if (spec[i] == '{' && i + 1 < spec.size() && spec[i + 1] == '}') {
+      os << arg;
+      format_rest(os, spec.substr(i + 2), rest...);
+      return;
+    } else {
+      os << spec[i];
+    }
+  }
+  // Placeholders exhausted before arguments; surplus arguments are a bug.
+  SB_UNREACHABLE("fmt: more arguments than '{}' placeholders in \"", spec,
+                 "\"");
+}
+
+}  // namespace detail
+
+/// Formats `spec`, replacing each "{}" with the next argument (operator<<).
+template <typename... Args>
+[[nodiscard]] std::string fmt(std::string_view spec, const Args&... args) {
+  std::ostringstream os;
+  detail::format_rest(os, spec, args...);
+  return os.str();
+}
+
+}  // namespace sb

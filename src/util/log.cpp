@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace sb {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+void stderr_sink(LogLevel level, const std::string& line) {
+  std::fprintf(stderr, "[%s] %s\n", std::string(to_string(level)).c_str(),
+               line.c_str());
+}
+}  // namespace
+
+LogLevel Log::level_ = LogLevel::kWarn;
+Log::Sink Log::sink_ = stderr_sink;
+
+void Log::set_sink(Sink sink) {
+  sink_ = sink ? std::move(sink) : Sink(stderr_sink);
+}
+
+void Log::emit(LogLevel level, const std::string& line) {
+  sink_(level, line);
+}
+
+}  // namespace sb

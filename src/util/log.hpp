@@ -1,0 +1,74 @@
+#pragma once
+// Leveled logging with a pluggable sink.
+//
+// The default sink writes to stderr. Benchmarks and tests can raise the
+// level to Silence or capture output through a custom sink.
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/fmt.hpp"
+
+namespace sb {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Process-wide logger configuration. Not thread-safe by design: the
+/// simulator is single-threaded and benchmarks configure logging up front.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  /// Replaces the output sink; passing nullptr restores the stderr sink.
+  static void set_sink(Sink sink);
+
+  static bool enabled(LogLevel level) { return level >= level_; }
+
+  template <typename... Args>
+  static void write(LogLevel level, std::string_view spec,
+                    const Args&... args) {
+    if (!enabled(level)) return;
+    emit(level, fmt(spec, args...));
+  }
+
+ private:
+  static void emit(LogLevel level, const std::string& line);
+  static LogLevel level_;
+  static Sink sink_;
+};
+
+template <typename... Args>
+void log_trace(std::string_view spec, const Args&... args) {
+  Log::write(LogLevel::kTrace, spec, args...);
+}
+template <typename... Args>
+void log_debug(std::string_view spec, const Args&... args) {
+  Log::write(LogLevel::kDebug, spec, args...);
+}
+template <typename... Args>
+void log_info(std::string_view spec, const Args&... args) {
+  Log::write(LogLevel::kInfo, spec, args...);
+}
+template <typename... Args>
+void log_warn(std::string_view spec, const Args&... args) {
+  Log::write(LogLevel::kWarn, spec, args...);
+}
+template <typename... Args>
+void log_error(std::string_view spec, const Args&... args) {
+  Log::write(LogLevel::kError, spec, args...);
+}
+
+}  // namespace sb

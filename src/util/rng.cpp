@@ -1,0 +1,15 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace sb {
+
+double Rng::next_exponential(double mean) {
+  SB_EXPECTS(mean > 0.0, "exponential mean must be positive");
+  // Inverse CDF; clamp the uniform away from 0 to keep log() finite.
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace sb

@@ -1,0 +1,127 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// The whole library draws randomness through this one generator type so a
+// single seed reproduces a full simulation trajectory bit-for-bit (see the
+// determinism tests). xoshiro256** is used for generation; SplitMix64
+// expands seeds and derives independent child streams.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sb {
+
+/// SplitMix64 step: maps any 64-bit state to a well-distributed output.
+[[nodiscard]] constexpr uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator (Blackman & Vigna). Not cryptographic.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds via SplitMix64 so that nearby seeds give unrelated streams.
+  explicit Rng(uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    seed_ = seed;
+    uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] uint64_t seed() const { return seed_; }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  uint64_t next() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive. Uses rejection
+  /// sampling (Lemire-style) to avoid modulo bias.
+  uint64_t next_below(uint64_t bound) {
+    SB_EXPECTS(bound > 0, "next_below requires a positive bound");
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  int64_t next_in(int64_t lo, int64_t hi) {
+    SB_EXPECTS(lo <= hi, "next_in requires lo <= hi, got ", lo, " > ", hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(span == 0 ? next() : next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi) {
+    SB_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  /// Exponentially distributed draw with the given mean.
+  double next_exponential(double mean);
+
+  /// Derives an independent child generator; `stream` distinguishes children
+  /// of the same parent deterministically.
+  [[nodiscard]] Rng fork(uint64_t stream) const {
+    uint64_t sm = seed_ ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+    return Rng(splitmix64(sm));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index; container must be non-empty.
+  template <typename Container>
+  size_t pick_index(const Container& c) {
+    SB_EXPECTS(!c.empty(), "pick_index on empty container");
+    return static_cast<size_t>(next_below(c.size()));
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<uint64_t, 4> state_{};
+  uint64_t seed_ = 0;
+};
+
+}  // namespace sb

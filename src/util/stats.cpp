@@ -1,0 +1,171 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sb {
+
+void Accumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          total;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double p) const {
+  SB_EXPECTS(!samples_.empty(), "percentile of empty sample set");
+  SB_EXPECTS(p >= 0.0 && p <= 100.0, "percentile must be in [0,100], got ", p);
+  sort_if_needed();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::mean() const {
+  SB_EXPECTS(!samples_.empty());
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  SB_EXPECTS(!samples_.empty());
+  sort_if_needed();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  SB_EXPECTS(!samples_.empty());
+  sort_if_needed();
+  return samples_.back();
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  SB_EXPECTS(hi > lo, "histogram range must be non-empty");
+  SB_EXPECTS(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<int64_t>(std::floor((x - lo_) / width));
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+uint64_t Histogram::bucket(size_t i) const {
+  SB_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bucket_low(size_t i) const {
+  SB_EXPECTS(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+std::string Histogram::to_ascii(size_t max_width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    os << "[" << bucket_low(i) << ", " << bucket_low(i) + (hi_ - lo_) /
+           static_cast<double>(counts_.size())
+       << ") " << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  SB_EXPECTS(xs.size() == ys.size(), "fit_linear: size mismatch");
+  SB_EXPECTS(xs.size() >= 2, "fit_linear: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  SB_EXPECTS(denom != 0.0, "fit_linear: degenerate x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double ybar = sy / n;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ybar) * (ys[i] - ybar);
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+LinearFit fit_loglog(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  SB_EXPECTS(xs.size() == ys.size(), "fit_loglog: size mismatch");
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    SB_EXPECTS(xs[i] > 0.0 && ys[i] > 0.0,
+               "fit_loglog requires positive samples");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+}  // namespace sb

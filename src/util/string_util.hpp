@@ -1,0 +1,36 @@
+#pragma once
+// Small string helpers shared by the XML parser, scenario loader, and CLI.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sb {
+
+/// Strips leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on a separator character; adjacent separators yield empty pieces.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; never yields empty pieces.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Parses a base-10 integer; rejects trailing garbage and overflow.
+[[nodiscard]] std::optional<int64_t> parse_int(std::string_view s);
+
+/// Parses a floating-point number; rejects trailing garbage.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// Lower-cases ASCII letters.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+}  // namespace sb

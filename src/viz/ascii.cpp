@@ -1,0 +1,58 @@
+#include "viz/ascii.hpp"
+
+#include <sstream>
+
+namespace sb::viz {
+
+std::string render_ascii(const lat::Grid& grid, lat::Vec2 input,
+                         lat::Vec2 output, AsciiOptions options) {
+  std::ostringstream os;
+  const int cell_width = options.show_ids ? 3 : 2;
+  const auto horizontal_rule = [&] {
+    os << '+';
+    for (int32_t x = 0; x < grid.width(); ++x) {
+      os << std::string(static_cast<size_t>(cell_width), '-');
+    }
+    os << "+\n";
+  };
+
+  horizontal_rule();
+  for (int32_t y = grid.height() - 1; y >= 0; --y) {
+    os << '|';
+    for (int32_t x = 0; x < grid.width(); ++x) {
+      const lat::Vec2 p{x, y};
+      const lat::BlockId id = grid.at(p);
+      std::string cell;
+      if (id.valid()) {
+        if (options.show_ids) {
+          cell = std::to_string(id.value % 100);
+          while (cell.size() < 2) cell = " " + cell;
+        } else {
+          cell = "#";
+        }
+        if (options.mark_io && p == input) {
+          cell += "i";
+        } else if (options.mark_io && p == output) {
+          cell += "o";
+        } else {
+          cell += " ";
+        }
+      } else {
+        if (options.mark_io && p == input) {
+          cell = options.show_ids ? " I " : "I ";
+        } else if (options.mark_io && p == output) {
+          cell = options.show_ids ? " O " : "O ";
+        } else {
+          cell = options.show_ids ? " . " : ". ";
+        }
+      }
+      if (!options.show_ids) cell = cell.substr(0, 2);
+      os << cell;
+    }
+    os << "|\n";
+  }
+  horizontal_rule();
+  return os.str();
+}
+
+}  // namespace sb::viz

@@ -1,0 +1,25 @@
+#pragma once
+// ASCII rendering of surface states (the library's stand-in for the
+// paper's external 3-D renderer).
+
+#include <string>
+
+#include "lattice/grid.hpp"
+
+namespace sb::viz {
+
+struct AsciiOptions {
+  /// Render two characters per cell showing block ids modulo 100; with
+  /// false, blocks render as '#'.
+  bool show_ids = true;
+  /// Mark the input/output cells (I is drawn under its block as 'I').
+  bool mark_io = true;
+};
+
+/// Renders the grid with north (max y) at the top, matching the paper's
+/// figures. Input renders as 'I'/'i' (free/occupied), output as 'O'/'o'.
+[[nodiscard]] std::string render_ascii(const lat::Grid& grid,
+                                       lat::Vec2 input, lat::Vec2 output,
+                                       AsciiOptions options = AsciiOptions{});
+
+}  // namespace sb::viz

@@ -1,0 +1,96 @@
+#include "viz/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "lattice/region.hpp"
+#include "util/fmt.hpp"
+
+namespace sb::viz {
+
+std::string render_svg(const lat::Grid& grid, lat::Vec2 input,
+                       lat::Vec2 output, SvgOptions options) {
+  const int c = options.cell_pixels;
+  const int width = static_cast<int>(grid.width()) * c;
+  const int height = static_cast<int>(grid.height()) * c;
+  const lat::Rect rect = lat::bounding_rect(input, output);
+
+  // y is flipped: surface north (max y) renders at the top.
+  const auto px = [&](lat::Vec2 p) {
+    return std::pair<int, int>{p.x * c,
+                               (grid.height() - 1 - p.y) * c};
+  };
+
+  std::ostringstream os;
+  os << fmt(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" "
+      "viewBox=\"0 0 {} {}\">\n",
+      width, height, width, height);
+  os << fmt("<rect width=\"{}\" height=\"{}\" fill=\"#f8f8f8\"/>\n", width,
+            height);
+
+  // Path-cell highlight.
+  if (options.highlight_path) {
+    for (int32_t y = 0; y < grid.height(); ++y) {
+      for (int32_t x = 0; x < grid.width(); ++x) {
+        const lat::Vec2 p{x, y};
+        if (rect.contains(p) && (p.x == output.x || p.y == output.y)) {
+          const auto [sx, sy] = px(p);
+          os << fmt(
+              "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" "
+              "fill=\"#fff3c4\"/>\n",
+              sx, sy, c, c);
+        }
+      }
+    }
+  }
+
+  // Grid lines.
+  for (int32_t x = 0; x <= grid.width(); ++x) {
+    os << fmt(
+        "<line x1=\"{}\" y1=\"0\" x2=\"{}\" y2=\"{}\" stroke=\"#ddd\"/>\n",
+        x * c, x * c, height);
+  }
+  for (int32_t y = 0; y <= grid.height(); ++y) {
+    os << fmt(
+        "<line x1=\"0\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#ddd\"/>\n",
+        y * c, width, y * c);
+  }
+
+  // I / O markers.
+  const auto marker = [&](lat::Vec2 p, const char* color) {
+    const auto [sx, sy] = px(p);
+    os << fmt(
+        "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" rx=\"6\" "
+        "fill=\"none\" stroke=\"{}\" stroke-width=\"3\"/>\n",
+        sx + 2, sy + 2, c - 4, c - 4, color);
+  };
+  marker(input, "#3a6fd8");    // blue rounded square (paper Fig 10)
+  marker(output, "#c33ad8");   // magenta rounded square
+
+  // Blocks.
+  for (const auto& [id, pos] : grid.blocks()) {
+    const auto [sx, sy] = px(pos);
+    os << fmt(
+        "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#9aa7b4\" "
+        "stroke=\"#4d5a66\"/>\n",
+        sx + 3, sy + 3, c - 6, c - 6);
+    if (options.show_ids) {
+      os << fmt(
+          "<text x=\"{}\" y=\"{}\" font-size=\"{}\" text-anchor=\"middle\" "
+          "font-family=\"sans-serif\" fill=\"#1c2833\">{}</text>\n",
+          sx + c / 2, sy + c / 2 + c / 6, c / 2, id.value);
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void save_svg(const std::string& path, const lat::Grid& grid, lat::Vec2 input,
+              lat::Vec2 output, SvgOptions options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error(fmt("cannot write SVG '{}'", path));
+  out << render_svg(grid, input, output, options);
+}
+
+}  // namespace sb::viz

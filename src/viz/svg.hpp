@@ -1,0 +1,29 @@
+#pragma once
+// SVG snapshots of surface states, for figure-quality output akin to the
+// paper's Figs 2 and 10-11.
+
+#include <string>
+
+#include "lattice/grid.hpp"
+
+namespace sb::viz {
+
+struct SvgOptions {
+  int cell_pixels = 28;
+  bool show_ids = true;
+  /// Highlight cells aligned with O inside the I/O rectangle (the path).
+  bool highlight_path = true;
+};
+
+/// Renders the grid as a standalone SVG document.
+[[nodiscard]] std::string render_svg(const lat::Grid& grid, lat::Vec2 input,
+                                     lat::Vec2 output,
+                                     SvgOptions options = SvgOptions{});
+
+/// Writes render_svg() output to a file. Throws std::runtime_error on I/O
+/// failure.
+void save_svg(const std::string& path, const lat::Grid& grid,
+              lat::Vec2 input, lat::Vec2 output,
+              SvgOptions options = SvgOptions{});
+
+}  // namespace sb::viz

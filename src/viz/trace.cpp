@@ -1,0 +1,57 @@
+#include "viz/trace.hpp"
+
+#include <sstream>
+
+#include "util/fmt.hpp"
+
+namespace sb::viz {
+
+void MoveTrace::record(core::Epoch epoch, lat::BlockId mover,
+                       const motion::RuleApplication& app) {
+  TraceEntry entry;
+  entry.epoch = epoch;
+  entry.mover = mover;
+  entry.rule = app.rule->name();
+  entry.from = app.subject_from();
+  entry.to = app.subject_to();
+  entry.moves = app.world_moves();
+  entries_.push_back(std::move(entry));
+}
+
+std::string MoveTrace::to_jsonl() const {
+  std::ostringstream os;
+  for (const TraceEntry& e : entries_) {
+    os << fmt(
+        R"({{"epoch":{},"mover":{},"rule":"{}","from":[{},{}],"to":[{},{}],"moves":[)",
+        e.epoch, e.mover.value, e.rule, e.from.x, e.from.y, e.to.x, e.to.y);
+    for (size_t i = 0; i < e.moves.size(); ++i) {
+      if (i) os << ',';
+      os << fmt(R"([[{},{}],[{},{}]])", e.moves[i].first.x,
+                e.moves[i].first.y, e.moves[i].second.x, e.moves[i].second.y);
+    }
+    os << "]}\n";
+  }
+  return os.str();
+}
+
+std::string MoveTrace::to_csv() const {
+  std::ostringstream os;
+  os << "epoch,mover,rule,role,from_x,from_y,to_x,to_y\n";
+  for (const TraceEntry& e : entries_) {
+    for (const auto& [from, to] : e.moves) {
+      const bool is_subject = from == e.from && to == e.to;
+      os << fmt("{},{},{},{},{},{},{},{}\n", e.epoch, e.mover.value, e.rule,
+                is_subject ? "subject" : "helper", from.x, from.y, to.x,
+                to.y);
+    }
+  }
+  return os.str();
+}
+
+void MoveTrace::replay(lat::Grid& grid) const {
+  for (const TraceEntry& e : entries_) {
+    grid.move_simultaneously(e.moves);
+  }
+}
+
+}  // namespace sb::viz

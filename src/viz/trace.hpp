@@ -1,0 +1,57 @@
+#pragma once
+// Move-trace recording and export (JSONL / CSV) for post-hoc analysis and
+// replay, mirroring VisibleSim's debugging role in the paper's §V.E.
+
+#include <string>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "lattice/grid.hpp"
+#include "motion/apply.hpp"
+
+namespace sb::viz {
+
+struct TraceEntry {
+  core::Epoch epoch = 0;
+  lat::BlockId mover;
+  std::string rule;
+  lat::Vec2 from;
+  lat::Vec2 to;
+  /// All elementary displacements (helpers included).
+  std::vector<std::pair<lat::Vec2, lat::Vec2>> moves;
+};
+
+class MoveTrace {
+ public:
+  /// Records one elected hop; wire this into
+  /// ReconfigurationSession::set_move_listener via recorder().
+  void record(core::Epoch epoch, lat::BlockId mover,
+              const motion::RuleApplication& app);
+
+  /// Adapter with the session listener's exact signature.
+  [[nodiscard]] auto recorder() {
+    return [this](core::Epoch epoch, lat::BlockId mover,
+                  const motion::RuleApplication& app) {
+      record(epoch, mover, app);
+    };
+  }
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+  /// One JSON object per line.
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Header + one row per elementary displacement.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Replays the recorded moves onto a grid (for checkpoint-free replay of
+  /// a reconfiguration from its initial state).
+  void replay(lat::Grid& grid) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace sb::viz

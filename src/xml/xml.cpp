@@ -1,0 +1,379 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/fmt.hpp"
+
+namespace sb::xml {
+
+ParseError::ParseError(std::string message, int line, int column)
+    : std::runtime_error(fmt("XML parse error at {}:{}: {}", line, column,
+                             message)),
+      line_(line),
+      column_(column) {}
+
+std::optional<std::string> Element::attribute(std::string_view name) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return attr.value;
+  }
+  return std::nullopt;
+}
+
+const std::string& Element::require_attribute(std::string_view name) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return attr.value;
+  }
+  throw std::out_of_range(
+      fmt("element <{}> is missing required attribute '{}'", name_, name));
+}
+
+void Element::set_attribute(std::string_view name, std::string_view value) {
+  for (auto& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::adopt_child(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::first_child(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Document parse_document() {
+    Document doc;
+    skip_prolog(doc);
+    doc.root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= input_.size(); }
+
+  [[nodiscard]] char peek() const {
+    return at_end() ? '\0' : input_[pos_];
+  }
+
+  [[nodiscard]] bool peek_is(std::string_view prefix) const {
+    return input_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  char advance() {
+    if (at_end()) fail("unexpected end of input");
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(fmt("expected '{}'", c));
+    advance();
+  }
+
+  void expect(std::string_view literal) {
+    for (char c : literal) expect(c);
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, line_, column_);
+  }
+
+  static bool is_space(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+
+  static bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+
+  static bool is_name_char(char c) {
+    return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  void skip_ws() {
+    while (!at_end() && is_space(peek())) advance();
+  }
+
+  void skip_comment() {
+    expect("<!--");
+    while (!peek_is("-->")) {
+      if (at_end()) fail("unterminated comment");
+      advance();
+    }
+    expect("-->");
+  }
+
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (peek_is("<!--")) {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog(Document& doc) {
+    skip_ws();
+    if (peek_is("<?xml")) {
+      doc.had_declaration = true;
+      while (!peek_is("?>")) {
+        if (at_end()) fail("unterminated XML declaration");
+        advance();
+      }
+      expect("?>");
+    }
+    skip_misc();
+  }
+
+  std::string parse_name() {
+    if (!is_name_start(peek())) fail("expected a name");
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name += advance();
+    return name;
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "amp") {
+        out += '&';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else if (!entity.empty() && entity[0] == '#') {
+        const std::string_view digits = entity.substr(1);
+        int code = 0;
+        for (char c : digits) {
+          if (!std::isdigit(static_cast<unsigned char>(c))) {
+            fail(fmt("unsupported character reference '&{};'",
+                     std::string(entity)));
+          }
+          code = code * 10 + (c - '0');
+        }
+        if (code <= 0 || code > 127) {
+          fail("only ASCII character references are supported");
+        }
+        out += static_cast<char>(code);
+      } else {
+        fail(fmt("unknown entity '&{};'", std::string(entity)));
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Attribute parse_attribute() {
+    Attribute attr;
+    attr.name = parse_name();
+    skip_ws();
+    expect('=');
+    skip_ws();
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+    advance();
+    std::string raw;
+    while (peek() != quote) {
+      if (at_end()) fail("unterminated attribute value");
+      raw += advance();
+    }
+    advance();  // closing quote
+    attr.value = decode_entities(raw);
+    return attr;
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    expect('<');
+    auto element = std::make_unique<Element>(parse_name());
+    for (;;) {
+      skip_ws();
+      if (peek() == '/') {
+        expect("/>");
+        return element;
+      }
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      Attribute attr = parse_attribute();
+      if (element->attribute(attr.name)) {
+        fail(fmt("duplicate attribute '{}'", attr.name));
+      }
+      element->set_attribute(attr.name, attr.value);
+    }
+    // Content: text, children, comments, then the closing tag.
+    std::string text;
+    for (;;) {
+      if (at_end()) fail(fmt("unterminated element <{}>", element->name()));
+      if (peek_is("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (peek_is("</")) {
+        expect("</");
+        const std::string closing = parse_name();
+        if (closing != element->name()) {
+          fail(fmt("mismatched closing tag </{}> for <{}>", closing,
+                   element->name()));
+        }
+        skip_ws();
+        expect('>');
+        element->set_text(decode_entities(text));
+        return element;
+      }
+      if (peek() == '<') {
+        element->adopt_child(parse_element());
+        continue;
+      }
+      text += advance();
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Document parse(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+Document parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(fmt("cannot open XML file '{}'", path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void serialize_element(const Element& element, std::ostringstream& os,
+                       int depth) {
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  os << indent << '<' << element.name();
+  for (const auto& attr : element.attributes()) {
+    os << ' ' << attr.name << "=\"" << escape(attr.value) << '"';
+  }
+  const bool has_children = !element.children().empty();
+  const bool has_text = !element.text().empty();
+  if (!has_children && !has_text) {
+    os << "/>\n";
+    return;
+  }
+  os << '>';
+  if (has_text) {
+    // Text is re-indented one level deeper, one line per input line, so the
+    // matrix blocks in capability files stay human-readable.
+    os << '\n';
+    std::istringstream text(element.text());
+    std::string line;
+    const std::string text_indent(static_cast<size_t>(depth + 1) * 2, ' ');
+    while (std::getline(text, line)) {
+      std::string_view trimmed = line;
+      while (!trimmed.empty() &&
+             (trimmed.front() == ' ' || trimmed.front() == '\t')) {
+        trimmed.remove_prefix(1);
+      }
+      while (!trimmed.empty() &&
+             (trimmed.back() == ' ' || trimmed.back() == '\t' ||
+              trimmed.back() == '\r')) {
+        trimmed.remove_suffix(1);
+      }
+      if (!trimmed.empty()) os << text_indent << escape(trimmed) << '\n';
+    }
+  } else {
+    os << '\n';
+  }
+  for (const auto& child : element.children()) {
+    serialize_element(*child, os, depth + 1);
+  }
+  os << indent << "</" << element.name() << ">\n";
+}
+
+}  // namespace
+
+std::string serialize(const Element& root, bool with_declaration) {
+  std::ostringstream os;
+  if (with_declaration) {
+    os << "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  }
+  serialize_element(root, os, 0);
+  return os.str();
+}
+
+}  // namespace sb::xml

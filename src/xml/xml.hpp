@@ -1,0 +1,102 @@
+#pragma once
+// Minimal XML DOM used for the motion-capability files (paper Fig. 7).
+//
+// Deliberately small: elements, attributes, text content, comments and the
+// XML declaration are supported; namespaces, DTDs, CDATA and processing
+// instructions beyond the declaration are not (the capability vocabulary
+// needs none of them). Parsing errors carry line/column positions.
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sb::xml {
+
+/// Thrown on malformed input; what() includes the 1-based line:column.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line, int column);
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// An XML element. Text content is accumulated across child text nodes,
+/// preserving order relative to nothing (the capability format never mixes
+/// text and elements at the same level).
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view text) { text_ += text; }
+
+  // -- attributes ---------------------------------------------------------
+  [[nodiscard]] const std::vector<Attribute>& attributes() const {
+    return attributes_;
+  }
+  /// Returns the attribute value, or nullopt when absent.
+  [[nodiscard]] std::optional<std::string> attribute(
+      std::string_view name) const;
+  /// Returns the attribute value; throws std::out_of_range when absent.
+  [[nodiscard]] const std::string& require_attribute(
+      std::string_view name) const;
+  /// Adds or replaces an attribute.
+  void set_attribute(std::string_view name, std::string_view value);
+
+  // -- children -----------------------------------------------------------
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+  /// Appends a child element and returns a reference to it.
+  Element& add_child(std::string name);
+  /// Appends an already-built child element (used by the parser).
+  Element& adopt_child(std::unique_ptr<Element> child);
+  /// First child with the given element name, or nullptr.
+  [[nodiscard]] const Element* first_child(std::string_view name) const;
+  /// All children with the given element name.
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view name) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// A parsed document: the root element plus the declaration flag.
+struct Document {
+  std::unique_ptr<Element> root;
+  bool had_declaration = false;
+};
+
+/// Parses a complete XML document. Throws ParseError on malformed input.
+[[nodiscard]] Document parse(std::string_view input);
+
+/// Parses the file at `path`. Throws ParseError / std::runtime_error.
+[[nodiscard]] Document parse_file(const std::string& path);
+
+/// Serializes with 2-space indentation and an XML declaration.
+[[nodiscard]] std::string serialize(const Element& root,
+                                    bool with_declaration = true);
+
+/// Escapes the five XML entities in text/attribute content.
+[[nodiscard]] std::string escape(std::string_view raw);
+
+}  // namespace sb::xml

@@ -1,0 +1,128 @@
+// Tests for the [14]-style free-motion baseline and the centralized
+// planner, plus their ordering relative to the constrained algorithm.
+
+#include <gtest/gtest.h>
+
+#include "baseline/centralized.hpp"
+#include "baseline/free_motion.hpp"
+#include "core/reconfig.hpp"
+#include "lattice/scenario.hpp"
+
+namespace sb::baseline {
+namespace {
+
+using lat::Vec2;
+
+TEST(CanonicalPath, StraightColumn) {
+  const auto path = canonical_path({1, 0}, {1, 4});
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), Vec2(1, 0));
+  EXPECT_EQ(path.back(), Vec2(1, 4));
+  for (size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(manhattan(path[i - 1], path[i]), 1);
+  }
+}
+
+TEST(CanonicalPath, LShapedXFirst) {
+  const auto path = canonical_path({5, 1}, {2, 4});
+  ASSERT_EQ(path.size(), 7u);  // 3 horizontal + 3 vertical + start
+  EXPECT_EQ(path[1], Vec2(4, 1));  // x varies first
+  EXPECT_EQ(path[3], Vec2(2, 1));  // corner
+  EXPECT_EQ(path.back(), Vec2(2, 4));
+}
+
+TEST(FreeMotion, CompletesFig10) {
+  const FreeMotionResult result =
+      run_free_motion(lat::make_fig10_scenario());
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_GT(result.elections, 0u);
+  EXPECT_GT(result.elementary_moves, 0u);
+}
+
+TEST(FreeMotion, CompletesTowers) {
+  for (int32_t k : {3, 5, 8}) {
+    const FreeMotionResult result =
+        run_free_motion(lat::make_tower_scenario(k));
+    EXPECT_TRUE(result.complete) << "tower " << k;
+  }
+}
+
+TEST(FreeMotion, CheaperThanConstrainedAlgorithm) {
+  // The whole point of the paper's §II contrast: support constraints make
+  // motion strictly more expensive than the free-motion predecessor [14].
+  const lat::Scenario scenario = lat::make_fig10_scenario();
+  const FreeMotionResult free = run_free_motion(scenario);
+  const auto constrained =
+      core::ReconfigurationSession::run_scenario(scenario, {});
+  ASSERT_TRUE(free.complete);
+  ASSERT_TRUE(constrained.complete);
+  EXPECT_LE(free.elementary_moves, constrained.elementary_moves);
+}
+
+TEST(FreeMotion, CountsDistanceComputations) {
+  const FreeMotionResult result =
+      run_free_motion(lat::make_fig10_scenario());
+  // One dBO evaluation per block per election.
+  EXPECT_EQ(result.distance_computations, result.elections * 12);
+}
+
+TEST(Centralized, PlansFig10) {
+  const CentralizedResult plan =
+      plan_centralized(lat::make_fig10_scenario());
+  ASSERT_TRUE(plan.feasible);
+  // 11 path cells, 6 already occupied by the seed column -> 5 assignments.
+  EXPECT_EQ(plan.assignments.size(), 5u);
+  EXPECT_GT(plan.total_moves, 0u);
+  for (const Assignment& a : plan.assignments) {
+    EXPECT_EQ(a.moves, manhattan(a.from, a.to));
+  }
+}
+
+TEST(Centralized, LowerBoundsFreeMotion) {
+  const lat::Scenario scenario = lat::make_fig10_scenario();
+  const CentralizedResult plan = plan_centralized(scenario);
+  const FreeMotionResult free = run_free_motion(scenario);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_TRUE(free.complete);
+  // Omniscient assignment can never cost more moves than the sequential
+  // free-motion walk (which detours around occupied cells).
+  EXPECT_LE(plan.total_moves, free.elementary_moves);
+}
+
+TEST(Centralized, OrderingChainAcrossAllThreeSystems) {
+  // centralized <= free motion <= constrained distributed algorithm.
+  const lat::Scenario scenario = lat::make_tower_scenario(5);
+  const CentralizedResult plan = plan_centralized(scenario);
+  const FreeMotionResult free = run_free_motion(scenario);
+  const auto ours = core::ReconfigurationSession::run_scenario(scenario, {});
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_TRUE(free.complete);
+  ASSERT_TRUE(ours.complete);
+  EXPECT_LE(plan.total_moves, free.elementary_moves);
+  EXPECT_LE(free.elementary_moves, ours.elementary_moves);
+}
+
+TEST(Centralized, MaxTripTracksLongestAssignment) {
+  const CentralizedResult plan =
+      plan_centralized(lat::make_tower_scenario(4));
+  ASSERT_TRUE(plan.feasible);
+  int32_t longest = 0;
+  for (const Assignment& a : plan.assignments) {
+    longest = std::max(longest, a.moves);
+  }
+  EXPECT_EQ(plan.max_single_trip, longest);
+}
+
+TEST(FreeMotion, RespectsAlignmentFreezeToggle) {
+  // With freezing disabled every non-root block stays eligible; the run
+  // must still complete.
+  FreeMotionConfig config;
+  config.freeze_aligned = false;
+  const FreeMotionResult result =
+      run_free_motion(lat::make_fig10_scenario(), config);
+  EXPECT_TRUE(result.complete);
+}
+
+}  // namespace
+}  // namespace sb::baseline

@@ -1,0 +1,59 @@
+// Consistency tests for the shipped data files: the capability XML and
+// scenario files under data/ must stay in sync with the built-in
+// generators (they are the on-disk form a hardware deployment would load).
+
+#include <gtest/gtest.h>
+
+#include "lattice/scenario.hpp"
+#include "motion/rule_xml.hpp"
+
+#ifndef SMARTBLOCKS_DATA_DIR
+#error "SMARTBLOCKS_DATA_DIR must be defined by the build"
+#endif
+
+namespace sb {
+namespace {
+
+const std::string kDataDir = SMARTBLOCKS_DATA_DIR;
+
+TEST(Data, ShippedCapabilitiesMatchBuiltinLibrary) {
+  const motion::RuleLibrary shipped = motion::load_capabilities_file(
+      kDataDir + "/rules/standard_capabilities.xml");
+  const motion::RuleLibrary builtin = motion::RuleLibrary::standard();
+  ASSERT_EQ(shipped.size(), builtin.size());
+  for (size_t i = 0; i < builtin.size(); ++i) {
+    EXPECT_EQ(shipped.rules()[i].name(), builtin.rules()[i].name());
+    EXPECT_EQ(shipped.rules()[i].canonical_key(),
+              builtin.rules()[i].canonical_key());
+  }
+}
+
+TEST(Data, ShippedFig10MatchesGenerator) {
+  const lat::Scenario shipped =
+      lat::load_scenario(kDataDir + "/scenarios/fig10.surf");
+  const lat::Scenario builtin = lat::make_fig10_scenario();
+  EXPECT_EQ(shipped.width, builtin.width);
+  EXPECT_EQ(shipped.height, builtin.height);
+  EXPECT_EQ(shipped.input, builtin.input);
+  EXPECT_EQ(shipped.output, builtin.output);
+  EXPECT_EQ(shipped.blocks, builtin.blocks);
+}
+
+TEST(Data, ShippedTowerMatchesGenerator) {
+  const lat::Scenario shipped =
+      lat::load_scenario(kDataDir + "/scenarios/tower16.surf");
+  const lat::Scenario builtin = lat::make_tower_scenario(8);
+  EXPECT_EQ(shipped.blocks, builtin.blocks);
+  EXPECT_TRUE(lat::validate(shipped).empty());
+}
+
+TEST(Data, ShippedScenariosAreValid) {
+  for (const char* name : {"/scenarios/fig10.surf",
+                           "/scenarios/tower16.surf"}) {
+    const lat::Scenario scenario = lat::load_scenario(kDataDir + name);
+    EXPECT_TRUE(lat::validate(scenario).empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sb

@@ -1,0 +1,237 @@
+// Tests for Table I (event codes), Table II (truth table), the matrices
+// and the paper's MM (x) MP worked examples (Eqs 1-5, Figs 3-6).
+
+#include <gtest/gtest.h>
+
+#include "motion/code_matrix.hpp"
+#include "motion/event_code.hpp"
+#include "motion/truth_table.hpp"
+
+namespace sb::motion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+TEST(TableI, CodesMatchPaperNumbering) {
+  EXPECT_EQ(to_int(EventCode::kRemainsEmpty), 0);
+  EXPECT_EQ(to_int(EventCode::kRemainsOccupied), 1);
+  EXPECT_EQ(to_int(EventCode::kAny), 2);
+  EXPECT_EQ(to_int(EventCode::kBecomesOccupied), 3);
+  EXPECT_EQ(to_int(EventCode::kBecomesEmpty), 4);
+  EXPECT_EQ(to_int(EventCode::kHandover), 5);
+}
+
+TEST(TableI, FromIntRejectsOutOfRange) {
+  EXPECT_TRUE(event_code_from_int(0).has_value());
+  EXPECT_TRUE(event_code_from_int(5).has_value());
+  EXPECT_FALSE(event_code_from_int(6).has_value());
+  EXPECT_FALSE(event_code_from_int(-1).has_value());
+}
+
+TEST(TableI, StaticVsDynamicClassification) {
+  // Codes 0 and 1 are static; 3, 4, 5 dynamic; 2 is "static or dynamic".
+  EXPECT_FALSE(is_dynamic(EventCode::kRemainsEmpty));
+  EXPECT_FALSE(is_dynamic(EventCode::kRemainsOccupied));
+  EXPECT_TRUE(is_dynamic(EventCode::kAny));
+  EXPECT_TRUE(is_dynamic(EventCode::kBecomesOccupied));
+  EXPECT_TRUE(is_dynamic(EventCode::kBecomesEmpty));
+  EXPECT_TRUE(is_dynamic(EventCode::kHandover));
+}
+
+TEST(TableI, SourceAndDestinationPredicates) {
+  EXPECT_TRUE(is_move_source(EventCode::kBecomesEmpty));
+  EXPECT_TRUE(is_move_source(EventCode::kHandover));
+  EXPECT_FALSE(is_move_source(EventCode::kBecomesOccupied));
+  EXPECT_TRUE(is_move_destination(EventCode::kBecomesOccupied));
+  EXPECT_TRUE(is_move_destination(EventCode::kHandover));
+  EXPECT_FALSE(is_move_destination(EventCode::kBecomesEmpty));
+}
+
+TEST(TableI, PresenceRequirements) {
+  EXPECT_TRUE(requires_block(EventCode::kRemainsOccupied));
+  EXPECT_TRUE(requires_block(EventCode::kBecomesEmpty));
+  EXPECT_TRUE(requires_block(EventCode::kHandover));
+  EXPECT_TRUE(requires_empty(EventCode::kRemainsEmpty));
+  EXPECT_TRUE(requires_empty(EventCode::kBecomesOccupied));
+  EXPECT_FALSE(requires_block(EventCode::kAny));
+  EXPECT_FALSE(requires_empty(EventCode::kAny));
+}
+
+// ---------------------------------------------------------------------------
+// Table II - exhaustive
+// ---------------------------------------------------------------------------
+
+TEST(TableII, MatchesPaperExactly) {
+  // Row presence 0: 1 0 1 1 0 0 ; row presence 1: 0 1 1 0 1 1.
+  const bool expected_empty[6] = {true, false, true, true, false, false};
+  const bool expected_occupied[6] = {false, true, true, false, true, true};
+  for (int code = 0; code < kEventCodeCount; ++code) {
+    const EventCode ec = *event_code_from_int(code);
+    EXPECT_EQ(motion_entry_valid(false, ec), expected_empty[code])
+        << "presence 0, code " << code;
+    EXPECT_EQ(motion_entry_valid(true, ec), expected_occupied[code])
+        << "presence 1, code " << code;
+  }
+}
+
+TEST(TableII, DontCareValidForBoth) {
+  EXPECT_TRUE(motion_entry_valid(false, EventCode::kAny));
+  EXPECT_TRUE(motion_entry_valid(true, EventCode::kAny));
+}
+
+// ---------------------------------------------------------------------------
+// CodeMatrix / PresenceMatrix
+// ---------------------------------------------------------------------------
+
+TEST(CodeMatrix, ParseRowMajor) {
+  const CodeMatrix mm = CodeMatrix::parse("2 0 0\n2 4 3\n2 1 1");
+  EXPECT_EQ(mm.size(), 3);
+  EXPECT_EQ(mm.at(0, 0), EventCode::kAny);
+  EXPECT_EQ(mm.at(1, 1), EventCode::kBecomesEmpty);
+  EXPECT_EQ(mm.at(1, 2), EventCode::kBecomesOccupied);
+  EXPECT_EQ(mm.at(2, 1), EventCode::kRemainsOccupied);
+}
+
+TEST(CodeMatrix, ParseRejectsNonSquare) {
+  EXPECT_THROW(CodeMatrix::parse("1 2 3 4"), std::runtime_error);  // even
+  EXPECT_THROW(CodeMatrix::parse("1 2 3"), std::runtime_error);
+  EXPECT_THROW(CodeMatrix::parse(""), std::runtime_error);
+}
+
+TEST(CodeMatrix, ParseRejectsBadCodes) {
+  EXPECT_THROW(CodeMatrix::parse("0 0 0\n0 9 0\n0 0 0"), std::runtime_error);
+  EXPECT_THROW(CodeMatrix::parse("0 0 0\n0 x 0\n0 0 0"), std::runtime_error);
+}
+
+TEST(CodeMatrix, TextRoundTrip) {
+  const CodeMatrix mm = CodeMatrix::parse("2 0 0\n2 4 3\n2 1 1");
+  EXPECT_EQ(CodeMatrix::parse(mm.to_text()), mm);
+}
+
+TEST(CodeMatrix, WorldOffsetConvention) {
+  // Row 0 is north (+y), column 2 is east (+x), center is (1,1).
+  EXPECT_EQ(world_offset(3, {1, 1}), lat::Vec2(0, 0));
+  EXPECT_EQ(world_offset(3, {0, 1}), lat::Vec2(0, 1));   // north
+  EXPECT_EQ(world_offset(3, {1, 2}), lat::Vec2(1, 0));   // east
+  EXPECT_EQ(world_offset(3, {2, 1}), lat::Vec2(0, -1));  // south
+  EXPECT_EQ(world_offset(3, {1, 0}), lat::Vec2(-1, 0));  // west
+}
+
+TEST(CodeMatrix, MatrixCoordInvertsWorldOffset) {
+  for (int32_t row = 0; row < 5; ++row) {
+    for (int32_t col = 0; col < 5; ++col) {
+      const MatrixCoord mc{row, col};
+      EXPECT_EQ(matrix_coord(5, world_offset(5, mc)), mc);
+    }
+  }
+}
+
+TEST(PresenceMatrix, CaptureFromView) {
+  struct FakeView {
+    [[nodiscard]] bool occupied(lat::Vec2 p) const {
+      return p.y == 0;  // an infinite row of blocks at y = 0
+    }
+  } view;
+  const PresenceMatrix mp = PresenceMatrix::capture(view, {5, 1}, 3);
+  // Anchor (5,1): matrix south row (row 2) maps to y=0 -> occupied.
+  EXPECT_TRUE(mp.at(2, 0));
+  EXPECT_TRUE(mp.at(2, 1));
+  EXPECT_TRUE(mp.at(2, 2));
+  EXPECT_FALSE(mp.at(1, 1));
+  EXPECT_FALSE(mp.at(0, 1));
+}
+
+// ---------------------------------------------------------------------------
+// The paper's worked example: Eq (1) x Eq (2) = Eq (3)
+// ---------------------------------------------------------------------------
+
+TEST(CombineOperator, PaperEq3EastSliding) {
+  const CodeMatrix mm = CodeMatrix::from_rows({{2, 0, 0},    //
+                                               {2, 4, 3},    //
+                                               {2, 1, 1}});  //
+  const PresenceMatrix mp = PresenceMatrix::from_rows({{0, 0, 0},    //
+                                                       {1, 1, 0},    //
+                                                       {1, 1, 1}});  //
+  const ValidationMatrix result = combine(mm, mp);
+  // Eq (3): the resulting matrix is filled by 1 -> motion valid.
+  EXPECT_TRUE(result.all_valid());
+  for (int32_t row = 0; row < 3; ++row) {
+    for (int32_t col = 0; col < 3; ++col) {
+      EXPECT_TRUE(result.at(row, col));
+    }
+  }
+}
+
+TEST(CombineOperator, Fig5InvalidSituations) {
+  const CodeMatrix mm = CodeMatrix::from_rows({{2, 0, 0},    //
+                                               {2, 4, 3},    //
+                                               {2, 1, 1}});  //
+  // Missing the support block under the destination.
+  const PresenceMatrix no_support = PresenceMatrix::from_rows({{0, 0, 0},
+                                                               {1, 1, 0},
+                                                               {1, 1, 0}});
+  EXPECT_FALSE(combine(mm, no_support).all_valid());
+  EXPECT_FALSE(combine(mm, no_support).at(2, 2));
+
+  // Destination already occupied.
+  const PresenceMatrix dest_blocked = PresenceMatrix::from_rows({{0, 0, 0},
+                                                                 {1, 1, 1},
+                                                                 {1, 1, 1}});
+  EXPECT_FALSE(combine(mm, dest_blocked).all_valid());
+
+  // Required clearance above the path is blocked.
+  const PresenceMatrix no_clearance = PresenceMatrix::from_rows({{0, 1, 0},
+                                                                 {1, 1, 0},
+                                                                 {1, 1, 1}});
+  EXPECT_FALSE(combine(mm, no_clearance).all_valid());
+
+  // No block at the source at all.
+  const PresenceMatrix no_mover = PresenceMatrix::from_rows({{0, 0, 0},
+                                                             {1, 0, 0},
+                                                             {1, 1, 1}});
+  EXPECT_FALSE(combine(mm, no_mover).all_valid());
+}
+
+TEST(CombineOperator, PaperEq4Eq5EastCarrying) {
+  const CodeMatrix mm = CodeMatrix::from_rows({{0, 0, 0},    //
+                                               {4, 5, 3},    //
+                                               {2, 1, 2}});  //
+  const PresenceMatrix mp = PresenceMatrix::from_rows({{0, 0, 0},    //
+                                                       {1, 1, 0},    //
+                                                       {1, 1, 0}});  //
+  EXPECT_TRUE(combine(mm, mp).all_valid());
+}
+
+TEST(CombineOperator, DontCareColumnIgnoresContent) {
+  const CodeMatrix mm = CodeMatrix::from_rows({{2, 0, 0},    //
+                                               {2, 4, 3},    //
+                                               {2, 1, 1}});  //
+  // West column (all code 2) can hold anything.
+  for (int west : {0, 1}) {
+    const PresenceMatrix mp = PresenceMatrix::from_rows(
+        {{west, 0, 0}, {west, 1, 0}, {west, 1, 1}});
+    EXPECT_TRUE(combine(mm, mp).all_valid()) << "west=" << west;
+  }
+}
+
+TEST(CombineOperator, SizeMismatchAborts) {
+  const CodeMatrix mm(3);
+  const PresenceMatrix mp(5);
+  EXPECT_DEATH((void)combine(mm, mp), "equal size");
+}
+
+TEST(ValidationMatrix, ToTextShowsBits) {
+  const CodeMatrix mm = CodeMatrix::from_rows({{2, 0, 0},    //
+                                               {2, 4, 3},    //
+                                               {2, 1, 1}});  //
+  const PresenceMatrix mp = PresenceMatrix::from_rows({{0, 0, 0},
+                                                       {1, 1, 0},
+                                                       {1, 1, 0}});
+  const std::string text = combine(mm, mp).to_text();
+  EXPECT_EQ(text, "1 1 1\n1 1 1\n1 1 0\n");
+}
+
+}  // namespace
+}  // namespace sb::motion

@@ -1,0 +1,294 @@
+// Tests for the distance metric (Eqs 6, 8-10) and the motion planner's
+// two-tier eligibility.
+
+#include <gtest/gtest.h>
+
+#include "core/motion_planner.hpp"
+#include "core/tabu.hpp"
+
+namespace sb::core {
+namespace {
+
+using lat::BlockId;
+using lat::Vec2;
+
+sim::World make_world(std::initializer_list<Vec2> cells, int32_t w = 8,
+                      int32_t h = 12) {
+  sim::World world(w, h, motion::RuleLibrary::standard());
+  uint32_t id = 1;
+  for (const Vec2 cell : cells) world.grid().place(BlockId{id++}, cell);
+  return world;
+}
+
+DistanceParams fig10_params() {
+  DistanceParams params;
+  params.input = {1, 0};
+  params.output = {1, 10};
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// base_distance (Eqs 8 and 10)
+// ---------------------------------------------------------------------------
+
+TEST(Distance, Eq10ManhattanForUnalignedBlocks) {
+  const DistanceParams params = fig10_params();
+  EXPECT_EQ(base_distance({2, 3}, params), 1 + 7);
+  EXPECT_EQ(base_distance({0, 0}, params), 1 + 10);
+  EXPECT_EQ(base_distance({4, 10}, params), 3);
+}
+
+TEST(Distance, Eq8FreezesAlignedInsideRect) {
+  const DistanceParams params = fig10_params();
+  // On the I/O column, inside the rectangle, more than one hop away.
+  EXPECT_EQ(base_distance({1, 3}, params), kInfiniteDistance);
+  EXPECT_EQ(base_distance({1, 0}, params), kInfiniteDistance);  // at I
+}
+
+TEST(Distance, OneHopExceptionNotFrozen) {
+  // §V.A: a block "at one hop of O" may move directly onto O, so its
+  // distance stays 1 even though it is aligned with O.
+  const DistanceParams params = fig10_params();
+  EXPECT_EQ(base_distance({1, 9}, params), 1);   // directly below O
+  EXPECT_EQ(base_distance({0, 10}, params), 1);  // west of O (O's row)
+  EXPECT_EQ(base_distance({2, 10}, params), 1);  // east of O
+}
+
+TEST(Distance, AlignedOutsideRectNotFrozen) {
+  // Aligned with O but outside the I/O rectangle: still eligible
+  // (DESIGN.md interpretation note 1).
+  const DistanceParams params = fig10_params();
+  EXPECT_EQ(base_distance({1, 11}, params), 1);   // above O, outside rect
+  EXPECT_EQ(base_distance({4, 10}, params), 3);   // O's row, outside rect
+}
+
+TEST(Distance, GeneralRectFreezing) {
+  DistanceParams params;
+  params.input = {5, 1};
+  params.output = {2, 7};  // left-up oriented graph, as in Fig 2
+  // O's column inside the rect: frozen.
+  EXPECT_EQ(base_distance({2, 4}, params), kInfiniteDistance);
+  // O's row inside the rect: frozen.
+  EXPECT_EQ(base_distance({4, 7}, params), kInfiniteDistance);
+  // O's column *outside* the rect (below I's row): not frozen.
+  EXPECT_EQ(base_distance({2, 0}, params), 7);
+  // Interior unaligned cell: plain Manhattan.
+  EXPECT_EQ(base_distance({4, 4}, params), 2 + 3);
+}
+
+TEST(Distance, FreezingCanBeDisabled) {
+  DistanceParams params = fig10_params();
+  params.freeze_aligned = false;
+  EXPECT_EQ(base_distance({1, 3}, params), 7);
+}
+
+TEST(Distance, AtOutputIsZero) {
+  EXPECT_EQ(base_distance({1, 10}, fig10_params()), 0);
+}
+
+TEST(Distance, Eq6InitialEstimate) {
+  EXPECT_EQ(initial_shortest_distance({1, 0}, {1, 10}), 10);
+  EXPECT_EQ(initial_shortest_distance({5, 1}, {2, 7}), 9);
+}
+
+// ---------------------------------------------------------------------------
+// net_progress
+// ---------------------------------------------------------------------------
+
+TEST(NetProgress, SlideTowardOutputIsPlusOne) {
+  const sim::World world = make_world({{2, 3}, {2, 2}, {3, 2}, {1, 2}});
+  const motion::MotionRule* rule = world.rules().find("slide_WS");
+  ASSERT_NE(rule, nullptr);
+  // (2,3) slides west toward the output column.
+  const motion::RuleApplication app{rule, {2, 3}, 0};
+  EXPECT_EQ(net_progress(app, {1, 10}), 1);
+}
+
+TEST(NetProgress, CarryBothImprovingIsPlusTwo) {
+  const sim::World world = make_world({{2, 4}, {2, 3}, {1, 4}});
+  const motion::MotionRule* rule = world.rules().find("carry_NW");
+  ASSERT_NE(rule, nullptr);
+  const motion::RuleApplication app{rule, {2, 4}, 0};  // subject north
+  EXPECT_EQ(net_progress(app, {1, 10}), 2);
+}
+
+TEST(NetProgress, EvictingPathBlockSidewaysIsZero) {
+  // The livelock pattern: a pusher enters the path cell while the occupant
+  // is evicted sideways - subject +1, evicted -1.
+  const sim::World world = make_world({{0, 3}, {1, 3}, {1, 2}});
+  const motion::MotionRule* rule = world.rules().find("carry_ES");
+  ASSERT_NE(rule, nullptr);
+  // Subject move index 1 = the pusher (west cell).
+  const motion::RuleApplication app{rule, {1, 3}, 1};
+  EXPECT_EQ(app.subject_from(), Vec2(0, 3));
+  EXPECT_EQ(net_progress(app, {1, 10}), 0);
+}
+
+// ---------------------------------------------------------------------------
+// MotionPlanner.evaluate
+// ---------------------------------------------------------------------------
+
+MotionPlanner make_planner(const sim::World& world,
+                           MoveTie tie = MoveTie::kPreferEnterPath,
+                           bool reposition = true) {
+  PlannerConfig config;
+  config.distance = fig10_params();
+  config.tie = tie;
+  config.allow_repositioning = reposition;
+  return MotionPlanner(&world.rules(), config);
+}
+
+TEST(Planner, FrozenBlockIneligible) {
+  const sim::World world = make_world({{1, 3}, {1, 2}, {2, 2}, {2, 3}});
+  const MotionPlanner planner = make_planner(world);
+  const MoveDecision decision =
+      planner.evaluate(world, {1, 3}, nullptr, 0, nullptr, nullptr);
+  EXPECT_FALSE(decision.eligible());
+  EXPECT_EQ(decision.distance, kInfiniteDistance);
+}
+
+TEST(Planner, Tier1ClimberOnLane) {
+  // Lane climber beside the path column: slide north is strictly improving.
+  const sim::World world =
+      make_world({{2, 2}, {1, 2}, {1, 3}, {1, 1}, {2, 1}});
+  const MotionPlanner planner = make_planner(world);
+  const MoveDecision decision =
+      planner.evaluate(world, {2, 2}, nullptr, 0, nullptr, nullptr);
+  ASSERT_TRUE(decision.eligible());
+  EXPECT_FALSE(decision.repositioning);
+  EXPECT_EQ(decision.distance, 1 + 8);  // Eq (10)
+  EXPECT_EQ(decision.move->subject_to(), Vec2(2, 3));
+}
+
+TEST(Planner, PrefersEnteringPathOnTie) {
+  // A block level with the path top: entering the path (west) and climbing
+  // (north) both reduce the distance by one; kPreferEnterPath picks west.
+  const sim::World world =
+      make_world({{2, 3}, {2, 2}, {1, 2}, {1, 1}, {2, 1}});
+  // Path cells (1,1),(1,2) occupied; (1,3) empty; (2,3) climber.
+  const MotionPlanner planner = make_planner(world);
+  const MoveDecision decision =
+      planner.evaluate(world, {2, 3}, nullptr, 0, nullptr, nullptr);
+  ASSERT_TRUE(decision.eligible());
+  EXPECT_EQ(decision.move->subject_to(), Vec2(1, 3));
+}
+
+TEST(Planner, CountsDistanceComputations) {
+  const sim::World world = make_world({{2, 2}, {1, 2}, {1, 1}, {2, 1}});
+  const MotionPlanner planner = make_planner(world);
+  ReconfigMetrics metrics;
+  (void)planner.evaluate(world, {2, 2}, nullptr, 0, &metrics, nullptr);
+  (void)planner.evaluate(world, {2, 1}, nullptr, 0, &metrics, nullptr);
+  EXPECT_EQ(metrics.distance_computations, 2u);
+}
+
+TEST(Planner, RejectsZeroNetProgressEviction) {
+  // The original livelock configuration: pusher at (0,3) would enter the
+  // path by evicting the path block sideways. Must be ineligible (no other
+  // improving move, and tier-2 excludes helper-displacing rules).
+  const sim::World world = make_world({{0, 3}, {1, 3}, {1, 2}, {1, 1},
+                                       {2, 1}, {2, 2}});
+  const MotionPlanner planner = make_planner(world);
+  TabuList tabu;
+  const MoveDecision decision =
+      planner.evaluate(world, {0, 3}, &tabu, 0, nullptr, nullptr);
+  if (decision.eligible()) {
+    // Any offered move must be a tier-2 single-block detour, never the
+    // eviction.
+    EXPECT_TRUE(decision.repositioning);
+    EXPECT_EQ(decision.move->world_moves().size(), 1u);
+  }
+}
+
+TEST(Planner, Tier2OffersDetourWhenStuck) {
+  // A block with no improving move but a legal sideways slide.
+  // Row of three on y=4 against the west wall... use: block at (0,4) with
+  // path beside; its only moves go south along the wall.
+  const sim::World world =
+      make_world({{0, 4}, {1, 4}, {1, 3}, {1, 2}, {2, 2}});
+  const MotionPlanner planner = make_planner(world);
+  TabuList tabu;
+  const MoveDecision decision =
+      planner.evaluate(world, {0, 4}, &tabu, 0, nullptr, nullptr);
+  ASSERT_TRUE(decision.eligible());
+  EXPECT_TRUE(decision.repositioning);
+  EXPECT_GE(decision.distance, kRepositionPenalty);
+  EXPECT_EQ(decision.move->subject_to(), Vec2(0, 3));
+}
+
+TEST(Planner, Tier2RespectsTabu) {
+  const sim::World world =
+      make_world({{0, 4}, {1, 4}, {1, 3}, {1, 2}, {2, 2}});
+  const MotionPlanner planner = make_planner(world);
+  TabuList tabu;
+  tabu.push({0, 3});  // the only detour destination is tabu
+  const MoveDecision decision =
+      planner.evaluate(world, {0, 4}, &tabu, 0, nullptr, nullptr);
+  EXPECT_FALSE(decision.eligible());
+}
+
+TEST(Planner, Tier2CanBeDisabled) {
+  const sim::World world =
+      make_world({{0, 4}, {1, 4}, {1, 3}, {1, 2}, {2, 2}});
+  const MotionPlanner planner =
+      make_planner(world, MoveTie::kPreferEnterPath, /*reposition=*/false);
+  const MoveDecision decision =
+      planner.evaluate(world, {0, 4}, nullptr, 0, nullptr, nullptr);
+  EXPECT_FALSE(decision.eligible());  // Eq (9) strict
+}
+
+TEST(Planner, RandomTieIsSeedStable) {
+  const sim::World world =
+      make_world({{2, 3}, {2, 2}, {1, 2}, {1, 1}, {2, 1}});
+  const MotionPlanner planner = make_planner(world, MoveTie::kRandom);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const MoveDecision a =
+      planner.evaluate(world, {2, 3}, nullptr, 0, nullptr, &rng_a);
+  const MoveDecision b =
+      planner.evaluate(world, {2, 3}, nullptr, 0, nullptr, &rng_b);
+  ASSERT_TRUE(a.eligible());
+  ASSERT_TRUE(b.eligible());
+  EXPECT_EQ(a.move->subject_to(), b.move->subject_to());
+}
+
+TEST(Planner, LegalMovesMatchPhysics) {
+  const sim::World world = make_world({{2, 2}, {1, 2}, {1, 1}, {2, 1}});
+  const MotionPlanner planner = make_planner(world);
+  for (const auto& app : planner.legal_moves(world, {2, 2})) {
+    EXPECT_TRUE(world.can_apply(app)) << app.describe();
+    EXPECT_EQ(app.subject_from(), Vec2(2, 2));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TabuList
+// ---------------------------------------------------------------------------
+
+TEST(Tabu, EvictsOldestAtCapacity) {
+  TabuList tabu(2);
+  tabu.push({0, 0});
+  tabu.push({1, 1});
+  tabu.push({2, 2});  // evicts (0,0)
+  EXPECT_FALSE(tabu.contains({0, 0}));
+  EXPECT_TRUE(tabu.contains({1, 1}));
+  EXPECT_TRUE(tabu.contains({2, 2}));
+  EXPECT_EQ(tabu.size(), 2u);
+}
+
+TEST(Tabu, ZeroCapacityNeverBlocks) {
+  TabuList tabu(0);
+  tabu.push({0, 0});
+  EXPECT_FALSE(tabu.contains({0, 0}));
+}
+
+TEST(Tabu, ClearEmpties) {
+  TabuList tabu;
+  tabu.push({3, 3});
+  tabu.clear();
+  EXPECT_FALSE(tabu.contains({3, 3}));
+  EXPECT_EQ(tabu.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sb::core

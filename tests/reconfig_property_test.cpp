@@ -1,0 +1,181 @@
+// Property-style tests: the algorithm's invariants must hold across a
+// sweep of seeds, latency models, scenario sizes and tie policies.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/reconfig.hpp"
+#include "lattice/connectivity.hpp"
+#include "lattice/region.hpp"
+#include "lattice/scenario.hpp"
+
+namespace sb::core {
+namespace {
+
+using lat::Vec2;
+
+struct SweepPoint {
+  int32_t tower_half_height;
+  uint64_t seed;
+  int latency_kind;  // 0 fixed, 1 uniform, 2 exponential
+};
+
+msg::LatencyModel latency_for(int kind) {
+  switch (kind) {
+    case 0: return msg::LatencyModel::fixed(3);
+    case 1: return msg::LatencyModel::uniform(1, 12);
+    default: return msg::LatencyModel::exponential(5.0);
+  }
+}
+
+class ReconfigSweep
+    : public ::testing::TestWithParam<std::tuple<int32_t, uint64_t, int>> {};
+
+TEST_P(ReconfigSweep, AllInvariantsHold) {
+  const auto [half_height, seed, latency_kind] = GetParam();
+  const lat::Scenario scenario = lat::make_tower_scenario(half_height);
+  SessionConfig config;
+  config.sim.seed = seed;
+  config.sim.latency = latency_for(latency_kind);
+  config.max_events = 100'000'000;
+
+  ReconfigurationSession session(scenario, config);
+  const lat::Grid& grid = session.simulator().world().grid();
+
+  // Invariant probes hooked on every hop.
+  uint64_t hops_seen = 0;
+  bool connectivity_ok = true;
+  bool block_count_ok = true;
+  session.set_move_listener(
+      [&](Epoch, lat::BlockId, const motion::RuleApplication&) {
+        ++hops_seen;
+        connectivity_ok &= lat::is_connected(grid);
+        block_count_ok &= grid.block_count() == scenario.block_count();
+      });
+
+  const SessionResult result = session.run();
+
+  // P1: the run terminates cleanly (never by event explosion).
+  EXPECT_NE(result.stop_reason, sim::StopReason::kEventLimit);
+  // P2: towers always complete.
+  EXPECT_TRUE(result.complete);
+  // P3: completion implies a fully occupied shortest path.
+  EXPECT_TRUE(result.path.has_value());
+  EXPECT_FALSE(result.premature_completion);
+  // P4: physics invariants held at every hop.
+  EXPECT_TRUE(connectivity_ok);
+  EXPECT_TRUE(block_count_ok);
+  // P5: the listener saw exactly the reported hops.
+  EXPECT_EQ(hops_seen, result.hops);
+  // P6: iterations within the Remark-4-sized cap.
+  const auto n = static_cast<uint64_t>(scenario.block_count());
+  EXPECT_LE(result.iterations, 20 * n * n + 500);
+  // P7: message conservation - no message is lost on a static graph
+  // between elections, and Activates pair with Acks.
+  EXPECT_EQ(result.messages_by_kind.at("Activate"),
+            result.messages_by_kind.at("Ack"));
+  // P8: every election elects at most one block per epoch.
+  EXPECT_LE(result.elections_completed, result.iterations);
+  // P9: elementary moves >= hops (helpers only add).
+  EXPECT_GE(result.elementary_moves, result.hops);
+  // P10: Lemma 1 - hops are at least the lower bound sum of distances:
+  // each lane block must travel at least its Manhattan distance to its
+  // final cell; crude but useful floor: path cells to fill.
+  const auto to_fill = static_cast<uint64_t>(
+      lat::shortest_path_cells(scenario.input, scenario.output) -
+      static_cast<int32_t>(half_height));
+  EXPECT_GE(result.hops, to_fill);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReconfigSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 7),
+                       ::testing::Values(1ULL, 42ULL, 1234ULL),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto& param_info) {
+      // std::get (not structured bindings): a bracketed binding list would
+      // be split by the enclosing macro's comma parsing.
+      return "tower" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param)) + "_lat" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Random-blob sweep: these geometries are not guaranteed by Lemma 1's
+// constructive flow, so the property is weaker - terminate cleanly, and on
+// completion the path must be real.
+// ---------------------------------------------------------------------------
+
+class BlobSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlobSweep, TerminatesCleanlyAndHonestly) {
+  lat::BlobParams params;
+  params.surface_width = 10;
+  params.surface_height = 10;
+  params.input = {1, 1};
+  params.output = {1, 7};
+  params.block_count = 12;
+  Rng rng(GetParam());
+  const lat::Scenario scenario = lat::random_blob_scenario(params, rng);
+
+  SessionConfig config;
+  config.sim.seed = GetParam();
+  config.max_events = 100'000'000;
+  ReconfigurationSession session(scenario, config);
+  const SessionResult result = session.run();
+
+  EXPECT_NE(result.stop_reason, sim::StopReason::kEventLimit);
+  EXPECT_TRUE(result.complete || result.blocked);
+  if (result.complete && !result.premature_completion) {
+    EXPECT_TRUE(result.path.has_value());
+    EXPECT_TRUE(lat::path_complete(session.simulator().world().grid(),
+                                   scenario.input, scenario.output));
+  }
+  // Whatever happened, physics stayed sound.
+  EXPECT_TRUE(lat::is_connected(session.simulator().world().grid()));
+  EXPECT_EQ(session.simulator().world().grid().block_count(),
+            scenario.block_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlobSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+// ---------------------------------------------------------------------------
+// Cross-configuration determinism matrix
+// ---------------------------------------------------------------------------
+
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(DeterminismSweep, RepeatRunsAreBitIdentical) {
+  const auto [seed, latency_kind] = GetParam();
+  SessionConfig config;
+  config.sim.seed = seed;
+  config.sim.latency = latency_for(latency_kind);
+  const auto run = [&] {
+    return ReconfigurationSession::run_scenario(lat::make_tower_scenario(4),
+                                                config);
+  };
+  const SessionResult a = run();
+  const SessionResult b = run();
+  EXPECT_EQ(a.sim_ticks, b.sim_ticks);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.elementary_moves, b.elementary_moves);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.distance_computations, b.distance_computations);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DeterminismSweep,
+    ::testing::Combine(::testing::Values(7ULL, 77ULL, 777ULL),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) + "_lat" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace sb::core

@@ -1,0 +1,322 @@
+// Tests for the I/O region model (§III) and scenarios.
+
+#include <gtest/gtest.h>
+
+#include "lattice/region.hpp"
+#include "lattice/scenario.hpp"
+
+namespace sb::lat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Region / oriented graph (paper §III)
+// ---------------------------------------------------------------------------
+
+TEST(Region, BoundingRectNormalizesCorners) {
+  const Rect rect = bounding_rect({5, 1}, {2, 7});
+  EXPECT_EQ(rect.lo, Vec2(2, 1));
+  EXPECT_EQ(rect.hi, Vec2(5, 7));
+  EXPECT_EQ(rect.width(), 4);
+  EXPECT_EQ(rect.height(), 7);
+  EXPECT_TRUE(rect.contains({3, 3}));
+  EXPECT_FALSE(rect.contains({1, 3}));
+}
+
+TEST(Region, DegenerateRectForAlignedIO) {
+  const Rect rect = bounding_rect({1, 0}, {1, 10});
+  EXPECT_EQ(rect.width(), 1);
+  EXPECT_EQ(rect.height(), 11);
+  EXPECT_TRUE(rect.contains({1, 5}));
+  EXPECT_FALSE(rect.contains({0, 5}));
+}
+
+TEST(Region, OrientedDirectionsLeftUp) {
+  // Fig 2: output left and above the input -> left-up oriented graph.
+  const auto dirs = oriented_directions({5, 1}, {2, 7});
+  ASSERT_EQ(dirs.size(), 2u);
+  EXPECT_EQ(dirs[0], Direction::kWest);
+  EXPECT_EQ(dirs[1], Direction::kNorth);
+}
+
+TEST(Region, OrientedDirectionsAligned) {
+  const auto dirs = oriented_directions({1, 0}, {1, 10});
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_EQ(dirs[0], Direction::kNorth);
+}
+
+TEST(Region, OrientedGraphLinkCount) {
+  // For a w x h rectangle with both directions: w*h*(2) - w - h edges
+  // (each node has up to one west and one north link).
+  const auto links = oriented_graph_links({3, 0}, {0, 2});  // 4 x 3 rect
+  // 4*3 nodes; west links: 3 per row * 3 rows = 9; north: 4 per col * 2 = 8.
+  EXPECT_EQ(links.size(), 17u);
+  for (const auto& [from, to] : links) {
+    EXPECT_EQ(manhattan(from, to), 1);
+    // Every link points toward O (west or north here).
+    EXPECT_TRUE(to.x < from.x || to.y > from.y);
+  }
+}
+
+TEST(Region, ShortestPathCells) {
+  EXPECT_EQ(shortest_path_cells({1, 0}, {1, 10}), 11);
+  EXPECT_EQ(shortest_path_cells({0, 0}, {3, 4}), 8);
+}
+
+TEST(Region, MaxShortestPathMatchesPaper) {
+  // §III: the maximum length of a shortest path is W + H - 1.
+  EXPECT_EQ(max_shortest_path_cells(6, 12), 17);
+  EXPECT_EQ(max_shortest_path_cells(2, 2), 3);
+}
+
+TEST(Region, OccupiedShortestPathStraight) {
+  Grid grid(4, 6);
+  for (int32_t y = 0; y <= 4; ++y) grid.place(BlockId{uint32_t(y + 1)}, {1, y});
+  const auto path = occupied_shortest_path(grid, {1, 0}, {1, 4});
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 5u);
+  EXPECT_EQ(path->front(), Vec2(1, 0));
+  EXPECT_EQ(path->back(), Vec2(1, 4));
+}
+
+TEST(Region, OccupiedShortestPathStaircase) {
+  // L-shaped occupied path from (0,0) to (2,2).
+  Grid grid(4, 4);
+  uint32_t id = 1;
+  for (const Vec2 cell :
+       {Vec2{0, 0}, Vec2{1, 0}, Vec2{2, 0}, Vec2{2, 1}, Vec2{2, 2}}) {
+    grid.place(BlockId{id++}, cell);
+  }
+  const auto path = occupied_shortest_path(grid, {0, 0}, {2, 2});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 5u);
+}
+
+TEST(Region, IncompletePathReturnsNullopt) {
+  Grid grid(4, 6);
+  grid.place(BlockId{1}, {1, 0});
+  grid.place(BlockId{2}, {1, 1});
+  grid.place(BlockId{3}, {1, 4});  // gap at y=2,3
+  EXPECT_FALSE(occupied_shortest_path(grid, {1, 0}, {1, 4}).has_value());
+  EXPECT_FALSE(path_complete(grid, {1, 0}, {1, 4}));
+}
+
+TEST(Region, DetourDoesNotCountAsShortestPath) {
+  // Occupied connection exists but is longer than Manhattan: not a
+  // *shortest* path.
+  Grid grid(4, 4);
+  uint32_t id = 1;
+  for (const Vec2 cell : {Vec2{0, 0}, Vec2{0, 1}, Vec2{1, 1}, Vec2{2, 1},
+                          Vec2{2, 0}}) {
+    grid.place(BlockId{id++}, cell);
+  }
+  // From (0,0) to (2,0): manhattan 2, but the straight cell (1,0) is empty.
+  EXPECT_FALSE(path_complete(grid, {0, 0}, {2, 0}));
+}
+
+TEST(Region, StrayBlocksAreAllowed) {
+  Grid grid(4, 6);
+  for (int32_t y = 0; y <= 4; ++y) grid.place(BlockId{uint32_t(y + 1)}, {1, y});
+  grid.place(BlockId{99}, {3, 3});  // stray spare
+  EXPECT_TRUE(path_complete(grid, {1, 0}, {1, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario format
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, ParseBasic) {
+  const Scenario s = parse_scenario(
+      "# comment\n"
+      "name t\n"
+      "size 4 5\n"
+      "input 1 0\n"
+      "output 1 4\n"
+      "block 7 1 0\n"
+      "block 8 2 0\n");
+  EXPECT_EQ(s.name, "t");
+  EXPECT_EQ(s.width, 4);
+  EXPECT_EQ(s.height, 5);
+  EXPECT_EQ(s.input, Vec2(1, 0));
+  EXPECT_EQ(s.output, Vec2(1, 4));
+  ASSERT_EQ(s.blocks.size(), 2u);
+  EXPECT_EQ(s.root_id(), BlockId{7});
+}
+
+TEST(Scenario, RoundTrip) {
+  const Scenario original = make_fig10_scenario();
+  const Scenario parsed = parse_scenario(serialize_scenario(original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.width, original.width);
+  EXPECT_EQ(parsed.input, original.input);
+  EXPECT_EQ(parsed.output, original.output);
+  EXPECT_EQ(parsed.blocks, original.blocks);
+}
+
+TEST(Scenario, ParseErrorsCarryLineNumbers) {
+  try {
+    (void)parse_scenario("size 4 4\ninput 0 0\nbogus 1 2\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Scenario, MissingSizeFails) {
+  EXPECT_THROW((void)parse_scenario("input 0 0\noutput 1 1\n"),
+               std::runtime_error);
+}
+
+TEST(Scenario, ToGridPlacesAllBlocks) {
+  const Scenario s = make_fig10_scenario();
+  const Grid grid = s.to_grid();
+  EXPECT_EQ(grid.block_count(), 12u);
+  EXPECT_TRUE(grid.occupied(s.input));
+}
+
+// ---------------------------------------------------------------------------
+// Validation (the paper's assumptions)
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioValidate, Fig10IsValid) {
+  EXPECT_TRUE(validate(make_fig10_scenario()).empty());
+}
+
+TEST(ScenarioValidate, RejectsMissingRoot) {
+  Scenario s = make_fig10_scenario();
+  s.input = {0, 0};  // no block there
+  const auto issues = validate(s);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("input"), std::string::npos);
+}
+
+TEST(ScenarioValidate, RejectsOccupiedOutput) {
+  Scenario s = make_fig10_scenario();
+  s.output = {2, 3};  // a blob cell
+  EXPECT_FALSE(validate(s).empty());
+}
+
+TEST(ScenarioValidate, RejectsDisconnectedBlocks) {
+  Scenario s = make_fig10_scenario();
+  s.blocks.emplace_back(BlockId{99}, Vec2{5, 11});
+  EXPECT_FALSE(validate(s).empty());
+}
+
+TEST(ScenarioValidate, RejectsSingleLine) {
+  // Assumption 1 excludes a pure column of blocks (enough blocks for the
+  // path, so the single-line issue is the only one).
+  Scenario s;
+  s.width = 5;
+  s.height = 8;
+  s.input = {1, 0};
+  s.output = {3, 2};  // 5 path cells
+  for (uint32_t y = 0; y < 6; ++y) {
+    s.blocks.emplace_back(BlockId{y + 1}, Vec2{1, static_cast<int32_t>(y)});
+  }
+  const auto issues = validate(s);
+  ASSERT_FALSE(issues.empty());
+  bool mentions_line = false;
+  for (const auto& issue : issues) {
+    mentions_line |= issue.find("single") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_line);
+}
+
+TEST(ScenarioValidate, RejectsTooFewBlocks) {
+  Scenario s;
+  s.width = 4;
+  s.height = 12;
+  s.input = {1, 0};
+  s.output = {1, 10};  // 11 path cells
+  s.blocks = {{BlockId{1}, {1, 0}}, {BlockId{2}, {2, 0}},
+              {BlockId{3}, {1, 1}}};
+  EXPECT_FALSE(validate(s).empty());
+}
+
+TEST(ScenarioValidate, RejectsDuplicates) {
+  Scenario s = make_fig10_scenario();
+  s.blocks.emplace_back(BlockId{1}, Vec2{4, 4});  // duplicate id
+  EXPECT_FALSE(validate(s).empty());
+
+  Scenario t = make_fig10_scenario();
+  t.blocks.emplace_back(BlockId{99}, t.blocks.front().second);  // shared cell
+  EXPECT_FALSE(validate(t).empty());
+}
+
+TEST(ScenarioValidate, RejectsOutOfBoundsIO) {
+  Scenario s = make_fig10_scenario();
+  s.output = {99, 99};
+  EXPECT_FALSE(validate(s).empty());
+}
+
+TEST(ScenarioValidate, RejectsInputEqualsOutput) {
+  Scenario s = make_fig10_scenario();
+  s.output = s.input;
+  EXPECT_FALSE(validate(s).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioGen, Fig10MatchesPaperNumbers) {
+  const Scenario s = make_fig10_scenario();
+  EXPECT_EQ(s.block_count(), 12u);  // twelve blocks (paper §V.D)
+  // "shortest path distance between I and O equal to eleven" (11 cells).
+  EXPECT_EQ(shortest_path_cells(s.input, s.output), 11);
+  EXPECT_EQ(s.input.x, s.output.x);  // same column, as in Fig 10
+}
+
+TEST(ScenarioGen, TowerHasLemmaExtremalShape) {
+  for (int32_t k : {2, 3, 5, 8}) {
+    const Scenario s = make_tower_scenario(k);
+    EXPECT_TRUE(validate(s).empty()) << "tower " << k;
+    // Lemma 1: N blocks for a path of N-1 cells.
+    EXPECT_EQ(static_cast<int32_t>(s.block_count()),
+              shortest_path_cells(s.input, s.output) + 1);
+  }
+}
+
+TEST(ScenarioGen, RandomBlobIsValidAndDeterministic) {
+  BlobParams params;
+  params.surface_width = 12;
+  params.surface_height = 12;
+  params.input = {2, 1};
+  params.output = {9, 9};
+  params.block_count = 20;
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const Scenario a = random_blob_scenario(params, rng_a);
+  const Scenario b = random_blob_scenario(params, rng_b);
+  EXPECT_TRUE(validate(a).empty());
+  EXPECT_EQ(a.blocks, b.blocks);  // deterministic for equal RNG state
+  EXPECT_EQ(a.block_count(), 20u);
+}
+
+TEST(ScenarioGen, RandomBlobAvoidsOutputAlignment) {
+  BlobParams params;
+  params.surface_width = 14;
+  params.surface_height = 14;
+  params.input = {2, 2};
+  params.output = {10, 10};
+  params.block_count = 30;
+  Rng rng(5);
+  const Scenario s = random_blob_scenario(params, rng);
+  const Rect rect = bounding_rect(params.input, params.output);
+  for (const auto& [id, pos] : s.blocks) {
+    if (pos == params.input) continue;
+    const bool aligned = pos.x == params.output.x || pos.y == params.output.y;
+    EXPECT_FALSE(aligned && rect.contains(pos))
+        << "block " << id << " starts frozen at " << pos;
+  }
+}
+
+TEST(ScenarioGen, RectangleScenario) {
+  const Scenario s =
+      make_rectangle_scenario(10, 10, {1, 1}, 3, 4, {1, 1}, {8, 8});
+  EXPECT_EQ(s.block_count(), 12u);
+  EXPECT_TRUE(s.to_grid().occupied({3, 4}));
+  EXPECT_FALSE(s.to_grid().occupied({4, 5}));
+}
+
+}  // namespace
+}  // namespace sb::lat

@@ -1,0 +1,266 @@
+// Tests for motion rules, symmetry transforms, and the rule library.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "motion/rule.hpp"
+#include "motion/rule_library.hpp"
+#include "motion/transform.hpp"
+
+namespace sb::motion {
+namespace {
+
+MotionRule east_sliding() {
+  return MotionRule("slide_ES",
+                    CodeMatrix::from_rows({{2, 0, 0},    //
+                                           {2, 4, 3},    //
+                                           {2, 1, 1}}),  //
+                    {{0, {1, 1}, {1, 2}}});
+}
+
+MotionRule east_carrying() {
+  return MotionRule("carry_ES",
+                    CodeMatrix::from_rows({{0, 0, 0},    //
+                                           {4, 5, 3},    //
+                                           {2, 1, 2}}),  //
+                    {{0, {1, 1}, {1, 2}}, {0, {1, 0}, {1, 1}}});
+}
+
+// ---------------------------------------------------------------------------
+// Semantic validation
+// ---------------------------------------------------------------------------
+
+TEST(RuleSemantics, PaperRulesAreWellFormed) {
+  EXPECT_TRUE(east_sliding().semantic_issues().empty());
+  EXPECT_TRUE(east_carrying().semantic_issues().empty());
+}
+
+TEST(RuleSemantics, RejectsEmptyMoveList) {
+  const MotionRule rule("r", CodeMatrix::from_rows({{2, 0, 0},
+                                                    {2, 1, 1},
+                                                    {2, 1, 1}}),
+                        {});
+  EXPECT_FALSE(rule.semantic_issues().empty());
+}
+
+TEST(RuleSemantics, RejectsMoveFromStaticCell) {
+  // Move starts at a code-1 cell.
+  const MotionRule rule("r", CodeMatrix::from_rows({{2, 0, 0},
+                                                    {2, 1, 3},
+                                                    {2, 1, 1}}),
+                        {{0, {1, 1}, {1, 2}}});
+  EXPECT_FALSE(rule.semantic_issues().empty());
+}
+
+TEST(RuleSemantics, RejectsVacatedCellWithoutMove) {
+  // Code 4 present but the move list does not vacate it.
+  const MotionRule rule("r", CodeMatrix::from_rows({{2, 0, 3},
+                                                    {2, 4, 4},
+                                                    {2, 1, 1}}),
+                        {{0, {1, 1}, {0, 2}}});
+  EXPECT_FALSE(rule.semantic_issues().empty());
+}
+
+TEST(RuleSemantics, RejectsDiagonalMove) {
+  const MotionRule rule("r", CodeMatrix::from_rows({{2, 0, 3},
+                                                    {2, 4, 0},
+                                                    {2, 1, 1}}),
+                        {{0, {1, 1}, {0, 2}}});  // one-cell diagonal
+  const auto issues = rule.semantic_issues();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("rectilinear"), std::string::npos);
+}
+
+TEST(RuleSemantics, RejectsHandoverWithoutRefill) {
+  // Code 5 vacated but never refilled.
+  const MotionRule rule("r", CodeMatrix::from_rows({{0, 0, 0},
+                                                    {2, 5, 3},
+                                                    {2, 1, 2}}),
+                        {{0, {1, 1}, {1, 2}}});
+  EXPECT_FALSE(rule.semantic_issues().empty());
+}
+
+TEST(RuleSemantics, RejectsMoveOutsideMatrix) {
+  const MotionRule rule("r", CodeMatrix::from_rows({{2, 0, 0},
+                                                    {2, 4, 3},
+                                                    {2, 1, 1}}),
+                        {{0, {1, 1}, {1, 3}}});
+  EXPECT_FALSE(rule.semantic_issues().empty());
+}
+
+// ---------------------------------------------------------------------------
+// World moves
+// ---------------------------------------------------------------------------
+
+TEST(Rule, WorldMovesAnchored) {
+  const auto moves = east_sliding().world_moves({5, 5});
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].first, lat::Vec2(5, 5));   // matrix center
+  EXPECT_EQ(moves[0].second, lat::Vec2(6, 5));  // one cell east
+}
+
+TEST(Rule, WorldMovesOrderedByTime) {
+  MotionRule rule("r",
+                  CodeMatrix::from_rows({{0, 0, 0},    //
+                                         {4, 5, 3},    //
+                                         {2, 1, 2}}),  //
+                  {{1, {1, 0}, {1, 1}}, {0, {1, 1}, {1, 2}}});
+  const auto moves = rule.world_moves({0, 0});
+  ASSERT_EQ(moves.size(), 2u);
+  // time 0 move (center -> east) first, then the time-1 follower.
+  EXPECT_EQ(moves[0].first, lat::Vec2(0, 0));
+  EXPECT_EQ(moves[1].first, lat::Vec2(-1, 0));
+}
+
+TEST(Rule, CanonicalKeyIgnoresName) {
+  MotionRule a = east_sliding();
+  MotionRule b = east_sliding();
+  b.set_name("renamed");
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  EXPECT_NE(a.canonical_key(), east_carrying().canonical_key());
+}
+
+// ---------------------------------------------------------------------------
+// Transforms (paper §IV: rules derived by symmetry and rotation)
+// ---------------------------------------------------------------------------
+
+TEST(Transform, FourRotationsAreIdentity) {
+  const MotionRule original = east_sliding();
+  MotionRule rotated = original;
+  for (int i = 0; i < 4; ++i) rotated = rotate_cw(rotated, "tmp");
+  EXPECT_EQ(rotated.matrix(), original.matrix());
+  EXPECT_EQ(rotated.moves(), original.moves());
+}
+
+TEST(Transform, MirrorsAreInvolutions) {
+  const MotionRule original = east_carrying();
+  EXPECT_EQ(mirror_vertical(mirror_vertical(original, "t"), "t").matrix(),
+            original.matrix());
+  EXPECT_EQ(
+      mirror_horizontal(mirror_horizontal(original, "t"), "t").matrix(),
+      original.matrix());
+}
+
+TEST(Transform, RotationTurnsEastIntoSouth) {
+  const MotionRule rotated = rotate_cw(east_sliding(), "slide_S");
+  ASSERT_EQ(rotated.moves().size(), 1u);
+  const lat::Vec2 from =
+      world_offset(rotated.size(), rotated.moves()[0].from);
+  const lat::Vec2 to = world_offset(rotated.size(), rotated.moves()[0].to);
+  EXPECT_EQ(to - from, lat::Vec2(0, -1));  // east rotated cw = south
+}
+
+TEST(Transform, VerticalMirrorMatchesPaperFig4) {
+  // Fig 4: the vertical symmetry of east sliding - support moves to the
+  // north row, clearance to the south row.
+  const MotionRule mirrored = mirror_vertical(east_sliding(), "slide_EN");
+  EXPECT_EQ(mirrored.matrix(), CodeMatrix::from_rows({{2, 1, 1},    //
+                                                      {2, 4, 3},    //
+                                                      {2, 0, 0}}));  //
+  // The move still goes east.
+  const lat::Vec2 from =
+      world_offset(mirrored.size(), mirrored.moves()[0].from);
+  const lat::Vec2 to = world_offset(mirrored.size(), mirrored.moves()[0].to);
+  EXPECT_EQ(to - from, lat::Vec2(1, 0));
+}
+
+TEST(Transform, MatrixCoordMaps) {
+  EXPECT_EQ(rotate_cw(3, MatrixCoord{0, 0}), (MatrixCoord{0, 2}));
+  EXPECT_EQ(rotate_cw(3, MatrixCoord{1, 1}), (MatrixCoord{1, 1}));
+  EXPECT_EQ(mirror_vertical(3, MatrixCoord{0, 1}), (MatrixCoord{2, 1}));
+  EXPECT_EQ(mirror_horizontal(3, MatrixCoord{1, 0}), (MatrixCoord{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// RuleLibrary
+// ---------------------------------------------------------------------------
+
+TEST(RuleLibrary, StandardHasSixteenRules) {
+  const RuleLibrary lib = RuleLibrary::standard();
+  EXPECT_EQ(lib.size(), 16u);
+  int slides = 0;
+  int carries = 0;
+  for (const MotionRule& rule : lib.rules()) {
+    EXPECT_TRUE(rule.semantic_issues().empty()) << rule.name();
+    if (rule.name().starts_with("slide_")) ++slides;
+    if (rule.name().starts_with("carry_")) ++carries;
+  }
+  EXPECT_EQ(slides, 8);
+  EXPECT_EQ(carries, 8);
+}
+
+TEST(RuleLibrary, AllBehavioursDistinct) {
+  const RuleLibrary lib = RuleLibrary::standard();
+  std::set<std::string> keys;
+  for (const MotionRule& rule : lib.rules()) {
+    EXPECT_TRUE(keys.insert(rule.canonical_key()).second)
+        << "duplicate behaviour: " << rule.name();
+  }
+}
+
+TEST(RuleLibrary, CanonicalNamesPresent) {
+  const RuleLibrary lib = RuleLibrary::standard();
+  for (const char* name :
+       {"slide_ES", "slide_EN", "slide_NE", "slide_NW", "slide_WS",
+        "slide_WN", "slide_SE", "slide_SW", "carry_ES", "carry_EN",
+        "carry_NE", "carry_NW", "carry_WS", "carry_WN", "carry_SE",
+        "carry_SW"}) {
+    EXPECT_NE(lib.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(lib.find("nope"), nullptr);
+}
+
+TEST(RuleLibrary, SlideESMatchesPaperEq1) {
+  const RuleLibrary lib = RuleLibrary::standard();
+  const MotionRule* rule = lib.find("slide_ES");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->matrix(), CodeMatrix::from_rows({{2, 0, 0},
+                                                   {2, 4, 3},
+                                                   {2, 1, 1}}));
+}
+
+TEST(RuleLibrary, CarryESMatchesPaperEq4) {
+  const RuleLibrary lib = RuleLibrary::standard();
+  const MotionRule* rule = lib.find("carry_ES");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->matrix(), CodeMatrix::from_rows({{0, 0, 0},
+                                                   {4, 5, 3},
+                                                   {2, 1, 2}}));
+  EXPECT_EQ(rule->moves().size(), 2u);
+}
+
+TEST(RuleLibrary, SensingRadius) {
+  const RuleLibrary lib = RuleLibrary::standard();
+  EXPECT_EQ(lib.max_rule_size(), 3);
+  EXPECT_EQ(lib.sensing_radius(), 2);
+  EXPECT_EQ(RuleLibrary{}.sensing_radius(), 0);
+}
+
+TEST(RuleLibraryDeath, RejectsDuplicateName) {
+  RuleLibrary lib;
+  lib.add(east_sliding());
+  MotionRule same_name = east_carrying();
+  same_name.set_name("slide_ES");
+  EXPECT_DEATH(lib.add(same_name), "duplicate rule name");
+}
+
+TEST(RuleLibraryDeath, RejectsDuplicateBehaviour) {
+  RuleLibrary lib;
+  lib.add(east_sliding());
+  MotionRule renamed = east_sliding();
+  renamed.set_name("other");
+  EXPECT_DEATH(lib.add(renamed), "duplicates the behaviour");
+}
+
+TEST(RuleLibraryDeath, RejectsMalformedRule) {
+  RuleLibrary lib;
+  const MotionRule bad("bad", CodeMatrix::from_rows({{2, 0, 0},
+                                                     {2, 4, 3},
+                                                     {2, 1, 1}}),
+                       {});
+  EXPECT_DEATH(lib.add(bad), "malformed");
+}
+
+}  // namespace
+}  // namespace sb::motion

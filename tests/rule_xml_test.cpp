@@ -1,0 +1,144 @@
+// Tests for capability XML I/O (paper Fig. 7).
+
+#include <gtest/gtest.h>
+
+#include "motion/rule_xml.hpp"
+
+namespace sb::motion {
+namespace {
+
+// The exact extract printed in the paper's Fig. 7.
+constexpr const char* kPaperFig7 = R"(<?xml version="1.0" encoding="utf-8"?>
+<capabilities>
+  <capability name="east1" size="3,3">
+    <states>
+      2 0 0
+      2 4 3
+      2 1 1
+    </states>
+    <motions>
+      <motion time="0" from="1,1" to="2,1"/>
+    </motions>
+  </capability>
+  <capability name="carryeast1" size="3,3">
+    <states>
+      0 0 0
+      4 5 3
+      2 1 2
+    </states>
+    <motions>
+      <motion time="0" from="1,1" to="2,1"/>
+      <motion time="0" from="0,1" to="1,1"/>
+    </motions>
+  </capability>
+</capabilities>)";
+
+TEST(RuleXml, ParsesPaperFig7) {
+  const RuleLibrary lib = parse_capabilities(kPaperFig7);
+  ASSERT_EQ(lib.size(), 2u);
+
+  const MotionRule* east1 = lib.find("east1");
+  ASSERT_NE(east1, nullptr);
+  // "east1" is exactly the paper's Eq (1) east-sliding matrix.
+  EXPECT_EQ(east1->matrix(), CodeMatrix::from_rows({{2, 0, 0},
+                                                    {2, 4, 3},
+                                                    {2, 1, 1}}));
+  ASSERT_EQ(east1->moves().size(), 1u);
+  // from="1,1" is (x=1, y=1): matrix row 1, column 1 - the center.
+  EXPECT_EQ(east1->moves()[0].from, (MatrixCoord{1, 1}));
+  EXPECT_EQ(east1->moves()[0].to, (MatrixCoord{1, 2}));
+
+  const MotionRule* carry = lib.find("carryeast1");
+  ASSERT_NE(carry, nullptr);
+  EXPECT_EQ(carry->matrix(), CodeMatrix::from_rows({{0, 0, 0},
+                                                    {4, 5, 3},
+                                                    {2, 1, 2}}));
+  EXPECT_EQ(carry->moves().size(), 2u);
+}
+
+TEST(RuleXml, PaperRulesEqualBuiltinCanonicals) {
+  const RuleLibrary paper = parse_capabilities(kPaperFig7);
+  const RuleLibrary standard = RuleLibrary::standard();
+  // Same behaviour under different names.
+  EXPECT_EQ(paper.find("east1")->canonical_key(),
+            standard.find("slide_ES")->canonical_key());
+  EXPECT_EQ(paper.find("carryeast1")->canonical_key(),
+            standard.find("carry_ES")->canonical_key());
+}
+
+TEST(RuleXml, StandardLibraryRoundTrips) {
+  const RuleLibrary original = RuleLibrary::standard();
+  const RuleLibrary reparsed =
+      parse_capabilities(serialize_capabilities(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed.rules()[i].name(), original.rules()[i].name());
+    EXPECT_EQ(reparsed.rules()[i].canonical_key(),
+              original.rules()[i].canonical_key());
+  }
+}
+
+TEST(RuleXml, RejectsWrongRoot) {
+  EXPECT_THROW(parse_capabilities("<rules/>"), std::runtime_error);
+}
+
+TEST(RuleXml, RejectsMissingStates) {
+  EXPECT_THROW(parse_capabilities(
+                   R"(<capabilities><capability name="x" size="3,3">
+                        <motions/></capability></capabilities>)"),
+               std::runtime_error);
+}
+
+TEST(RuleXml, RejectsSizeMismatch) {
+  EXPECT_THROW(parse_capabilities(
+                   R"(<capabilities><capability name="x" size="5,5">
+                        <states>2 0 0 2 4 3 2 1 1</states>
+                        <motions><motion time="0" from="1,1" to="2,1"/></motions>
+                      </capability></capabilities>)"),
+               std::runtime_error);
+}
+
+TEST(RuleXml, RejectsNonSquareSize) {
+  EXPECT_THROW(parse_capabilities(
+                   R"(<capabilities><capability name="x" size="3,5">
+                        <states>2 0 0 2 4 3 2 1 1</states>
+                        <motions><motion time="0" from="1,1" to="2,1"/></motions>
+                      </capability></capabilities>)"),
+               std::runtime_error);
+}
+
+TEST(RuleXml, RejectsOutOfRangeMotionCoord) {
+  EXPECT_THROW(parse_capabilities(
+                   R"(<capabilities><capability name="x" size="3,3">
+                        <states>2 0 0 2 4 3 2 1 1</states>
+                        <motions><motion time="0" from="1,1" to="3,1"/></motions>
+                      </capability></capabilities>)"),
+               std::runtime_error);
+}
+
+TEST(RuleXml, RejectsInconsistentRule) {
+  // Motion list does not match the matrix codes.
+  EXPECT_THROW(parse_capabilities(
+                   R"(<capabilities><capability name="x" size="3,3">
+                        <states>2 0 0 2 4 3 2 1 1</states>
+                        <motions><motion time="0" from="0,0" to="1,0"/></motions>
+                      </capability></capabilities>)"),
+               std::runtime_error);
+}
+
+TEST(RuleXml, MissingFileThrows) {
+  EXPECT_THROW(load_capabilities_file("/nonexistent.xml"),
+               std::runtime_error);
+}
+
+TEST(RuleXml, SerializedFormUsesPaperVocabulary) {
+  const std::string text = serialize_capabilities(RuleLibrary::standard());
+  EXPECT_NE(text.find("<capabilities>"), std::string::npos);
+  EXPECT_NE(text.find("<capability name=\"slide_ES\" size=\"3,3\">"),
+            std::string::npos);
+  EXPECT_NE(text.find("<states>"), std::string::npos);
+  EXPECT_NE(text.find("<motion time=\"0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sb::motion

@@ -1,0 +1,444 @@
+// Tests for the discrete-event simulator: queues, scheduling, messaging,
+// motion execution, neighbor-change notifications, determinism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace sb::sim {
+namespace {
+
+using lat::BlockId;
+using lat::Direction;
+using lat::Vec2;
+
+// ---------------------------------------------------------------------------
+// Event queues
+// ---------------------------------------------------------------------------
+
+class ProbeEvent final : public Event {
+ public:
+  ProbeEvent(SimTime time, int label, std::vector<int>* sink)
+      : Event(time), label_(label), sink_(sink) {}
+  [[nodiscard]] std::string_view kind() const override { return "Probe"; }
+  void execute(Simulator&) override { sink_->push_back(label_); }
+  [[nodiscard]] int label() const { return label_; }
+
+ private:
+  int label_;
+  std::vector<int>* sink_;
+};
+
+class QueueKindsTest : public ::testing::TestWithParam<QueueKind> {};
+
+TEST_P(QueueKindsTest, PopsInTimeOrder) {
+  auto queue = make_event_queue(GetParam());
+  std::vector<int> sink;
+  queue->push(std::make_unique<ProbeEvent>(30, 3, &sink));
+  queue->push(std::make_unique<ProbeEvent>(10, 1, &sink));
+  queue->push(std::make_unique<ProbeEvent>(20, 2, &sink));
+  EXPECT_EQ(queue->size(), 3u);
+  EXPECT_EQ(queue->pop()->time(), 10u);
+  EXPECT_EQ(queue->pop()->time(), 20u);
+  EXPECT_EQ(queue->pop()->time(), 30u);
+  EXPECT_TRUE(queue->empty());
+}
+
+TEST_P(QueueKindsTest, TiesBreakByInsertionOrder) {
+  auto queue = make_event_queue(GetParam());
+  std::vector<int> sink;
+  for (int i = 0; i < 10; ++i) {
+    queue->push(std::make_unique<ProbeEvent>(5, i, &sink));
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto event = queue->pop();
+    EXPECT_EQ(static_cast<ProbeEvent*>(event.get())->label(), i);
+  }
+}
+
+TEST_P(QueueKindsTest, PeekDoesNotRemove) {
+  auto queue = make_event_queue(GetParam());
+  std::vector<int> sink;
+  EXPECT_EQ(queue->peek(), nullptr);
+  queue->push(std::make_unique<ProbeEvent>(7, 0, &sink));
+  ASSERT_NE(queue->peek(), nullptr);
+  EXPECT_EQ(queue->peek()->time(), 7u);
+  EXPECT_EQ(queue->size(), 1u);
+}
+
+TEST_P(QueueKindsTest, InterleavedPushPop) {
+  auto queue = make_event_queue(GetParam());
+  std::vector<int> sink;
+  queue->push(std::make_unique<ProbeEvent>(10, 1, &sink));
+  queue->push(std::make_unique<ProbeEvent>(5, 0, &sink));
+  EXPECT_EQ(queue->pop()->time(), 5u);
+  queue->push(std::make_unique<ProbeEvent>(3, 2, &sink));  // earlier again
+  EXPECT_EQ(queue->pop()->time(), 3u);
+  EXPECT_EQ(queue->pop()->time(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueues, QueueKindsTest,
+                         ::testing::Values(QueueKind::kBinaryHeap,
+                                           QueueKind::kBucketMap),
+                         [](const auto& param_info) {
+                           return param_info.param == QueueKind::kBinaryHeap
+                                      ? "BinaryHeap"
+                                      : "BucketMap";
+                         });
+
+// ---------------------------------------------------------------------------
+// Test module
+// ---------------------------------------------------------------------------
+
+struct PingMsg final : msg::Message {
+  int hops = 0;
+  [[nodiscard]] std::string_view kind() const override { return "Ping"; }
+  [[nodiscard]] msg::MessagePtr clone() const override {
+    return std::make_unique<PingMsg>(*this);
+  }
+  [[nodiscard]] size_t payload_bytes() const override { return sizeof(hops); }
+};
+
+/// Records everything that happens to it; can be told to forward pings.
+class RecorderModule final : public Module {
+ public:
+  explicit RecorderModule(BlockId id, bool forward = false)
+      : Module(id), forward_(forward) {}
+
+  void on_start() override { ++starts; }
+  void on_message(Direction from, const msg::Message& m) override {
+    received.emplace_back(from, std::string(m.kind()));
+    if (forward_) {
+      if (const auto* ping = dynamic_cast<const PingMsg*>(&m)) {
+        if (ping->hops > 0) {
+          auto next = std::make_unique<PingMsg>(*ping);
+          next->hops -= 1;
+          send(opposite(from), std::move(next));
+        }
+      }
+    }
+  }
+  void on_timer(uint64_t tag) override { timer_tags.push_back(tag); }
+  void on_motion_complete() override { ++motions; }
+  void on_neighbor_change(Direction side, BlockId now) override {
+    neighbor_changes.emplace_back(side, now);
+  }
+
+  int starts = 0;
+  int motions = 0;
+  std::vector<std::pair<Direction, std::string>> received;
+  std::vector<uint64_t> timer_tags;
+  std::vector<std::pair<Direction, BlockId>> neighbor_changes;
+
+ private:
+  bool forward_;
+};
+
+World make_world(std::initializer_list<Vec2> cells, int32_t w = 8,
+                 int32_t h = 8) {
+  World world(w, h, motion::RuleLibrary::standard());
+  uint32_t id = 1;
+  for (const Vec2 cell : cells) world.grid().place(BlockId{id++}, cell);
+  return world;
+}
+
+/// Schedules a single send from a module at t=0.
+class SendAtStart final : public Event {
+ public:
+  SendAtStart(Module* module, Direction side, int hops = 0)
+      : Event(0), module_(module), side_(side), hops_(hops) {}
+  [[nodiscard]] std::string_view kind() const override { return "Kick"; }
+  void execute(Simulator& sim) override {
+    auto ping = std::make_unique<PingMsg>();
+    ping->hops = hops_;
+    sim.send_from(*module_, side_, std::move(ping));
+  }
+
+ private:
+  Module* module_;
+  Direction side_;
+  int hops_;
+};
+
+// ---------------------------------------------------------------------------
+// Simulator basics
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, StartsAllModules) {
+  Simulator sim(make_world({{1, 1}, {2, 1}}));
+  auto& a = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{1})));
+  auto& b = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{2})));
+  sim.start_all_modules();
+  EXPECT_EQ(sim.run(), StopReason::kQueueEmpty);
+  EXPECT_EQ(a.starts, 1);
+  EXPECT_EQ(b.starts, 1);
+  EXPECT_EQ(sim.stats().events_processed, 2u);
+}
+
+TEST(Simulator, NeighborTableInitializedFromGrid) {
+  Simulator sim(make_world({{1, 1}, {2, 1}, {1, 2}}));
+  auto& a = sim.add_module(std::make_unique<RecorderModule>(BlockId{1}));
+  EXPECT_EQ(a.neighbor_table().neighbor(Direction::kEast), BlockId{2});
+  EXPECT_EQ(a.neighbor_table().neighbor(Direction::kNorth), BlockId{3});
+  EXPECT_EQ(a.neighbor_table().neighbor(Direction::kSouth),
+            lat::kInvalidBlock);
+  EXPECT_EQ(a.neighbor_table().attached_count(), 2);
+}
+
+TEST(Simulator, MessageDeliveryWithFixedLatency) {
+  SimConfig config;
+  config.latency = msg::LatencyModel::fixed(5);
+  Simulator sim(make_world({{1, 1}, {2, 1}}), config);
+  auto& a = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{1})));
+  auto& b = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{2})));
+
+  sim.schedule(0, std::make_unique<SendAtStart>(&a, Direction::kEast));
+  EXPECT_EQ(sim.run(), StopReason::kQueueEmpty);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, Direction::kWest);  // arrived on west port
+  EXPECT_EQ(sim.now(), 5u);                          // latency respected
+  EXPECT_EQ(sim.stats().messages_sent, 1u);
+  EXPECT_EQ(sim.stats().messages_delivered, 1u);
+  EXPECT_EQ(b.mailbox().side(Direction::kWest).messages_received, 1u);
+  EXPECT_EQ(a.mailbox().side(Direction::kEast).messages_sent, 1u);
+  EXPECT_EQ(b.mailbox().side(Direction::kWest).bytes_received,
+            sizeof(int));
+}
+
+TEST(Simulator, SendWithoutNeighborIsDropped) {
+  Simulator sim(make_world({{1, 1}, {2, 1}}));
+  auto& a = sim.add_module(std::make_unique<RecorderModule>(BlockId{1}));
+  sim.add_module(std::make_unique<RecorderModule>(BlockId{2}));
+  sim.schedule(0, std::make_unique<SendAtStart>(&a, Direction::kNorth));
+  sim.run();
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+  EXPECT_EQ(sim.stats().messages_delivered, 0u);
+  EXPECT_EQ(a.mailbox().total_dropped(), 1u);
+}
+
+TEST(Simulator, PingChainTraversesRow) {
+  // Five modules in a row; a ping forwarded with hops=3 crosses 4 links.
+  SimConfig config;
+  config.latency = msg::LatencyModel::fixed(2);
+  Simulator sim(make_world({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}}),
+                config);
+  std::vector<RecorderModule*> modules;
+  for (uint32_t id = 1; id <= 5; ++id) {
+    modules.push_back(static_cast<RecorderModule*>(&sim.add_module(
+        std::make_unique<RecorderModule>(BlockId{id}, /*forward=*/true))));
+  }
+  sim.schedule(
+      0, std::make_unique<SendAtStart>(modules[0], Direction::kEast, 3));
+  sim.run();
+  EXPECT_EQ(modules[1]->received.size(), 1u);
+  EXPECT_EQ(modules[2]->received.size(), 1u);
+  EXPECT_EQ(modules[3]->received.size(), 1u);
+  EXPECT_EQ(modules[4]->received.size(), 1u);
+  EXPECT_EQ(sim.now(), 8u);  // 4 links x 2 ticks
+  EXPECT_EQ(sim.stats().messages_by_kind.at("Ping"), 4u);
+}
+
+TEST(Simulator, TimersFireWithTags) {
+  Simulator sim(make_world({{1, 1}, {2, 1}}));
+  auto& a = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{1})));
+  sim.timer_for(a, 10, 42);
+  sim.timer_for(a, 5, 7);
+  sim.run();
+  ASSERT_EQ(a.timer_tags.size(), 2u);
+  EXPECT_EQ(a.timer_tags[0], 7u);  // earlier timer first
+  EXPECT_EQ(a.timer_tags[1], 42u);
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(Simulator, RunLimits) {
+  Simulator sim(make_world({{1, 1}, {2, 1}}));
+  auto& a = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{1})));
+  for (int i = 0; i < 10; ++i) {
+    sim.timer_for(a, static_cast<Ticks>(i + 1), 0);
+  }
+  RunLimits limits;
+  limits.max_events = 3;
+  EXPECT_EQ(sim.run(limits), StopReason::kEventLimit);
+  EXPECT_EQ(a.timer_tags.size(), 3u);
+
+  RunLimits time_limit;
+  time_limit.until = 6;
+  EXPECT_EQ(sim.run(time_limit), StopReason::kTimeLimit);
+  EXPECT_EQ(sim.now(), 6u);
+}
+
+TEST(Simulator, HaltStopsRun) {
+  Simulator sim(make_world({{1, 1}, {2, 1}}));
+  auto& a = sim.add_module(std::make_unique<RecorderModule>(BlockId{1}));
+  class Halter final : public Event {
+   public:
+    Halter() : Event(3) {}
+    [[nodiscard]] std::string_view kind() const override { return "Halt"; }
+    void execute(Simulator& sim) override { sim.halt(); }
+  };
+  sim.timer_for(a, 100, 0);
+  sim.schedule(3, std::make_unique<Halter>());
+  EXPECT_EQ(sim.run(), StopReason::kHalted);
+  EXPECT_EQ(sim.pending_events(), 1u);  // the far timer still queued
+}
+
+TEST(Simulator, ModuleLookup) {
+  Simulator sim(make_world({{1, 1}, {2, 1}}));
+  sim.add_module(std::make_unique<RecorderModule>(BlockId{1}));
+  EXPECT_NE(sim.find_module(BlockId{1}), nullptr);
+  EXPECT_EQ(sim.find_module(BlockId{9}), nullptr);
+  EXPECT_EQ(sim.module_count(), 1u);
+  EXPECT_EQ(sim.module_as<RecorderModule>(BlockId{1}).id(), BlockId{1});
+}
+
+TEST(SimulatorDeath, ModuleWithoutGridBlockAborts) {
+  Simulator sim(make_world({{1, 1}}));
+  EXPECT_DEATH(sim.add_module(std::make_unique<RecorderModule>(BlockId{9})),
+               "placed on the grid");
+}
+
+// ---------------------------------------------------------------------------
+// Motion through the simulator
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, MotionCompletesAndNotifies) {
+  SimConfig config;
+  config.motion_duration = 7;
+  // slide_ES setup: mover (1,1) over supports (1,0),(2,0).
+  Simulator sim(make_world({{1, 1}, {1, 0}, {2, 0}}), config);
+  auto& mover = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{1})));
+  auto& support_a = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{2})));
+  auto& support_b = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{3})));
+
+  const motion::MotionRule* rule = sim.world().rules().find("slide_ES");
+  motion::RuleApplication app{rule, {1, 1}, 0};
+  sim.start_motion_for(mover, app);
+  sim.run();
+
+  EXPECT_EQ(sim.world().grid().at({2, 1}), BlockId{1});
+  EXPECT_EQ(mover.motions, 1);
+  EXPECT_EQ(sim.now(), 7u);
+  EXPECT_EQ(sim.stats().motions_completed, 1u);
+  EXPECT_EQ(sim.world().elementary_moves(), 1u);
+
+  // Neighbor updates: support (1,0) lost its north neighbor; support (2,0)
+  // gained one; the mover's own table moved with it.
+  ASSERT_FALSE(support_a.neighbor_changes.empty());
+  EXPECT_EQ(support_a.neighbor_table().neighbor(Direction::kNorth),
+            lat::kInvalidBlock);
+  EXPECT_EQ(support_b.neighbor_table().neighbor(Direction::kNorth),
+            BlockId{1});
+  EXPECT_EQ(mover.neighbor_table().neighbor(Direction::kSouth), BlockId{3});
+}
+
+TEST(SimulatorDeath, InvalidMotionAborts) {
+  Simulator sim(make_world({{1, 1}, {2, 1}}));
+  auto& mover = sim.add_module(std::make_unique<RecorderModule>(BlockId{1}));
+  const motion::MotionRule* rule = sim.world().rules().find("slide_ES");
+  motion::RuleApplication app{rule, {1, 1}, 0};  // no supports -> invalid
+  EXPECT_DEATH(sim.start_motion_for(mover, app), "invalid motion");
+}
+
+TEST(Simulator, KilledModuleReceivesNothing) {
+  Simulator sim(make_world({{1, 1}, {2, 1}}));
+  auto& a = sim.add_module(std::make_unique<RecorderModule>(BlockId{1}));
+  auto& b = static_cast<RecorderModule&>(
+      sim.add_module(std::make_unique<RecorderModule>(BlockId{2})));
+  sim.kill_module(BlockId{2});
+  sim.schedule(0, std::make_unique<SendAtStart>(&a, Direction::kEast));
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sensing
+// ---------------------------------------------------------------------------
+
+TEST(World, SenseCapturesWindow) {
+  const World world = make_world({{2, 2}, {3, 2}, {2, 3}});
+  const lat::Neighborhood window = world.sense({2, 2});
+  EXPECT_EQ(window.radius(), 2);  // rule size 3 -> radius 2
+  EXPECT_TRUE(window.occupied({3, 2}));
+  EXPECT_TRUE(window.occupied({2, 3}));
+  EXPECT_FALSE(window.occupied({4, 2}));
+  EXPECT_FALSE(window.occupied({0, 0}));
+  EXPECT_FALSE(window.in_bounds({-1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism & latency models
+// ---------------------------------------------------------------------------
+
+TEST(Latency, ModelsRespectBounds) {
+  Rng rng(1);
+  const auto fixed = msg::LatencyModel::fixed(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fixed.sample(rng), 4u);
+
+  const auto uniform = msg::LatencyModel::uniform(2, 9);
+  for (int i = 0; i < 1000; ++i) {
+    const Ticks t = uniform.sample(rng);
+    EXPECT_GE(t, 2u);
+    EXPECT_LE(t, 9u);
+  }
+
+  const auto expo = msg::LatencyModel::exponential(6.0);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Ticks t = expo.sample(rng);
+    EXPECT_GE(t, 1u);
+    sum += static_cast<double>(t);
+  }
+  EXPECT_NEAR(sum / 20000.0, 6.0, 0.5);
+}
+
+TEST(Latency, DescribeNamesModel) {
+  EXPECT_EQ(msg::LatencyModel::fixed(3).describe(), "fixed(3)");
+  EXPECT_EQ(msg::LatencyModel::uniform(1, 5).describe(), "uniform(1,5)");
+  EXPECT_NE(
+      msg::LatencyModel::exponential(2.0).describe().find("exponential"),
+      std::string::npos);
+}
+
+TEST(Simulator, SameSeedSameTrajectory) {
+  const auto run_once = [](uint64_t seed) {
+    SimConfig config;
+    config.seed = seed;
+    config.latency = msg::LatencyModel::uniform(1, 9);
+    Simulator sim(make_world({{0, 0}, {1, 0}, {2, 0}}), config);
+    std::vector<RecorderModule*> modules;
+    for (uint32_t id = 1; id <= 3; ++id) {
+      modules.push_back(static_cast<RecorderModule*>(&sim.add_module(
+          std::make_unique<RecorderModule>(BlockId{id}, true))));
+    }
+    sim.schedule(
+        0, std::make_unique<SendAtStart>(modules[0], Direction::kEast, 5));
+    sim.run();
+    return sim.now();
+  };
+  EXPECT_EQ(run_once(123), run_once(123));
+  // Different seeds should (almost surely) give different random latencies.
+  EXPECT_NE(run_once(123), run_once(456));
+}
+
+TEST(Simulator, StopReasonNames) {
+  EXPECT_EQ(to_string(StopReason::kQueueEmpty), "queue-empty");
+  EXPECT_EQ(to_string(StopReason::kEventLimit), "event-limit");
+  EXPECT_EQ(to_string(StopReason::kTimeLimit), "time-limit");
+  EXPECT_EQ(to_string(StopReason::kHalted), "halted");
+}
+
+}  // namespace
+}  // namespace sb::sim

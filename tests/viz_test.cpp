@@ -1,0 +1,123 @@
+// Tests for ASCII/SVG rendering and move-trace export/replay.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/reconfig.hpp"
+#include "lattice/scenario.hpp"
+#include "viz/ascii.hpp"
+#include "viz/svg.hpp"
+#include "viz/trace.hpp"
+#include "xml/xml.hpp"
+
+namespace sb::viz {
+namespace {
+
+using lat::BlockId;
+using lat::Vec2;
+
+lat::Grid small_grid() {
+  lat::Grid grid(4, 3);
+  grid.place(BlockId{1}, {1, 0});
+  grid.place(BlockId{12}, {2, 0});
+  return grid;
+}
+
+TEST(Ascii, MarksInputOutputAndBlocks) {
+  const std::string art = render_ascii(small_grid(), {1, 0}, {3, 2});
+  EXPECT_NE(art.find(" O "), std::string::npos);  // free output cell
+  EXPECT_NE(art.find("1i"), std::string::npos);   // block 1 on the input
+  EXPECT_NE(art.find("12"), std::string::npos);   // id rendering
+  EXPECT_NE(art.find("+"), std::string::npos);    // border
+}
+
+TEST(Ascii, NorthRowRendersFirst) {
+  const std::string art = render_ascii(small_grid(), {1, 0}, {3, 2});
+  // Output (3,2) is on the top row; blocks on the bottom row.
+  EXPECT_LT(art.find(" O "), art.find("12"));
+}
+
+TEST(Ascii, CompactModeUsesHashes) {
+  AsciiOptions options;
+  options.show_ids = false;
+  const std::string art = render_ascii(small_grid(), {1, 0}, {3, 2}, options);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(art.find("12"), std::string::npos);
+}
+
+TEST(Svg, IsWellFormedXml) {
+  const std::string svg = render_svg(small_grid(), {1, 0}, {3, 2});
+  // Our own XML parser accepts it: structurally sound markup.
+  const xml::Document doc = xml::parse(svg);
+  EXPECT_EQ(doc.root->name(), "svg");
+  EXPECT_FALSE(doc.root->children().empty());
+}
+
+TEST(Svg, ContainsBlockIdsAndMarkers) {
+  const std::string svg = render_svg(small_grid(), {1, 0}, {3, 2});
+  EXPECT_NE(svg.find(">12<"), std::string::npos);
+  EXPECT_NE(svg.find("#3a6fd8"), std::string::npos);  // input marker
+  EXPECT_NE(svg.find("#c33ad8"), std::string::npos);  // output marker
+}
+
+TEST(Svg, SaveWritesFile) {
+  const std::string path = ::testing::TempDir() + "/surface.svg";
+  save_svg(path, small_grid(), {1, 0}, {3, 2});
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+TEST(Trace, RecordsThroughSessionListener) {
+  core::ReconfigurationSession session(lat::make_fig10_scenario(), {});
+  MoveTrace trace;
+  session.set_move_listener(trace.recorder());
+  const auto result = session.run();
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(trace.size(), result.hops);
+  // Epochs strictly increase.
+  for (size_t i = 1; i < trace.entries().size(); ++i) {
+    EXPECT_GT(trace.entries()[i].epoch, trace.entries()[i - 1].epoch);
+  }
+}
+
+TEST(Trace, ReplayReproducesFinalGrid) {
+  const lat::Scenario scenario = lat::make_fig10_scenario();
+  core::ReconfigurationSession session(scenario, {});
+  MoveTrace trace;
+  session.set_move_listener(trace.recorder());
+  ASSERT_TRUE(session.run().complete);
+
+  lat::Grid replayed = scenario.to_grid();
+  trace.replay(replayed);
+  EXPECT_EQ(replayed, session.simulator().world().grid());
+}
+
+TEST(Trace, JsonlHasOneObjectPerHop) {
+  core::ReconfigurationSession session(lat::make_fig10_scenario(), {});
+  MoveTrace trace;
+  session.set_move_listener(trace.recorder());
+  const auto result = session.run();
+  const std::string jsonl = trace.to_jsonl();
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, result.hops);
+  EXPECT_NE(jsonl.find("\"rule\":\"carry_NW\""), std::string::npos);
+}
+
+TEST(Trace, CsvListsHelpersSeparately) {
+  core::ReconfigurationSession session(lat::make_fig10_scenario(), {});
+  MoveTrace trace;
+  session.set_move_listener(trace.recorder());
+  const auto result = session.run();
+  const std::string csv = trace.to_csv();
+  size_t rows = 0;
+  for (char c : csv) rows += c == '\n';
+  // Header + one row per elementary displacement.
+  EXPECT_EQ(rows, result.elementary_moves + 1);
+  EXPECT_NE(csv.find("subject"), std::string::npos);
+  EXPECT_NE(csv.find("helper"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sb::viz

@@ -1,0 +1,174 @@
+// Tests for the minimal XML DOM (parser + serializer).
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.hpp"
+#include "xml/xml.hpp"
+
+namespace sb::xml {
+namespace {
+
+using sb::split_ws;
+
+TEST(XmlParse, SimpleElement) {
+  const Document doc = parse("<root/>");
+  EXPECT_EQ(doc.root->name(), "root");
+  EXPECT_TRUE(doc.root->children().empty());
+  EXPECT_FALSE(doc.had_declaration);
+}
+
+TEST(XmlParse, Declaration) {
+  const Document doc = parse("<?xml version=\"1.0\"?><a/>");
+  EXPECT_TRUE(doc.had_declaration);
+  EXPECT_EQ(doc.root->name(), "a");
+}
+
+TEST(XmlParse, Attributes) {
+  const Document doc =
+      parse(R"(<capability name="east1" size="3,3"/>)");
+  EXPECT_EQ(doc.root->require_attribute("name"), "east1");
+  EXPECT_EQ(doc.root->require_attribute("size"), "3,3");
+  EXPECT_FALSE(doc.root->attribute("missing"));
+}
+
+TEST(XmlParse, SingleQuotedAttributes) {
+  const Document doc = parse("<a x='1'/>");
+  EXPECT_EQ(doc.root->require_attribute("x"), "1");
+}
+
+TEST(XmlParse, RequireAttributeThrows) {
+  const Document doc = parse("<a/>");
+  EXPECT_THROW((void)doc.root->require_attribute("x"), std::out_of_range);
+}
+
+TEST(XmlParse, NestedChildren) {
+  const Document doc = parse("<a><b/><c><d/></c><b/></a>");
+  EXPECT_EQ(doc.root->children().size(), 3u);
+  EXPECT_EQ(doc.root->children_named("b").size(), 2u);
+  ASSERT_NE(doc.root->first_child("c"), nullptr);
+  EXPECT_NE(doc.root->first_child("c")->first_child("d"), nullptr);
+  EXPECT_EQ(doc.root->first_child("zzz"), nullptr);
+}
+
+TEST(XmlParse, TextContent) {
+  const Document doc = parse("<states>2 0 0\n2 4 3</states>");
+  EXPECT_EQ(doc.root->text(), "2 0 0\n2 4 3");
+}
+
+TEST(XmlParse, EntityDecoding) {
+  const Document doc =
+      parse("<a t=\"&lt;&gt;&amp;&quot;&apos;\">&#65;&amp;b</a>");
+  EXPECT_EQ(doc.root->require_attribute("t"), "<>&\"'");
+  EXPECT_EQ(doc.root->text(), "A&b");
+}
+
+TEST(XmlParse, CommentsSkipped) {
+  const Document doc =
+      parse("<!-- head --><a><!-- inner --><b/><!-- tail --></a>");
+  EXPECT_EQ(doc.root->children().size(), 1u);
+}
+
+TEST(XmlParse, MismatchedTagFails) {
+  EXPECT_THROW(parse("<a><b></a></b>"), ParseError);
+}
+
+TEST(XmlParse, UnterminatedElementFails) {
+  EXPECT_THROW(parse("<a><b/>"), ParseError);
+}
+
+TEST(XmlParse, TrailingContentFails) {
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);
+}
+
+TEST(XmlParse, DuplicateAttributeFails) {
+  EXPECT_THROW(parse("<a x=\"1\" x=\"2\"/>"), ParseError);
+}
+
+TEST(XmlParse, UnknownEntityFails) {
+  EXPECT_THROW(parse("<a>&nope;</a>"), ParseError);
+}
+
+TEST(XmlParse, ErrorCarriesLineAndColumn) {
+  try {
+    (void)parse("<a>\n  <b>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.line(), 3);
+    EXPECT_NE(std::string(error.what()).find("3:"), std::string::npos);
+  }
+}
+
+TEST(XmlParse, PaperFig7Extract) {
+  // The exact vocabulary of the paper's Fig. 7.
+  const char* text = R"(<?xml version="1.0" encoding="utf-8"?>
+<capabilities>
+  <capability name="east1" size="3,3">
+    <states>
+      2 0 0
+      2 4 3
+      2 1 1
+    </states>
+    <motions>
+      <motion time="0" from="1,1" to="2,1"/>
+    </motions>
+  </capability>
+  <capability name="carryeast1" size="3,3">
+    <states>
+      0 0 0
+      4 5 3
+      2 1 2
+    </states>
+    <motions>
+      <motion time="0" from="1,1" to="2,1"/>
+      <motion time="0" from="0,1" to="1,1"/>
+    </motions>
+  </capability>
+</capabilities>)";
+  const Document doc = parse(text);
+  const auto caps = doc.root->children_named("capability");
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_EQ(caps[0]->require_attribute("name"), "east1");
+  EXPECT_EQ(caps[1]->require_attribute("name"), "carryeast1");
+  EXPECT_EQ(caps[1]->first_child("motions")->children().size(), 2u);
+}
+
+TEST(XmlSerialize, RoundTripsStructure) {
+  Element root("capabilities");
+  Element& cap = root.add_child("capability");
+  cap.set_attribute("name", "r<1>");
+  cap.add_child("states").set_text("2 0 0\n2 4 3\n2 1 1");
+  const std::string text = serialize(root);
+  const Document doc = parse(text);
+  EXPECT_EQ(doc.root->name(), "capabilities");
+  const Element* parsed = doc.root->first_child("capability");
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->require_attribute("name"), "r<1>");
+  // The serializer re-indents text blocks; compare token streams (which is
+  // what the whitespace-tolerant capability format cares about).
+  EXPECT_EQ(split_ws(parsed->first_child("states")->text()),
+            split_ws("2 0 0\n2 4 3\n2 1 1"));
+}
+
+TEST(XmlSerialize, EscapesSpecials) {
+  EXPECT_EQ(escape("<a>&\"'"), "&lt;a&gt;&amp;&quot;&apos;");
+}
+
+TEST(XmlSerialize, EmptyElementSelfCloses) {
+  Element root("a");
+  EXPECT_NE(serialize(root).find("<a/>"), std::string::npos);
+}
+
+TEST(XmlParse, SetAttributeReplaces) {
+  Element e("a");
+  e.set_attribute("k", "1");
+  e.set_attribute("k", "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+  EXPECT_EQ(e.require_attribute("k"), "2");
+}
+
+TEST(XmlParse, ParseFileMissingThrows) {
+  EXPECT_THROW(parse_file("/nonexistent/file.xml"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sb::xml

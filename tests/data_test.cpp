@@ -43,6 +43,10 @@ TEST(Data, ShippedTowerMatchesGenerator) {
   const lat::Scenario shipped =
       lat::load_scenario(kDataDir + "/scenarios/tower16.surf");
   const lat::Scenario builtin = lat::make_tower_scenario(8);
+  EXPECT_EQ(shipped.width, builtin.width);
+  EXPECT_EQ(shipped.height, builtin.height);
+  EXPECT_EQ(shipped.input, builtin.input);
+  EXPECT_EQ(shipped.output, builtin.output);
   EXPECT_EQ(shipped.blocks, builtin.blocks);
   EXPECT_TRUE(lat::validate(shipped).empty());
 }

@@ -1,0 +1,47 @@
+// Regenerates the shipped data files under data/ from the built-in
+// generators, so the on-disk form (what a hardware deployment would load)
+// can never drift from the code. Run from the repo root:
+//
+//   $ ./build/gen_data data
+//
+// data_test.cpp asserts the round-trip.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lattice/scenario.hpp"
+#include "motion/rule_library.hpp"
+#include "motion/rule_xml.hpp"
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  out << text;
+  std::cout << "wrote " << path.string() << " (" << text.size() << " bytes)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root = argc > 1 ? argv[1] : "data";
+  try {
+    write_file(root / "rules" / "standard_capabilities.xml",
+               sb::motion::serialize_capabilities(
+                   sb::motion::RuleLibrary::standard()));
+    write_file(root / "scenarios" / "fig10.surf",
+               sb::lat::serialize_scenario(sb::lat::make_fig10_scenario()));
+    write_file(root / "scenarios" / "tower16.surf",
+               sb::lat::serialize_scenario(sb::lat::make_tower_scenario(8)));
+  } catch (const std::exception& e) {
+    std::cerr << "gen_data: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -2,19 +2,29 @@
 // simulator with discrete-time functionalities ... simulations with 2
 // millions of nodes at a rate of 650k events/sec on a simple laptop".
 //
-// The bench drives the simulator core with a message-flood workload (the
-// same event mix the algorithm produces: deliveries dominating) at rising
-// module counts and reports events/second. The paper's absolute figure is
-// hardware-specific; the reproduction target is the *shape*: throughput in
-// the hundreds of thousands of events/sec and staying flat as the module
-// count grows (event cost independent of N).
+// Two workloads drive the simulator core:
+//   - flood: a message-flood over a strip of modules (deliveries dominate,
+//     the same event mix the algorithm produces) at rising module counts;
+//   - tower: the full distributed algorithm on the Lemma-1 tower family
+//     (tower16-class scenarios), run through the runner/ sweep harness.
+//
+// The paper's absolute figure is hardware-specific; the reproduction target
+// is the *shape*: throughput in the hundreds of thousands of events/sec and
+// staying flat as the module count grows (event cost independent of N).
+//
+// JSON mode feeds the CI perf gate (docs/BENCHMARKS.md):
+//   $ ./bench_sim_throughput --json BENCH_sim.json [--repeat 3]
+//   $ ./perf_check bench/BENCH_sim.json BENCH_sim.json
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "msg/message.hpp"
+#include "runner/sweep.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -71,10 +81,18 @@ class SeedEvent final : public sim::Event {
   uint32_t hops_;
 };
 
+struct FloodMeasurement {
+  uint64_t events = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double rate() const {
+    return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+};
+
 /// Builds a W-wide strip of modules (rows of 1024) and floods it with
-/// tokens; returns events/second.
-double run_flood(size_t module_count, uint64_t target_events,
-                 sim::QueueKind queue) {
+/// tokens.
+FloodMeasurement run_flood(size_t module_count, uint64_t target_events,
+                           sim::QueueKind queue) {
   const auto width = static_cast<int32_t>(std::min<size_t>(
       module_count, 1024));
   const auto height =
@@ -108,8 +126,10 @@ double run_flood(size_t module_count, uint64_t target_events,
   const auto start = std::chrono::steady_clock::now();
   sim.run({target_events, sim::kTimeMax});
   const auto end = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(end - start).count();
-  return static_cast<double>(sim.stats().events_processed) / seconds;
+  FloodMeasurement m;
+  m.events = sim.stats().events_processed;
+  m.seconds = std::chrono::duration<double>(end - start).count();
+  return m;
 }
 
 void report_table() {
@@ -119,7 +139,8 @@ void report_table() {
   double smallest = 0;
   double largest = 0;
   for (const size_t n : {1024u, 16384u, 131072u, 1048576u}) {
-    const double rate = run_flood(n, 2'000'000, sim::QueueKind::kBinaryHeap);
+    const double rate =
+        run_flood(n, 2'000'000, sim::QueueKind::kBinaryHeap).rate();
     std::printf("%12zu %18.0f\n", n, rate);
     if (n == 1024u) smallest = rate;
     largest = rate;
@@ -133,11 +154,62 @@ void report_table() {
       largest > 100'000 ? "REPRODUCED" : "DIVERGES");
 }
 
+/// Emits the BENCH_sim.json report the CI perf gate consumes: flood groups
+/// measured directly, tower16-class groups through the sweep harness.
+int report_json(const std::string& path, int repeat) {
+  runner::BenchReport report("bench_sim_throughput");
+  constexpr uint64_t kMasterSeed = 0x5eedULL;
+  report.set_master_seed(kMasterSeed);
+  report.set_threads(1);
+
+  for (const size_t n : {1024u, 16384u, 131072u}) {
+    for (int rep = 0; rep < repeat; ++rep) {
+      const FloodMeasurement m =
+          run_flood(n, 1'500'000, sim::QueueKind::kBinaryHeap);
+      runner::RunRow row;
+      row.scenario = "flood-" + std::to_string(n);
+      row.ruleset = "standard";
+      row.seed = kMasterSeed;
+      row.complete = true;
+      row.block_count = n;
+      row.events = m.events;
+      row.events_per_sec = m.rate();
+      row.wall_seconds = m.seconds;
+      report.add_row(row);
+    }
+  }
+
+  runner::SweepGrid grid;
+  grid.master_seed = kMasterSeed;
+  grid.seed_count = static_cast<size_t>(repeat);
+  grid.scenarios.push_back({"tower16", lat::make_tower_scenario(8)});
+  grid.scenarios.push_back({"tower64", lat::make_tower_scenario(32)});
+  runner::SweepRunner::Options options;
+  options.threads = 1;  // throughput rows must not contend with each other
+  options.master_seed = kMasterSeed;
+  options.generator = "bench_sim_throughput";
+  const runner::SweepResult sweep =
+      runner::SweepRunner(options).run_grid(grid);
+  for (const runner::SweepRun& run : sweep.runs) {
+    report.add_row(run.row);
+  }
+
+  report.write_file(path);
+  std::printf("wrote %s (%zu runs, %zu summary groups)\n", path.c_str(),
+              report.rows().size(), report.summarize().size());
+  for (const auto& group : report.summarize()) {
+    std::printf("%-14s mean %12.0f events/s over %zu runs\n",
+                group.scenario.c_str(), group.events_per_sec.mean,
+                group.runs);
+  }
+  return 0;
+}
+
 void BM_EventChurn(benchmark::State& state) {
   const auto modules = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     const double rate = run_flood(modules, 500'000,
-                                  sim::QueueKind::kBinaryHeap);
+                                  sim::QueueKind::kBinaryHeap).rate();
     state.counters["events/s"] =
         benchmark::Counter(rate, benchmark::Counter::kAvgThreads);
   }
@@ -148,6 +220,19 @@ BENCHMARK(BM_EventChurn)->Arg(1024)->Arg(65536)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --json <path> switches to the machine-readable mode consumed by CI;
+  // parsed before Google Benchmark sees the arguments.
+  std::string json_path;
+  int repeat = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
+    }
+  }
+  if (!json_path.empty()) return report_json(json_path, repeat);
+
   report_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

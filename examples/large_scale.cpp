@@ -3,28 +3,25 @@
 // same BlockCode runs unchanged from 12 blocks to hundreds.
 //
 //   $ ./large_scale [--half-height 32] [--quiet]
+//
+// Fleet mode runs the same scenario over many forked seeds on the parallel
+// sweep harness (runner/) and reports aggregate statistics:
+//
+//   $ ./large_scale --half-height 32 --seeds 8 --threads 4 [--json out.json]
 
 #include <chrono>
 #include <cstdio>
+#include <exception>
 
 #include "core/reconfig.hpp"
 #include "lattice/scenario.hpp"
+#include "runner/sweep.hpp"
 #include "util/cli.hpp"
 #include "viz/ascii.hpp"
 
-int main(int argc, char** argv) {
-  sb::CliParser cli("large-surface reconfiguration");
-  cli.add_int("half-height", 32,
-              "tower half-height k (N = 2k blocks, path of 2k-1 cells)");
-  cli.add_bool("quiet", false, "skip the final ASCII rendering");
-  if (!cli.parse(argc, argv)) return 1;
+namespace {
 
-  const auto k = static_cast<int32_t>(cli.get_int("half-height"));
-  const sb::lat::Scenario scenario = sb::lat::make_tower_scenario(k);
-  std::printf("N = %zu blocks, shortest path of %d cells\n",
-              scenario.block_count(),
-              sb::lat::shortest_path_cells(scenario.input, scenario.output));
-
+int run_single(const sb::lat::Scenario& scenario, bool quiet) {
   sb::core::ReconfigurationSession session(scenario, {});
   const auto start = std::chrono::steady_clock::now();
   const sb::core::SessionResult result = session.run();
@@ -36,7 +33,7 @@ int main(int argc, char** argv) {
   std::printf("events/second: %.0f\n",
               static_cast<double>(result.events_processed) / wall);
 
-  if (!cli.get_bool("quiet")) {
+  if (!quiet) {
     sb::viz::AsciiOptions options;
     options.show_ids = false;
     std::printf("%s", sb::viz::render_ascii(
@@ -45,4 +42,77 @@ int main(int argc, char** argv) {
                           .c_str());
   }
   return result.complete ? 0 : 1;
+}
+
+int run_fleet(const sb::lat::Scenario& scenario, size_t seeds, size_t threads,
+              uint64_t master_seed, const std::string& json_path) {
+  sb::runner::SweepGrid grid;
+  grid.scenarios.push_back({scenario.name, scenario});
+  grid.seed_count = seeds;
+  grid.master_seed = master_seed;
+
+  sb::runner::SweepRunner::Options options;
+  options.threads = threads;
+  options.master_seed = master_seed;
+  options.generator = "large_scale";
+  sb::runner::SweepRunner runner(options);
+
+  const auto specs = sb::runner::expand(grid);
+  std::printf("fleet: %zu runs of '%s' (N = %zu) on %zu threads\n",
+              specs.size(), scenario.name.c_str(), scenario.block_count(),
+              runner.effective_threads(specs.size()));
+  const sb::runner::SweepResult result = runner.run(specs);
+
+  size_t completed = 0;
+  for (const auto& group : result.report.summarize()) {
+    completed += group.completed;
+    std::printf(
+        "completed %zu/%zu  hops mean=%.1f [%.0f, %.0f]  moves mean=%.1f  "
+        "events/s mean=%.0f  wall mean=%.3fs\n",
+        group.completed, group.runs, group.hops.mean, group.hops.min,
+        group.hops.max, group.elementary_moves.mean,
+        group.events_per_sec.mean, group.wall_seconds.mean);
+  }
+  if (!json_path.empty()) {
+    result.report.write_file(json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return completed == result.runs.size() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sb::CliParser cli("large-surface reconfiguration");
+  cli.add_int("half-height", 32,
+              "tower half-height k (N = 2k blocks, path of 2k-1 cells)");
+  cli.add_bool("quiet", false, "skip the final ASCII rendering");
+  cli.add_int("seeds", 0,
+              "fleet mode: run this many forked seeds on the sweep harness");
+  cli.add_int("threads", 0, "fleet mode: worker threads (0 = hardware)");
+  cli.add_string("master-seed", "0x5eed", "fleet mode: master seed");
+  cli.add_string("json", "", "fleet mode: write BENCH_sim.json here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto k = static_cast<int32_t>(cli.get_int("half-height"));
+  const sb::lat::Scenario scenario = sb::lat::make_tower_scenario(k);
+  std::printf("N = %zu blocks, shortest path of %d cells\n",
+              scenario.block_count(),
+              sb::lat::shortest_path_cells(scenario.input, scenario.output));
+
+  const auto seeds = static_cast<size_t>(cli.get_int("seeds"));
+  if (seeds > 0) {
+    uint64_t master_seed = 0;
+    try {
+      master_seed = sb::util::parse_u64(cli.get_string("master-seed"));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "large_scale: bad --master-seed '%s'\n",
+                   cli.get_string("master-seed").c_str());
+      return 1;
+    }
+    return run_fleet(scenario, seeds,
+                     static_cast<size_t>(cli.get_int("threads")), master_seed,
+                     cli.get_string("json"));
+  }
+  return run_single(scenario, cli.get_bool("quiet"));
 }

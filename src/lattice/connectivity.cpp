@@ -42,7 +42,7 @@ size_t flood_count(const Grid& grid, Vec2 start,
 
 bool is_connected(const Grid& grid) {
   if (grid.block_count() <= 1) return true;
-  const Vec2 start = grid.blocks().begin()->second;
+  const Vec2 start = grid.first_block_position();
   return flood_count(grid, start, {}, {}) == grid.block_count();
 }
 
@@ -164,7 +164,7 @@ bool is_single_line(const Grid& grid) {
   if (grid.block_count() <= 1) return true;
   bool same_x = true;
   bool same_y = true;
-  const Vec2 first = grid.blocks().begin()->second;
+  const Vec2 first = grid.first_block_position();
   for (const auto& [id, pos] : grid.blocks()) {
     same_x &= pos.x == first.x;
     same_y &= pos.y == first.y;

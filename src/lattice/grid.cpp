@@ -12,28 +12,54 @@ Grid::Grid(int32_t width, int32_t height) : width_(width), height_(height) {
   cells_.assign(cell_count(), kInvalidBlock);
 }
 
-Vec2 Grid::position_of(BlockId id) const {
-  const auto it = positions_.find(id);
-  SB_EXPECTS(it != positions_.end(), "block ", id, " is not on the surface");
-  return it->second;
-}
-
 std::vector<BlockId> Grid::block_ids() const {
   std::vector<BlockId> ids;
-  ids.reserve(positions_.size());
-  for (const auto& [id, pos] : positions_) ids.push_back(id);
+  ids.reserve(block_count_);
+  for (uint32_t v = 0; v < positions_.size(); ++v) {
+    if (positions_[v] != kUnplaced) ids.push_back(BlockId{v});
+  }
   return ids;
+}
+
+std::vector<std::pair<BlockId, Vec2>> Grid::blocks() const {
+  std::vector<std::pair<BlockId, Vec2>> out;
+  out.reserve(block_count_);
+  for (uint32_t v = 0; v < positions_.size(); ++v) {
+    if (positions_[v] != kUnplaced) out.emplace_back(BlockId{v}, positions_[v]);
+  }
+  return out;
+}
+
+Vec2 Grid::first_block_position() const {
+  SB_EXPECTS(block_count_ > 0, "first_block_position on an empty grid");
+  for (const Vec2 pos : positions_) {
+    if (pos != kUnplaced) return pos;
+  }
+  SB_UNREACHABLE();
+}
+
+void Grid::set_position(BlockId id, Vec2 p) {
+  if (id.value >= positions_.size()) {
+    positions_.resize(static_cast<size_t>(id.value) + 1, kUnplaced);
+  }
+  positions_[id.value] = p;
 }
 
 void Grid::place(BlockId id, Vec2 p) {
   SB_EXPECTS(id.valid(), "cannot place an invalid block id");
+  // The id->position index (and the simulator's module table) are dense
+  // arrays sized by the largest id, so wildly sparse ids would silently
+  // allocate gigabytes. Scenario ids count from 1; reject outliers loudly.
+  SB_EXPECTS(id.value <= kMaxBlockIdValue, "block id ", id,
+             " exceeds the dense-id limit (", kMaxBlockIdValue,
+             "); renumber the scenario's blocks");
   SB_EXPECTS(in_bounds(p), "place ", id, " out of bounds at ", p);
   SB_EXPECTS(!cells_[index(p)].valid(), "cell ", p, " already holds ",
              cells_[index(p)]);
-  SB_EXPECTS(positions_.count(id) == 0, "block ", id,
-             " is already on the surface");
+  SB_EXPECTS(!contains(id), "block ", id, " is already on the surface");
   cells_[index(p)] = id;
-  positions_[id] = p;
+  set_position(id, p);
+  ++block_count_;
 }
 
 BlockId Grid::remove(Vec2 p) {
@@ -41,7 +67,8 @@ BlockId Grid::remove(Vec2 p) {
   const BlockId id = cells_[index(p)];
   SB_EXPECTS(id.valid(), "cell ", p, " is empty");
   cells_[index(p)] = kInvalidBlock;
-  positions_.erase(id);
+  positions_[id.value] = kUnplaced;
+  --block_count_;
   return id;
 }
 
@@ -68,7 +95,7 @@ void Grid::move_simultaneously(
     SB_EXPECTS(!cells_[index(to)].valid(), "move destination ", to,
                " is occupied after lifting movers");
     cells_[index(to)] = id;
-    positions_[id] = to;
+    positions_[id.value] = to;
   }
 }
 

@@ -3,13 +3,17 @@
 //
 // The grid tracks which block (if any) occupies each cell, plus the inverse
 // map from block id to position. All mutations keep the two maps consistent.
+// The inverse map is a dense array indexed by id so that the simulator's
+// per-event lookups (position_of, contains) are O(1); ids are expected to be
+// small and near-contiguous, as the scenario generators produce them.
 
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "lattice/block_id.hpp"
 #include "lattice/direction.hpp"
 #include "lattice/vec2.hpp"
+#include "util/assert.hpp"
 
 namespace sb::lat {
 
@@ -40,21 +44,36 @@ class Grid {
   }
 
   [[nodiscard]] bool contains(BlockId id) const {
-    return positions_.count(id) > 0;
+    return id.valid() && id.value < positions_.size() &&
+           positions_[id.value] != kUnplaced;
   }
 
-  /// Position of a block; the block must be on the surface.
-  [[nodiscard]] Vec2 position_of(BlockId id) const;
+  /// Position of a block; the block must be on the surface. O(1).
+  [[nodiscard]] Vec2 position_of(BlockId id) const {
+    SB_EXPECTS(contains(id), "block ", id, " is not on the surface");
+    return positions_[id.value];
+  }
 
-  [[nodiscard]] size_t block_count() const { return positions_.size(); }
+  [[nodiscard]] size_t block_count() const { return block_count_; }
 
   /// Blocks in deterministic (id) order.
   [[nodiscard]] std::vector<BlockId> block_ids() const;
 
-  /// (id, position) pairs in id order.
-  [[nodiscard]] const std::map<BlockId, Vec2>& blocks() const {
-    return positions_;
-  }
+  /// Snapshot of (id, position) pairs in id order. Built on demand — O(max
+  /// id); fine for setup, rendering, and connectivity scans, not for
+  /// per-event paths (use position_of).
+  [[nodiscard]] std::vector<std::pair<BlockId, Vec2>> blocks() const;
+
+  /// Position of the lowest-id block, without building the blocks()
+  /// snapshot (flood-fill seeds on the connectivity hot path). The grid
+  /// must be non-empty.
+  [[nodiscard]] Vec2 first_block_position() const;
+
+  /// Largest accepted id value: the id->position index is dense, so ids
+  /// must be reasonably small (scenario generators count from 1). 2^26 ids
+  /// bound the index at 512 MB — far above the paper's 2M-module scale but
+  /// a loud error instead of a silent multi-gigabyte allocation.
+  static constexpr uint32_t kMaxBlockIdValue = (1u << 26) - 1;
 
   /// Places a new block. The cell must be empty and the id unused.
   void place(BlockId id, Vec2 p);
@@ -84,15 +103,22 @@ class Grid {
   }
 
  private:
+  /// Sentinel for "id not on the surface" in the dense position array.
+  static constexpr Vec2 kUnplaced{INT32_MIN, INT32_MIN};
+
   [[nodiscard]] size_t index(Vec2 p) const {
     return static_cast<size_t>(p.y) * static_cast<size_t>(width_) +
            static_cast<size_t>(p.x);
   }
 
+  void set_position(BlockId id, Vec2 p);
+
   int32_t width_;
   int32_t height_;
   std::vector<BlockId> cells_;
-  std::map<BlockId, Vec2> positions_;
+  /// positions_[id.value] = position, or kUnplaced; indexed by id.
+  std::vector<Vec2> positions_;
+  size_t block_count_ = 0;
 };
 
 }  // namespace sb::lat

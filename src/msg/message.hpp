@@ -9,11 +9,22 @@
 #include <string>
 #include <string_view>
 
+#include "util/pool.hpp"
+
 namespace sb::msg {
 
 class Message {
  public:
   virtual ~Message() = default;
+
+  /// Messages are created and destroyed at event rates; all subclasses
+  /// allocate through the thread-local pool (util/pool.hpp). The sized
+  /// delete receives the dynamic type's size via the virtual destructor, so
+  /// recycling works for every subclass without opt-in.
+  static void* operator new(size_t bytes) { return util::pool_alloc(bytes); }
+  static void operator delete(void* ptr, size_t bytes) noexcept {
+    util::pool_free(ptr, bytes);
+  }
 
   /// Stable kind tag, e.g. "Activate"; used for statistics (the paper's
   /// Remark 3 counts messages) and debugging.

@@ -1,0 +1,154 @@
+#include "runner/report.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace sb::runner {
+
+RunRow make_row(const std::string& scenario, const std::string& ruleset,
+                uint64_t seed, const core::SessionResult& result) {
+  RunRow row;
+  row.scenario = scenario;
+  row.ruleset = ruleset;
+  row.seed = seed;
+  row.complete = result.complete;
+  row.events = result.events_processed;
+  row.wall_seconds = result.wall_seconds;
+  row.events_per_sec =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.events_processed) / result.wall_seconds
+          : 0.0;
+  row.hops = result.hops;
+  row.elementary_moves = result.elementary_moves;
+  row.messages_sent = result.messages_sent;
+  row.iterations = result.iterations;
+  row.sim_ticks = result.sim_ticks;
+  row.block_count = result.block_count;
+  return row;
+}
+
+BenchReport::BenchReport(std::string generator)
+    : generator_(std::move(generator)) {}
+
+namespace {
+
+MetricSummary summarize_metric(const Accumulator& acc) {
+  MetricSummary s;
+  s.mean = acc.mean();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.stddev = acc.stddev();
+  return s;
+}
+
+util::JsonValue metric_json(const MetricSummary& s) {
+  util::JsonValue out = util::JsonValue::object();
+  out["mean"] = util::JsonValue(s.mean);
+  out["min"] = util::JsonValue(s.min);
+  out["max"] = util::JsonValue(s.max);
+  out["stddev"] = util::JsonValue(s.stddev);
+  return out;
+}
+
+}  // namespace
+
+std::vector<GroupSummary> BenchReport::summarize() const {
+  struct Group {
+    GroupSummary out;
+    Accumulator events_per_sec;
+    Accumulator wall_seconds;
+    Accumulator hops;
+    Accumulator elementary_moves;
+    Accumulator messages_sent;
+  };
+  std::vector<Group> groups;
+  for (const RunRow& row : rows_) {
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.out.scenario == row.scenario && g.out.ruleset == row.ruleset) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+      group->out.scenario = row.scenario;
+      group->out.ruleset = row.ruleset;
+    }
+    ++group->out.runs;
+    if (row.complete) ++group->out.completed;
+    group->events_per_sec.add(row.events_per_sec);
+    group->wall_seconds.add(row.wall_seconds);
+    group->hops.add(static_cast<double>(row.hops));
+    group->elementary_moves.add(static_cast<double>(row.elementary_moves));
+    group->messages_sent.add(static_cast<double>(row.messages_sent));
+  }
+  std::vector<GroupSummary> out;
+  out.reserve(groups.size());
+  for (Group& g : groups) {
+    g.out.events_per_sec = summarize_metric(g.events_per_sec);
+    g.out.wall_seconds = summarize_metric(g.wall_seconds);
+    g.out.hops = summarize_metric(g.hops);
+    g.out.elementary_moves = summarize_metric(g.elementary_moves);
+    g.out.messages_sent = summarize_metric(g.messages_sent);
+    out.push_back(std::move(g.out));
+  }
+  return out;
+}
+
+util::JsonValue BenchReport::to_json() const {
+  util::JsonValue root = util::JsonValue::object();
+  root["schema"] = util::JsonValue("sb-bench-sim/v1");
+  root["generator"] = util::JsonValue(generator_);
+  root["master_seed"] = util::JsonValue(util::hex_u64(master_seed_));
+  root["threads"] = util::JsonValue(threads_);
+
+  util::JsonValue runs = util::JsonValue::array();
+  for (const RunRow& row : rows_) {
+    util::JsonValue r = util::JsonValue::object();
+    r["scenario"] = util::JsonValue(row.scenario);
+    r["ruleset"] = util::JsonValue(row.ruleset);
+    r["seed"] = util::JsonValue(util::hex_u64(row.seed));
+    r["complete"] = util::JsonValue(row.complete);
+    r["blocks"] = util::JsonValue(row.block_count);
+    r["events"] = util::JsonValue(row.events);
+    r["events_per_sec"] = util::JsonValue(row.events_per_sec);
+    r["wall_seconds"] = util::JsonValue(row.wall_seconds);
+    r["hops"] = util::JsonValue(row.hops);
+    r["elementary_moves"] = util::JsonValue(row.elementary_moves);
+    r["messages_sent"] = util::JsonValue(row.messages_sent);
+    r["iterations"] = util::JsonValue(row.iterations);
+    r["sim_ticks"] = util::JsonValue(row.sim_ticks);
+    runs.push_back(std::move(r));
+  }
+  root["runs"] = std::move(runs);
+
+  util::JsonValue summary = util::JsonValue::array();
+  for (const GroupSummary& group : summarize()) {
+    util::JsonValue g = util::JsonValue::object();
+    g["scenario"] = util::JsonValue(group.scenario);
+    g["ruleset"] = util::JsonValue(group.ruleset);
+    g["runs"] = util::JsonValue(group.runs);
+    g["completed"] = util::JsonValue(group.completed);
+    g["events_per_sec"] = metric_json(group.events_per_sec);
+    g["wall_seconds"] = metric_json(group.wall_seconds);
+    g["hops"] = metric_json(group.hops);
+    g["elementary_moves"] = metric_json(group.elementary_moves);
+    g["messages_sent"] = metric_json(group.messages_sent);
+    summary.push_back(std::move(g));
+  }
+  root["summary"] = std::move(summary);
+  return root;
+}
+
+void BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  SB_EXPECTS(out.good(), "cannot open '", path, "' for writing");
+  out << to_json_text();
+  SB_EXPECTS(out.good(), "failed writing report to '", path, "'");
+}
+
+}  // namespace sb::runner

@@ -1,0 +1,93 @@
+#pragma once
+// Machine-readable bench/sweep reports (the BENCH_sim.json schema).
+//
+// One flat RunRow per executed run; BenchReport groups rows by
+// (scenario, ruleset), aggregates each metric with util/stats Accumulators,
+// and serializes to the stable JSON schema that benches, examples, the
+// sweep tool, and the CI perf gate all consume (docs/BENCHMARKS.md).
+
+#include <string>
+#include <vector>
+
+#include "core/reconfig.hpp"
+#include "util/json.hpp"
+
+namespace sb::runner {
+
+/// One executed run, flattened for reporting.
+struct RunRow {
+  std::string scenario;  ///< scenario label, e.g. "tower16" or "flood-1024"
+  std::string ruleset = "standard";
+  uint64_t seed = 0;
+  bool complete = false;
+  uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  uint64_t hops = 0;
+  uint64_t elementary_moves = 0;
+  uint64_t messages_sent = 0;
+  uint32_t iterations = 0;
+  uint64_t sim_ticks = 0;
+  size_t block_count = 0;
+};
+
+/// Flattens a session outcome into a report row.
+[[nodiscard]] RunRow make_row(const std::string& scenario,
+                              const std::string& ruleset, uint64_t seed,
+                              const core::SessionResult& result);
+
+/// Per-(scenario, ruleset) aggregate of a metric.
+struct MetricSummary {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+};
+
+struct GroupSummary {
+  std::string scenario;
+  std::string ruleset;
+  size_t runs = 0;
+  size_t completed = 0;
+  MetricSummary events_per_sec;
+  MetricSummary wall_seconds;
+  MetricSummary hops;
+  MetricSummary elementary_moves;
+  MetricSummary messages_sent;
+};
+
+class BenchReport {
+ public:
+  /// `generator` names the producing binary (e.g. "bench_sim_throughput").
+  explicit BenchReport(std::string generator);
+
+  void set_master_seed(uint64_t seed) { master_seed_ = seed; }
+  void set_threads(size_t threads) { threads_ = threads; }
+
+  void add_row(RunRow row) { rows_.push_back(std::move(row)); }
+
+  [[nodiscard]] const std::vector<RunRow>& rows() const { return rows_; }
+
+  /// Aggregates rows into per-(scenario, ruleset) groups, in first-seen
+  /// order (deterministic for a fixed row order).
+  [[nodiscard]] std::vector<GroupSummary> summarize() const;
+
+  /// The BENCH_sim.json schema ("sb-bench-sim/v1"); see docs/BENCHMARKS.md.
+  [[nodiscard]] util::JsonValue to_json() const;
+
+  /// Pretty-printed to_json(); suitable for committing as a baseline.
+  [[nodiscard]] std::string to_json_text() const {
+    return to_json().dump(2);
+  }
+
+  /// Writes to_json_text() to a file; aborts on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string generator_;
+  uint64_t master_seed_ = 0;
+  size_t threads_ = 1;
+  std::vector<RunRow> rows_;
+};
+
+}  // namespace sb::runner

@@ -1,19 +1,31 @@
 #pragma once
 // Discrete events. The simulator is a classic event-driven core (the
 // paper's VisibleSim "mixes a discrete-event core simulator with
-// discrete-time functionalities"); every behaviour — message delivery,
-// timers, motion completion — is an Event subclass.
+// discrete-time functionalities").
+//
+// The hot path stores events *by value*: an EventRecord is a small tagged
+// struct covering the four built-in behaviours (start, timer, message
+// delivery, motion completion), so scheduling one costs no allocation and
+// the pending-event heap is a contiguous array. Custom behaviours (tests,
+// benches, fault injection) still subclass Event; those are carried through
+// the same queue behind a pointer.
 
 #include <cstdint>
 #include <memory>
 #include <string_view>
 
+#include "lattice/block_id.hpp"
+#include "motion/apply.hpp"
+#include "msg/message.hpp"
 #include "sim/time.hpp"
 
 namespace sb::sim {
 
 class Simulator;
 
+/// Base class for user-defined events (EventKind::kExternal). The built-in
+/// simulator behaviours do not subclass this — they are dispatched from the
+/// EventRecord tag without a virtual call.
 class Event {
  public:
   explicit Event(SimTime time) : time_(time) {}
@@ -24,25 +36,112 @@ class Event {
 
   [[nodiscard]] SimTime time() const { return time_; }
 
-  /// Monotone insertion sequence; breaks timestamp ties deterministically
-  /// (same seed -> identical execution order). Assigned by the queue.
-  [[nodiscard]] uint64_t seq() const { return seq_; }
-  void set_seq(uint64_t seq) { seq_ = seq; }
-
-  /// Stable tag for statistics ("Delivery", "Timer", ...).
+  /// Stable tag for statistics ("Seed", "FaultInjection", ...).
   [[nodiscard]] virtual std::string_view kind() const = 0;
 
   virtual void execute(Simulator& sim) = 0;
 
  private:
   SimTime time_;
-  uint64_t seq_ = 0;
+};
+
+enum class EventKind : uint8_t {
+  kStart = 0,
+  kTimer,
+  kDelivery,
+  kMotionComplete,
+  kExternal,
+};
+
+/// A pending event, stored by value in the queue. Which fields are
+/// meaningful depends on `kind`; the factory functions below are the only
+/// intended constructors.
+struct EventRecord {
+  SimTime time = 0;
+  /// Monotone insertion sequence; breaks timestamp ties deterministically
+  /// (same seed -> identical execution order). Assigned by the queue.
+  uint64_t seq = 0;
+  EventKind kind = EventKind::kExternal;
+  lat::BlockId a;  ///< start/timer target, delivery sender, motion subject
+  lat::BlockId b;  ///< delivery receiver
+  uint64_t tag = 0;             ///< timer tag
+  motion::RuleApplication app;  ///< motion-complete payload
+  msg::MessagePtr message;      ///< delivery payload
+  std::unique_ptr<Event> external;
+
+  EventRecord() = default;
+  EventRecord(EventRecord&&) = default;
+  EventRecord& operator=(EventRecord&&) = default;
+  EventRecord(const EventRecord&) = delete;
+  EventRecord& operator=(const EventRecord&) = delete;
+
+  [[nodiscard]] static EventRecord start(SimTime t, lat::BlockId target) {
+    EventRecord r;
+    r.time = t;
+    r.kind = EventKind::kStart;
+    r.a = target;
+    return r;
+  }
+
+  [[nodiscard]] static EventRecord timer(SimTime t, lat::BlockId target,
+                                         uint64_t tag) {
+    EventRecord r;
+    r.time = t;
+    r.kind = EventKind::kTimer;
+    r.a = target;
+    r.tag = tag;
+    return r;
+  }
+
+  [[nodiscard]] static EventRecord delivery(SimTime t, lat::BlockId sender,
+                                            lat::BlockId receiver,
+                                            msg::MessagePtr m) {
+    EventRecord r;
+    r.time = t;
+    r.kind = EventKind::kDelivery;
+    r.a = sender;
+    r.b = receiver;
+    r.message = std::move(m);
+    return r;
+  }
+
+  [[nodiscard]] static EventRecord motion_complete(
+      SimTime t, lat::BlockId subject, const motion::RuleApplication& app) {
+    EventRecord r;
+    r.time = t;
+    r.kind = EventKind::kMotionComplete;
+    r.a = subject;
+    r.app = app;
+    return r;
+  }
+
+  [[nodiscard]] static EventRecord wrap(SimTime t,
+                                        std::unique_ptr<Event> event) {
+    EventRecord r;
+    r.time = t;
+    r.kind = EventKind::kExternal;
+    r.external = std::move(event);
+    return r;
+  }
+
+  /// Stable tag for statistics; external events report their own kind().
+  [[nodiscard]] std::string_view kind_name() const {
+    switch (kind) {
+      case EventKind::kStart: return "Start";
+      case EventKind::kTimer: return "Timer";
+      case EventKind::kDelivery: return "Delivery";
+      case EventKind::kMotionComplete: return "MotionComplete";
+      case EventKind::kExternal: return external->kind();
+    }
+    return "?";
+  }
 };
 
 /// Total order on events: by time, then insertion sequence.
-[[nodiscard]] inline bool event_before(const Event& a, const Event& b) {
-  if (a.time() != b.time()) return a.time() < b.time();
-  return a.seq() < b.seq();
+[[nodiscard]] inline bool event_before(const EventRecord& a,
+                                       const EventRecord& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
 }
 
 }  // namespace sb::sim

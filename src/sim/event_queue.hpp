@@ -2,9 +2,11 @@
 // Pending-event set implementations.
 //
 // Two interchangeable structures back the simulator: a binary heap (the
-// default) and a time-bucketed ordered map. bench_ablations compares their
-// throughput; the VisibleSim paper's 650k events/s claim is sensitive to
-// exactly this choice.
+// default) and a time-bucketed ordered map. Both store EventRecords by
+// value — pushing a built-in event allocates nothing, and the heap is one
+// contiguous array. bench_ablations compares their throughput; the
+// VisibleSim paper's 650k events/s claim is sensitive to exactly this
+// choice.
 
 #include <map>
 #include <memory>
@@ -19,14 +21,14 @@ class EventQueue {
   virtual ~EventQueue() = default;
 
   /// Takes ownership; assigns the tie-breaking sequence number.
-  virtual void push(std::unique_ptr<Event> event) = 0;
+  virtual void push(EventRecord record) = 0;
 
   /// Removes and returns the earliest event (time, then seq). Queue must be
   /// non-empty.
-  virtual std::unique_ptr<Event> pop() = 0;
+  virtual EventRecord pop() = 0;
 
   /// Earliest event without removing it; nullptr when empty.
-  [[nodiscard]] virtual const Event* peek() const = 0;
+  [[nodiscard]] virtual const EventRecord* peek() const = 0;
 
   [[nodiscard]] virtual size_t size() const = 0;
   [[nodiscard]] bool empty() const { return size() == 0; }
@@ -35,30 +37,37 @@ class EventQueue {
   uint64_t next_seq_ = 0;
 };
 
-/// Array-backed binary min-heap.
+/// Array-backed binary min-heap of records.
 class BinaryHeapEventQueue final : public EventQueue {
  public:
-  void push(std::unique_ptr<Event> event) override;
-  std::unique_ptr<Event> pop() override;
-  [[nodiscard]] const Event* peek() const override;
+  void push(EventRecord record) override;
+  EventRecord pop() override;
+  [[nodiscard]] const EventRecord* peek() const override;
   [[nodiscard]] size_t size() const override { return heap_.size(); }
 
  private:
-  std::vector<std::unique_ptr<Event>> heap_;
+  void sift_up(size_t i);
+  void sift_down(size_t i);
+
+  std::vector<EventRecord> heap_;
 };
 
 /// Ordered map from timestamp to FIFO bucket. Pops are O(1) amortized when
 /// many events share timestamps (synchronous phases); pushes pay the map
-/// lookup.
+/// lookup. Each bucket keeps a head cursor so popping the front is O(1).
 class BucketMapEventQueue final : public EventQueue {
  public:
-  void push(std::unique_ptr<Event> event) override;
-  std::unique_ptr<Event> pop() override;
-  [[nodiscard]] const Event* peek() const override;
+  void push(EventRecord record) override;
+  EventRecord pop() override;
+  [[nodiscard]] const EventRecord* peek() const override;
   [[nodiscard]] size_t size() const override { return size_; }
 
  private:
-  std::map<SimTime, std::vector<std::unique_ptr<Event>>> buckets_;
+  struct Bucket {
+    std::vector<EventRecord> records;
+    size_t head = 0;  // index of the earliest un-popped record
+  };
+  std::map<SimTime, Bucket> buckets_;
   size_t size_ = 0;
 };
 

@@ -18,75 +18,6 @@ std::string_view to_string(StopReason reason) {
 }
 
 // ---------------------------------------------------------------------------
-// Event types
-// ---------------------------------------------------------------------------
-
-class StartEvent final : public Event {
- public:
-  StartEvent(SimTime time, lat::BlockId target)
-      : Event(time), target_(target) {}
-  [[nodiscard]] std::string_view kind() const override { return "Start"; }
-  void execute(Simulator& sim) override {
-    Module* module = sim.find_module(target_);
-    if (module != nullptr && module->alive()) module->on_start();
-  }
-
- private:
-  lat::BlockId target_;
-};
-
-class TimerEvent final : public Event {
- public:
-  TimerEvent(SimTime time, lat::BlockId target, uint64_t tag)
-      : Event(time), target_(target), tag_(tag) {}
-  [[nodiscard]] std::string_view kind() const override { return "Timer"; }
-  void execute(Simulator& sim) override {
-    Module* module = sim.find_module(target_);
-    if (module != nullptr && module->alive()) module->on_timer(tag_);
-  }
-
- private:
-  lat::BlockId target_;
-  uint64_t tag_;
-};
-
-class DeliveryEvent final : public Event {
- public:
-  DeliveryEvent(SimTime time, lat::BlockId sender, lat::BlockId receiver,
-                msg::MessagePtr message)
-      : Event(time),
-        sender_(sender),
-        receiver_(receiver),
-        message_(std::move(message)) {}
-  [[nodiscard]] std::string_view kind() const override { return "Delivery"; }
-  void execute(Simulator& sim) override {
-    sim.deliver(sender_, receiver_, *message_);
-  }
-
- private:
-  lat::BlockId sender_;
-  lat::BlockId receiver_;
-  msg::MessagePtr message_;
-};
-
-class MotionCompleteEvent final : public Event {
- public:
-  MotionCompleteEvent(SimTime time, lat::BlockId subject,
-                      motion::RuleApplication app)
-      : Event(time), subject_(subject), app_(app) {}
-  [[nodiscard]] std::string_view kind() const override {
-    return "MotionComplete";
-  }
-  void execute(Simulator& sim) override {
-    sim.complete_motion(subject_, app_);
-  }
-
- private:
-  lat::BlockId subject_;
-  motion::RuleApplication app_;
-};
-
-// ---------------------------------------------------------------------------
 // Module services (need the full Simulator definition)
 // ---------------------------------------------------------------------------
 
@@ -140,7 +71,7 @@ Module& Simulator::add_module(std::unique_ptr<Module> module) {
   const lat::BlockId id = module->id();
   SB_EXPECTS(world_.grid().contains(id), "block ", id,
              " must be placed on the grid before registering its module");
-  SB_EXPECTS(modules_.count(id) == 0, "module for ", id,
+  SB_EXPECTS(find_module(id) == nullptr, "module for ", id,
              " is already registered");
   module->host_ = this;
   // Initialize the neighbor table from the physical contacts.
@@ -148,14 +79,13 @@ Module& Simulator::add_module(std::unique_ptr<Module> module) {
   for (lat::Direction d : lat::all_directions()) {
     module->neighbors_.set_neighbor(d, world_.grid().at(pos + delta(d)));
   }
-  auto& slot = modules_[id];
+  if (id.value >= modules_.size()) {
+    modules_.resize(static_cast<size_t>(id.value) + 1);
+  }
+  auto& slot = modules_[id.value];
   slot = std::move(module);
+  ++module_count_;
   return *slot;
-}
-
-Module* Simulator::find_module(lat::BlockId id) {
-  const auto it = modules_.find(id);
-  return it == modules_.end() ? nullptr : it->second.get();
 }
 
 void Simulator::kill_module(lat::BlockId id) {
@@ -165,39 +95,69 @@ void Simulator::kill_module(lat::BlockId id) {
   log_debug("block {} killed at t={}", id.value, now_);
 }
 
+void Simulator::schedule_record(EventRecord record) {
+  SB_EXPECTS(record.time >= now_, "cannot schedule into the past (t=",
+             record.time, " < now=", now_, ")");
+  queue_->push(std::move(record));
+}
+
 void Simulator::schedule(SimTime when, std::unique_ptr<Event> event) {
-  SB_EXPECTS(when >= now_, "cannot schedule into the past (t=", when,
-             " < now=", now_, ")");
-  queue_->push(std::move(event));
+  SB_EXPECTS(event != nullptr);
+  schedule_record(EventRecord::wrap(when, std::move(event)));
 }
 
 void Simulator::start_all_modules() {
-  for (auto& [id, module] : modules_) {
-    schedule(now_, std::make_unique<StartEvent>(now_, id));
-  }
+  for_each_module([this](Module& module) {
+    schedule_record(EventRecord::start(now_, module.id()));
+  });
 }
 
-void Simulator::count_event(const Event& event) {
+void Simulator::count_event(const EventRecord& record) {
   ++stats_.events_processed;
-  if (config_.detailed_stats) ++stats_.events_by_kind[event.kind()];
+  if (config_.detailed_stats) ++stats_.events_by_kind[record.kind_name()];
+}
+
+void Simulator::dispatch(EventRecord& record) {
+  switch (record.kind) {
+    case EventKind::kStart: {
+      Module* module = find_module(record.a);
+      if (module != nullptr && module->alive()) module->on_start();
+      return;
+    }
+    case EventKind::kTimer: {
+      Module* module = find_module(record.a);
+      if (module != nullptr && module->alive()) module->on_timer(record.tag);
+      return;
+    }
+    case EventKind::kDelivery:
+      deliver(record.a, record.b, *record.message);
+      return;
+    case EventKind::kMotionComplete:
+      complete_motion(record.a, record.app);
+      return;
+    case EventKind::kExternal:
+      record.external->execute(*this);
+      return;
+  }
+  SB_UNREACHABLE();
 }
 
 bool Simulator::step() {
   if (queue_->empty()) return false;
-  std::unique_ptr<Event> event = queue_->pop();
-  SB_ASSERT(event->time() >= now_, "event time ran backwards");
-  now_ = event->time();
-  count_event(*event);
-  event->execute(*this);
+  EventRecord record = queue_->pop();
+  SB_ASSERT(record.time >= now_, "event time ran backwards");
+  now_ = record.time;
+  count_event(record);
+  dispatch(record);
   return true;
 }
 
 StopReason Simulator::run(RunLimits limits) {
   uint64_t processed = 0;
   while (!halted_) {
-    const Event* next = queue_->peek();
+    const EventRecord* next = queue_->peek();
     if (next == nullptr) return StopReason::kQueueEmpty;
-    if (next->time() > limits.until) return StopReason::kTimeLimit;
+    if (next->time > limits.until) return StopReason::kTimeLimit;
     if (processed >= limits.max_events) return StopReason::kEventLimit;
     step();
     ++processed;
@@ -220,9 +180,8 @@ void Simulator::send_from(Module& sender, lat::Direction side,
     return;
   }
   const Ticks latency = config_.latency.sample(rng_);
-  schedule(now_ + latency,
-           std::make_unique<DeliveryEvent>(now_ + latency, sender.id(),
-                                           receiver, std::move(message)));
+  schedule_record(EventRecord::delivery(now_ + latency, sender.id(), receiver,
+                                        std::move(message)));
 }
 
 void Simulator::deliver(lat::BlockId sender, lat::BlockId receiver,
@@ -252,8 +211,7 @@ void Simulator::deliver(lat::BlockId sender, lat::BlockId receiver,
 }
 
 void Simulator::timer_for(Module& module, Ticks delay, uint64_t tag) {
-  schedule(now_ + delay,
-           std::make_unique<TimerEvent>(now_ + delay, module.id(), tag));
+  schedule_record(EventRecord::timer(now_ + delay, module.id(), tag));
 }
 
 void Simulator::start_motion_for(Module& subject,
@@ -266,8 +224,7 @@ void Simulator::start_motion_for(Module& subject,
              app.describe());
   ++stats_.motions_started;
   const SimTime lands = now_ + config_.motion_duration;
-  schedule(lands,
-           std::make_unique<MotionCompleteEvent>(lands, subject.id(), app));
+  schedule_record(EventRecord::motion_complete(lands, subject.id(), app));
 }
 
 void Simulator::complete_motion(lat::BlockId subject,

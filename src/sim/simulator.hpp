@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "motion/apply.hpp"
 #include "msg/latency.hpp"
@@ -71,8 +72,12 @@ class Simulator {
   /// Registers the program for a block already placed on the grid.
   Module& add_module(std::unique_ptr<Module> module);
 
-  [[nodiscard]] Module* find_module(lat::BlockId id);
-  [[nodiscard]] size_t module_count() const { return modules_.size(); }
+  /// O(1): the module table is a dense array indexed by block id.
+  [[nodiscard]] Module* find_module(lat::BlockId id) {
+    return id.valid() && id.value < modules_.size() ? modules_[id.value].get()
+                                                    : nullptr;
+  }
+  [[nodiscard]] size_t module_count() const { return module_count_; }
 
   template <typename T>
   [[nodiscard]] T& module_as(lat::BlockId id) {
@@ -87,7 +92,9 @@ class Simulator {
   /// Iterates modules in id order.
   template <typename Fn>
   void for_each_module(Fn&& fn) {
-    for (auto& [id, module] : modules_) fn(*module);
+    for (auto& module : modules_) {
+      if (module != nullptr) fn(*module);
+    }
   }
 
   /// Fault injection: the block's program stops responding; the block stays
@@ -96,6 +103,8 @@ class Simulator {
 
   // -- event loop -----------------------------------------------------------
 
+  /// Schedules a user-defined event (tests, benches, fault injection). The
+  /// built-in behaviours go through allocation-free EventRecords instead.
   void schedule(SimTime when, std::unique_ptr<Event> event);
   void schedule_in(Ticks delay, std::unique_ptr<Event> event) {
     schedule(now_ + delay, std::move(event));
@@ -125,10 +134,8 @@ class Simulator {
   void start_motion_for(Module& subject, const motion::RuleApplication& app);
 
  private:
-  friend class DeliveryEvent;
-  friend class TimerEvent;
-  friend class StartEvent;
-  friend class MotionCompleteEvent;
+  void schedule_record(EventRecord record);
+  void dispatch(EventRecord& record);
 
   void deliver(lat::BlockId sender, lat::BlockId receiver,
                const msg::Message& message);
@@ -138,7 +145,7 @@ class Simulator {
   /// on_neighbor_change for every block whose contacts changed.
   void refresh_neighbors_around(const std::vector<lat::Vec2>& cells);
 
-  void count_event(const Event& event);
+  void count_event(const EventRecord& record);
 
   World world_;
   SimConfig config_;
@@ -146,7 +153,10 @@ class Simulator {
   SimTime now_ = 0;
   bool halted_ = false;
   std::unique_ptr<EventQueue> queue_;
-  std::map<lat::BlockId, std::unique_ptr<Module>> modules_;
+  /// Dense table indexed by id (ids are small and near-contiguous; see
+  /// Grid). Index order == id order, so iteration stays deterministic.
+  std::vector<std::unique_ptr<Module>> modules_;
+  size_t module_count_ = 0;
   SimStats stats_;
 };
 

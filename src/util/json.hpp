@@ -1,0 +1,105 @@
+#pragma once
+// Minimal JSON value type, writer, and parser.
+//
+// Just enough JSON for the machine-readable bench/sweep reports
+// (BENCH_sim.json, docs/BENCHMARKS.md): objects preserve insertion order so
+// emitted files are stable and diffable, numbers are doubles (64-bit seeds
+// travel as hex strings), and the parser accepts exactly what dump()
+// produces plus ordinary standard JSON. No external dependency.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sb::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered; keys are unique (operator[] overwrites).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  /// Any integral type; stored as double (seeds go through hex_u64).
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  JsonValue(T n) : JsonValue(static_cast<double>(n)) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(std::string_view s) : JsonValue(std::string(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; abort (SB_EXPECTS) on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object access: inserts a null member when absent (value must be an
+  /// object or null; null promotes to an empty object).
+  JsonValue& operator[](std::string_view key);
+
+  /// Object lookup without insertion; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Path lookup: find("a") then find("b")...; nullptr on any miss.
+  [[nodiscard]] const JsonValue* find_path(
+      std::initializer_list<std::string_view> keys) const;
+
+  /// Array append (value must be an array or null; null promotes).
+  void push_back(JsonValue value);
+
+  [[nodiscard]] size_t size() const;
+
+  /// Serializes. indent = 0 -> single line; otherwise pretty-printed with
+  /// the given indent width and a trailing newline at top level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses standard JSON. Throws std::runtime_error with an offset on
+/// malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Formats a 64-bit value as "0x..." (seeds are stored as hex strings so
+/// they survive the double-typed number representation losslessly).
+[[nodiscard]] std::string hex_u64(uint64_t value);
+
+/// Parses hex_u64 output (plain decimal also accepted).
+[[nodiscard]] uint64_t parse_u64(const std::string& text);
+
+}  // namespace sb::util

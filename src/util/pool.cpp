@@ -1,0 +1,168 @@
+#include "util/pool.hpp"
+
+#include <array>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SB_POOL_DISABLED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define SB_POOL_DISABLED 1
+#endif
+
+namespace sb::util {
+
+#ifdef SB_POOL_DISABLED
+
+void* pool_alloc(size_t bytes) { return ::operator new(bytes); }
+void pool_free(void* ptr, size_t bytes) noexcept {
+  (void)bytes;
+  ::operator delete(ptr);
+}
+PoolCounters pool_counters() { return {}; }
+
+#else
+
+namespace {
+
+constexpr size_t kAlign = 16;  // covers max_align_t on the supported ABIs
+constexpr size_t kClassCount = kPoolMaxBytes / kAlign;
+constexpr size_t kSlabBytes = 64 * 1024;
+
+constexpr size_t class_of(size_t bytes) {
+  return (bytes + kAlign - 1) / kAlign - 1;
+}
+constexpr size_t class_bytes(size_t cls) { return (cls + 1) * kAlign; }
+
+/// Process-wide shared state. Slabs are never returned to the OS — they
+/// either serve a live thread or sit here, reachable (clean leak-checker
+/// reports) and valid forever (late cross-thread frees cannot dangle).
+/// Exiting threads park their free lists and partial slabs here; threads
+/// that would otherwise carve a new slab adopt parked memory first, so a
+/// process looping over sweeps reuses the same slabs instead of growing.
+struct Shared {
+  std::mutex mutex;
+  std::vector<void*> slabs;  // every slab ever carved (ownership anchor)
+  std::array<std::vector<void*>, kClassCount> orphan_free_heads;
+  std::vector<std::pair<char*, size_t>> orphan_partial_slabs;
+};
+
+Shared& shared() {
+  // Intentionally immortal: thread_local cache destructors run during
+  // thread (and process) teardown and must always find this alive.
+  static Shared* instance = new Shared;
+  return *instance;
+}
+
+struct ThreadCache {
+  std::array<void*, kClassCount> free_lists{};
+  char* bump = nullptr;
+  size_t bump_left = 0;
+  PoolCounters counters;
+
+  ~ThreadCache() {
+    Shared& s = shared();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    for (size_t cls = 0; cls < kClassCount; ++cls) {
+      if (free_lists[cls] != nullptr) {
+        s.orphan_free_heads[cls].push_back(free_lists[cls]);
+      }
+    }
+    if (bump != nullptr && bump_left >= kAlign) {
+      s.orphan_partial_slabs.push_back({bump, bump_left});
+    }
+  }
+
+  /// Takes over an orphaned free list for `cls`, if any. Called only when
+  /// this thread's list is empty and the bump region is exhausted, so the
+  /// lock sits on the new-slab path, not the steady-state one.
+  bool adopt_orphan_list(size_t cls) {
+    Shared& s = shared();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.orphan_free_heads[cls].empty()) return false;
+    free_lists[cls] = s.orphan_free_heads[cls].back();
+    s.orphan_free_heads[cls].pop_back();
+    return true;
+  }
+
+  /// Points bump at a region with >= need bytes: an orphaned partial slab
+  /// when one is large enough, else a freshly carved slab.
+  void refill(size_t need) {
+    Shared& s = shared();
+    {
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      for (size_t i = s.orphan_partial_slabs.size(); i-- > 0;) {
+        if (s.orphan_partial_slabs[i].second >= need) {
+          bump = s.orphan_partial_slabs[i].first;
+          bump_left = s.orphan_partial_slabs[i].second;
+          s.orphan_partial_slabs[i] = s.orphan_partial_slabs.back();
+          s.orphan_partial_slabs.pop_back();
+          return;
+        }
+      }
+    }
+    bump = static_cast<char*>(::operator new(kSlabBytes));
+    bump_left = kSlabBytes;
+    ++counters.slabs_created;
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.slabs.push_back(bump);
+  }
+
+  void* alloc(size_t cls) {
+    ++counters.allocations;
+    if (void* node = free_lists[cls]) {
+      ++counters.free_list_hits;
+      free_lists[cls] = *static_cast<void**>(node);
+      return node;
+    }
+    const size_t need = class_bytes(cls);
+    if (bump_left < need) {
+      if (adopt_orphan_list(cls)) {
+        ++counters.free_list_hits;
+        void* node = free_lists[cls];
+        free_lists[cls] = *static_cast<void**>(node);
+        return node;
+      }
+      refill(need);
+    }
+    void* node = bump;
+    bump += need;
+    bump_left -= need;
+    return node;
+  }
+
+  void free(void* ptr, size_t cls) noexcept {
+    *static_cast<void**>(ptr) = free_lists[cls];
+    free_lists[cls] = ptr;
+  }
+};
+
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+void* pool_alloc(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kPoolMaxBytes) return ::operator new(bytes);
+  return t_cache.alloc(class_of(bytes));
+}
+
+void pool_free(void* ptr, size_t bytes) noexcept {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kPoolMaxBytes) {
+    ::operator delete(ptr);
+    return;
+  }
+  t_cache.free(ptr, class_of(bytes));
+}
+
+PoolCounters pool_counters() { return t_cache.counters; }
+
+#endif  // SB_POOL_DISABLED
+
+}  // namespace sb::util

@@ -1,0 +1,104 @@
+// Tests for the minimal JSON layer (util/json): writer output, parser,
+// round-trips, escaping, and the u64 hex helpers.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace sb::util {
+namespace {
+
+TEST(JsonWriter, ScalarsAndContainers) {
+  JsonValue root = JsonValue::object();
+  root["name"] = JsonValue("tower16");
+  root["complete"] = JsonValue(true);
+  root["count"] = JsonValue(42);
+  root["rate"] = JsonValue(1.5);
+  root["nothing"] = JsonValue();
+  JsonValue list = JsonValue::array();
+  list.push_back(JsonValue(1));
+  list.push_back(JsonValue(2));
+  root["list"] = std::move(list);
+  EXPECT_EQ(root.dump(),
+            "{\"name\": \"tower16\", \"complete\": true, \"count\": 42, "
+            "\"rate\": 1.5, \"nothing\": null, \"list\": [1, 2]}");
+}
+
+TEST(JsonWriter, IntegralNumbersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(JsonValue(uint64_t{1000000}).dump(), "1000000");
+  EXPECT_EQ(JsonValue(-3).dump(), "-3");
+  EXPECT_EQ(JsonValue(0.25).dump(), "0.25");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(JsonValue(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonParser, ParsesWhatTheWriterEmits) {
+  JsonValue root = JsonValue::object();
+  root["schema"] = JsonValue("sb-bench-sim/v1");
+  root["threads"] = JsonValue(8);
+  root["ratio"] = JsonValue(0.93);
+  JsonValue runs = JsonValue::array();
+  JsonValue run = JsonValue::object();
+  run["ok"] = JsonValue(false);
+  run["note"] = JsonValue("line1\nline2");
+  runs.push_back(std::move(run));
+  root["runs"] = std::move(runs);
+
+  for (const int indent : {0, 2, 4}) {
+    const JsonValue parsed = parse_json(root.dump(indent));
+    EXPECT_EQ(parsed.find("schema")->as_string(), "sb-bench-sim/v1");
+    EXPECT_EQ(parsed.find("threads")->as_number(), 8.0);
+    EXPECT_DOUBLE_EQ(parsed.find("ratio")->as_number(), 0.93);
+    const JsonValue& inner = parsed.find("runs")->as_array()[0];
+    EXPECT_FALSE(inner.find("ok")->as_bool());
+    EXPECT_EQ(inner.find("note")->as_string(), "line1\nline2");
+  }
+}
+
+TEST(JsonParser, AcceptsStandardJsonForms) {
+  const JsonValue v = parse_json(
+      "  { \"a\" : [ 1 , -2.5e2 , true , false , null , \"\\u0041\" ] } ");
+  const auto& list = v.find("a")->as_array();
+  ASSERT_EQ(list.size(), 6u);
+  EXPECT_EQ(list[0].as_number(), 1.0);
+  EXPECT_EQ(list[1].as_number(), -250.0);
+  EXPECT_TRUE(list[2].as_bool());
+  EXPECT_TRUE(list[4].is_null());
+  EXPECT_EQ(list[5].as_string(), "A");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": 1,}"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1 2]"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_json("{} extra"), std::runtime_error);
+  EXPECT_THROW(parse_json("nul"), std::runtime_error);
+}
+
+TEST(JsonValue, FindPathWalksNestedObjects) {
+  const JsonValue v = parse_json(
+      "{\"summary\": {\"events_per_sec\": {\"mean\": 650000}}}");
+  ASSERT_NE(v.find_path({"summary", "events_per_sec", "mean"}), nullptr);
+  EXPECT_EQ(v.find_path({"summary", "events_per_sec", "mean"})->as_number(),
+            650000.0);
+  EXPECT_EQ(v.find_path({"summary", "missing"}), nullptr);
+}
+
+TEST(JsonU64, HexHelpersRoundTripFullRange) {
+  for (const uint64_t value :
+       {uint64_t{0}, uint64_t{42}, uint64_t{0x5eed},
+        uint64_t{0xffffffffffffffffULL}, uint64_t{0x8000000000000001ULL}}) {
+    EXPECT_EQ(parse_u64(hex_u64(value)), value);
+  }
+  EXPECT_EQ(parse_u64("12345"), 12345u);  // plain decimal accepted
+}
+
+}  // namespace
+}  // namespace sb::util

@@ -1,0 +1,152 @@
+// Tests for the parallel sweep harness (src/runner): deterministic seed
+// forking, thread-count-independent results, byte-identical move traces,
+// report aggregation, and the BENCH_sim.json schema.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lattice/scenario.hpp"
+#include "runner/report.hpp"
+#include "runner/sweep.hpp"
+#include "util/json.hpp"
+
+namespace sb::runner {
+namespace {
+
+/// Randomized link latency so the RNG seed actually shapes the execution
+/// (under the default fixed latency every seed produces the same schedule).
+core::SessionConfig jittery_config() {
+  core::SessionConfig config;
+  config.sim.latency = msg::LatencyModel::uniform(1, 16);
+  return config;
+}
+
+std::vector<RunSpec> tower_specs(size_t seed_count) {
+  SweepGrid grid;
+  grid.scenarios.push_back({"tower16", lat::make_tower_scenario(8)});
+  grid.configs.push_back({"jitter", jittery_config()});
+  grid.seed_count = seed_count;
+  grid.master_seed = 0x5eedULL;
+  return expand(grid);
+}
+
+SweepResult run_with_threads(const std::vector<RunSpec>& specs,
+                             size_t threads) {
+  SweepRunner::Options options;
+  options.threads = threads;
+  options.capture_traces = true;
+  return SweepRunner(options).run(specs);
+}
+
+TEST(SeedForking, DependsOnlyOnMasterSeedAndIndex) {
+  EXPECT_EQ(derive_run_seed(1, 0), derive_run_seed(1, 0));
+  EXPECT_NE(derive_run_seed(1, 0), derive_run_seed(1, 1));
+  EXPECT_NE(derive_run_seed(1, 0), derive_run_seed(2, 0));
+}
+
+TEST(Expand, CrossProductInDeterministicOrder) {
+  SweepGrid grid;
+  grid.scenarios.push_back({"a", lat::make_tower_scenario(8)});
+  grid.scenarios.push_back({"b", lat::make_tower_scenario(8)});
+  grid.configs.push_back({"c1", core::SessionConfig{}});
+  grid.seeds = {7, 9};
+  const auto specs = expand(grid);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].scenario_label, "a");
+  EXPECT_EQ(specs[0].seed, 7u);
+  EXPECT_EQ(specs[1].seed, 9u);
+  EXPECT_EQ(specs[2].scenario_label, "b");
+}
+
+// The tentpole determinism property: the same (scenario, seed) produces a
+// byte-identical move trace whether the sweep runs on 1 thread or many.
+TEST(SweepDeterminism, TracesIdenticalAcrossThreadCounts) {
+  const auto specs = tower_specs(4);
+  const SweepResult serial = run_with_threads(specs, 1);
+  const SweepResult parallel = run_with_threads(specs, 4);
+
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (size_t i = 0; i < serial.runs.size(); ++i) {
+    ASSERT_FALSE(serial.runs[i].move_trace.empty());
+    EXPECT_EQ(serial.runs[i].move_trace, parallel.runs[i].move_trace)
+        << "trace diverged for run " << i;
+    EXPECT_EQ(serial.runs[i].row.events, parallel.runs[i].row.events);
+    EXPECT_EQ(serial.runs[i].row.sim_ticks, parallel.runs[i].row.sim_ticks);
+    EXPECT_TRUE(serial.runs[i].row.complete);
+  }
+}
+
+TEST(SweepDeterminism, RerunReproducesByteIdentically) {
+  const auto specs = tower_specs(2);
+  const SweepResult first = run_with_threads(specs, 2);
+  const SweepResult second = run_with_threads(specs, 3);
+  for (size_t i = 0; i < first.runs.size(); ++i) {
+    EXPECT_EQ(first.runs[i].move_trace, second.runs[i].move_trace);
+  }
+}
+
+TEST(SweepDeterminism, DistinctSeedsProduceDistinctExecutions) {
+  const auto specs = tower_specs(4);
+  const SweepResult result = run_with_threads(specs, 2);
+  // Under randomized latency, different seeds must not collapse onto one
+  // schedule: fingerprint each run by (sim_ticks, events, trace).
+  std::set<std::tuple<uint64_t, uint64_t, std::vector<std::string>>> seen;
+  for (const SweepRun& run : result.runs) {
+    seen.insert({run.row.sim_ticks, run.row.events, run.move_trace});
+  }
+  EXPECT_GT(seen.size(), 1u) << "all seeds produced identical executions";
+}
+
+TEST(SweepRunner, AggregatesAllRunsIntoGroups) {
+  SweepGrid grid;
+  grid.scenarios.push_back({"tower16", lat::make_tower_scenario(8)});
+  grid.seed_count = 3;
+  const SweepResult result = SweepRunner().run_grid(grid);
+  const auto groups = result.report.summarize();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].scenario, "tower16");
+  EXPECT_EQ(groups[0].runs, 3u);
+  EXPECT_EQ(groups[0].completed, 3u);
+  // Fixed latency: all runs take the same number of hops (the algorithm is
+  // deterministic), so the spread is zero.
+  EXPECT_EQ(groups[0].hops.min, groups[0].hops.max);
+  EXPECT_GT(groups[0].events_per_sec.mean, 0.0);
+}
+
+TEST(BenchReportJson, SchemaAndRoundTrip) {
+  BenchReport report("runner_test");
+  report.set_master_seed(0xabcdef0123456789ULL);
+  report.set_threads(4);
+  RunRow row;
+  row.scenario = "tower16";
+  row.ruleset = "standard";
+  row.seed = 0xdeadbeefcafef00dULL;
+  row.complete = true;
+  row.events = 1000;
+  row.events_per_sec = 123456.5;
+  row.wall_seconds = 0.0081;
+  row.hops = 62;
+  row.elementary_moves = 69;
+  row.messages_sent = 4242;
+  report.add_row(row);
+
+  const util::JsonValue parsed = util::parse_json(report.to_json_text());
+  EXPECT_EQ(parsed.find("schema")->as_string(), "sb-bench-sim/v1");
+  EXPECT_EQ(parsed.find("generator")->as_string(), "runner_test");
+  EXPECT_EQ(util::parse_u64(parsed.find("master_seed")->as_string()),
+            0xabcdef0123456789ULL);
+  ASSERT_EQ(parsed.find("runs")->size(), 1u);
+  const util::JsonValue& run = parsed.find("runs")->as_array()[0];
+  EXPECT_EQ(util::parse_u64(run.find("seed")->as_string()),
+            0xdeadbeefcafef00dULL);
+  EXPECT_EQ(run.find("hops")->as_number(), 62.0);
+  ASSERT_EQ(parsed.find("summary")->size(), 1u);
+  const util::JsonValue& group = parsed.find("summary")->as_array()[0];
+  EXPECT_EQ(group.find("scenario")->as_string(), "tower16");
+  EXPECT_DOUBLE_EQ(
+      group.find_path({"events_per_sec", "mean"})->as_number(), 123456.5);
+}
+
+}  // namespace
+}  // namespace sb::runner

@@ -34,16 +34,26 @@ class ProbeEvent final : public Event {
 
 class QueueKindsTest : public ::testing::TestWithParam<QueueKind> {};
 
+/// Wraps a ProbeEvent (label carrier) into a by-value record.
+EventRecord probe(SimTime time, int label, std::vector<int>* sink) {
+  return EventRecord::wrap(time,
+                           std::make_unique<ProbeEvent>(time, label, sink));
+}
+
+int label_of(const EventRecord& record) {
+  return static_cast<const ProbeEvent*>(record.external.get())->label();
+}
+
 TEST_P(QueueKindsTest, PopsInTimeOrder) {
   auto queue = make_event_queue(GetParam());
   std::vector<int> sink;
-  queue->push(std::make_unique<ProbeEvent>(30, 3, &sink));
-  queue->push(std::make_unique<ProbeEvent>(10, 1, &sink));
-  queue->push(std::make_unique<ProbeEvent>(20, 2, &sink));
+  queue->push(probe(30, 3, &sink));
+  queue->push(probe(10, 1, &sink));
+  queue->push(probe(20, 2, &sink));
   EXPECT_EQ(queue->size(), 3u);
-  EXPECT_EQ(queue->pop()->time(), 10u);
-  EXPECT_EQ(queue->pop()->time(), 20u);
-  EXPECT_EQ(queue->pop()->time(), 30u);
+  EXPECT_EQ(queue->pop().time, 10u);
+  EXPECT_EQ(queue->pop().time, 20u);
+  EXPECT_EQ(queue->pop().time, 30u);
   EXPECT_TRUE(queue->empty());
 }
 
@@ -51,33 +61,44 @@ TEST_P(QueueKindsTest, TiesBreakByInsertionOrder) {
   auto queue = make_event_queue(GetParam());
   std::vector<int> sink;
   for (int i = 0; i < 10; ++i) {
-    queue->push(std::make_unique<ProbeEvent>(5, i, &sink));
+    queue->push(probe(5, i, &sink));
   }
   for (int i = 0; i < 10; ++i) {
-    const auto event = queue->pop();
-    EXPECT_EQ(static_cast<ProbeEvent*>(event.get())->label(), i);
+    const EventRecord record = queue->pop();
+    EXPECT_EQ(label_of(record), i);
   }
+}
+
+TEST_P(QueueKindsTest, MixedRecordKindsOrderByTimeThenInsertion) {
+  auto queue = make_event_queue(GetParam());
+  std::vector<int> sink;
+  queue->push(EventRecord::timer(5, lat::BlockId{1}, 42));
+  queue->push(probe(5, 1, &sink));
+  queue->push(EventRecord::start(2, lat::BlockId{1}));
+  EXPECT_EQ(queue->pop().kind, EventKind::kStart);
+  EXPECT_EQ(queue->pop().kind, EventKind::kTimer);  // same time, pushed first
+  EXPECT_EQ(queue->pop().kind, EventKind::kExternal);
 }
 
 TEST_P(QueueKindsTest, PeekDoesNotRemove) {
   auto queue = make_event_queue(GetParam());
   std::vector<int> sink;
   EXPECT_EQ(queue->peek(), nullptr);
-  queue->push(std::make_unique<ProbeEvent>(7, 0, &sink));
+  queue->push(probe(7, 0, &sink));
   ASSERT_NE(queue->peek(), nullptr);
-  EXPECT_EQ(queue->peek()->time(), 7u);
+  EXPECT_EQ(queue->peek()->time, 7u);
   EXPECT_EQ(queue->size(), 1u);
 }
 
 TEST_P(QueueKindsTest, InterleavedPushPop) {
   auto queue = make_event_queue(GetParam());
   std::vector<int> sink;
-  queue->push(std::make_unique<ProbeEvent>(10, 1, &sink));
-  queue->push(std::make_unique<ProbeEvent>(5, 0, &sink));
-  EXPECT_EQ(queue->pop()->time(), 5u);
-  queue->push(std::make_unique<ProbeEvent>(3, 2, &sink));  // earlier again
-  EXPECT_EQ(queue->pop()->time(), 3u);
-  EXPECT_EQ(queue->pop()->time(), 10u);
+  queue->push(probe(10, 1, &sink));
+  queue->push(probe(5, 0, &sink));
+  EXPECT_EQ(queue->pop().time, 5u);
+  queue->push(probe(3, 2, &sink));  // earlier again
+  EXPECT_EQ(queue->pop().time, 3u);
+  EXPECT_EQ(queue->pop().time, 10u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllQueues, QueueKindsTest,

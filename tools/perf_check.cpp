@@ -1,0 +1,137 @@
+// CI perf gate: compares a fresh BENCH_sim.json against the committed
+// baseline and fails when throughput regresses beyond the tolerance.
+//
+//   $ ./perf_check bench/BENCH_sim.json /tmp/current.json --tolerance 0.30
+//
+// For every (scenario, ruleset) group present in the *baseline*, the
+// current report must contain the same group with
+//   events_per_sec.mean >= baseline_mean * (1 - tolerance).
+// Extra groups in the current report are informational. Exit codes:
+// 0 = pass, 1 = usage/IO error, 3 = regression detected.
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using sb::util::JsonValue;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "perf_check: cannot read '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Finds the summary group for (scenario, ruleset); nullptr when absent.
+const JsonValue* find_group(const JsonValue& report,
+                            const std::string& scenario,
+                            const std::string& ruleset) {
+  const JsonValue* summary = report.find("summary");
+  if (summary == nullptr || !summary->is_array()) return nullptr;
+  for (const JsonValue& group : summary->as_array()) {
+    const JsonValue* s = group.find("scenario");
+    const JsonValue* r = group.find("ruleset");
+    if (s != nullptr && r != nullptr && s->as_string() == scenario &&
+        r->as_string() == ruleset) {
+      return &group;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sb::CliParser cli(
+      "compare BENCH_sim.json reports; fail on throughput regression");
+  cli.add_double("tolerance", 0.30,
+                 "allowed fractional drop in events_per_sec.mean");
+  if (!cli.parse(argc, argv)) return 1;
+  if (cli.positionals().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: perf_check <baseline.json> <current.json> "
+                 "[--tolerance 0.30]\n");
+    return 1;
+  }
+
+  const double tolerance = cli.get_double("tolerance");
+  const JsonValue baseline = sb::util::parse_json(
+      read_file(cli.positionals()[0]));
+  const JsonValue current = sb::util::parse_json(
+      read_file(cli.positionals()[1]));
+
+  for (const JsonValue* report : {&baseline, &current}) {
+    const JsonValue* schema = report->find("schema");
+    if (schema == nullptr || schema->as_string() != "sb-bench-sim/v1") {
+      std::fprintf(stderr, "perf_check: unexpected schema (want "
+                           "sb-bench-sim/v1)\n");
+      return 1;
+    }
+  }
+
+  const JsonValue* summary = baseline.find("summary");
+  if (summary == nullptr || summary->size() == 0) {
+    std::fprintf(stderr, "perf_check: baseline has no summary groups\n");
+    return 1;
+  }
+
+  bool failed = false;
+  std::printf("%-16s %-12s %14s %14s %8s  %s\n", "scenario", "ruleset",
+              "baseline ev/s", "current ev/s", "ratio", "verdict");
+  for (const JsonValue& group : summary->as_array()) {
+    const JsonValue* scenario_v = group.find("scenario");
+    const JsonValue* ruleset_v = group.find("ruleset");
+    const JsonValue* base_mean_v =
+        group.find_path({"events_per_sec", "mean"});
+    if (scenario_v == nullptr || ruleset_v == nullptr ||
+        base_mean_v == nullptr) {
+      std::fprintf(stderr,
+                   "perf_check: malformed baseline summary group (needs "
+                   "scenario, ruleset, events_per_sec.mean)\n");
+      return 1;
+    }
+    const std::string& scenario = scenario_v->as_string();
+    const std::string& ruleset = ruleset_v->as_string();
+    const double base_mean = base_mean_v->as_number();
+    const JsonValue* current_group = find_group(current, scenario, ruleset);
+    const JsonValue* cur_mean_v =
+        current_group == nullptr
+            ? nullptr
+            : current_group->find_path({"events_per_sec", "mean"});
+    if (cur_mean_v == nullptr) {
+      std::printf("%-16s %-12s %14.0f %14s %8s  MISSING\n", scenario.c_str(),
+                  ruleset.c_str(), base_mean, "-", "-");
+      failed = true;
+      continue;
+    }
+    const double cur_mean = cur_mean_v->as_number();
+    const double ratio = base_mean > 0.0 ? cur_mean / base_mean : 1.0;
+    const bool ok = ratio >= 1.0 - tolerance;
+    std::printf("%-16s %-12s %14.0f %14.0f %8.2f  %s\n", scenario.c_str(),
+                ruleset.c_str(), base_mean, cur_mean, ratio,
+                ok ? "ok" : "REGRESSED");
+    failed |= !ok;
+  }
+  if (failed) {
+    std::fprintf(stderr,
+                 "perf_check: regression beyond %.0f%% tolerance (or missing "
+                 "group); refresh the baseline with bench_sim_throughput "
+                 "--json if intentional\n",
+                 tolerance * 100.0);
+    return 3;
+  }
+  std::printf("perf_check: all groups within %.0f%% of baseline\n",
+              tolerance * 100.0);
+  return 0;
+}

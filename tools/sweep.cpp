@@ -1,0 +1,151 @@
+// Parallel multi-run sweep driver: scenario x seed x rule-set grids on the
+// thread-pool SweepRunner, with machine-readable BENCH_sim.json output.
+//
+//   $ ./sweep --scenario tower16 --seeds 8 --threads 4
+//   $ ./sweep data/scenarios/fig10.surf --seeds 4 --json out.json
+//   $ ./sweep --scenario tower16,tower64 --latency uniform --json -
+//
+// Scenario names: tower<N> (the Lemma-1 tower with N blocks), fig10, or a
+// path to a .surf scenario file.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lattice/scenario.hpp"
+#include "runner/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/fmt.hpp"
+
+namespace {
+
+using namespace sb;
+
+/// Splits "a,b,c" into parts; empty input gives an empty list.
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size() && !text.empty()) {
+    const size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Resolves a scenario name (tower<N>, fig10, or a .surf path).
+lat::Scenario resolve_scenario(const std::string& name) {
+  if (name.rfind("tower", 0) == 0 && name.size() > 5 &&
+      name.find_first_not_of("0123456789", 5) == std::string::npos) {
+    const long blocks = std::strtol(name.c_str() + 5, nullptr, 10);
+    if (blocks >= 4 && blocks <= 1'000'000 && blocks % 2 == 0) {
+      return lat::make_tower_scenario(static_cast<int32_t>(blocks / 2));
+    }
+    throw std::runtime_error("tower<N> needs an even N >= 4, got '" + name +
+                             "'");
+  }
+  if (name == "fig10") return lat::make_fig10_scenario();
+  return lat::load_scenario(name);  // throws with a message on a bad path
+}
+
+}  // namespace
+
+int run_sweep(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  // CLI mistakes (typo'd scenario names, bad seeds, missing files) surface
+  // as exceptions; report them as usage errors instead of aborting.
+  try {
+    return run_sweep(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sweep: %s\n", error.what());
+    return 1;
+  }
+}
+
+int run_sweep(int argc, char** argv) {
+  CliParser cli("parallel scenario/seed/rule-set sweep harness");
+  cli.add_string("scenario", "tower16",
+                 "comma-separated scenario names (tower<N>, fig10) — .surf "
+                 "paths go as positional arguments");
+  cli.add_int("seeds", 4, "number of seeds forked from --master-seed");
+  cli.add_string("master-seed", "0x5eed", "master seed for RNG forking");
+  cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  cli.add_string("latency", "fixed",
+                 "link latency model: fixed | uniform | exponential");
+  cli.add_string("json", "", "write BENCH_sim.json here ('-' = stdout)");
+  cli.add_bool("trace", false, "capture per-run move traces (printed count)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  runner::SweepGrid grid;
+  grid.master_seed = util::parse_u64(cli.get_string("master-seed"));
+  grid.seed_count = static_cast<size_t>(cli.get_int("seeds"));
+
+  std::vector<std::string> names = split_csv(cli.get_string("scenario"));
+  for (const std::string& path : cli.positionals()) names.push_back(path);
+  for (const std::string& name : names) {
+    if (name.empty()) {
+      throw std::runtime_error("empty scenario name in --scenario list");
+    }
+    grid.scenarios.push_back({name, resolve_scenario(name)});
+  }
+
+  core::SessionConfig config;
+  const std::string latency = cli.get_string("latency");
+  if (latency == "uniform") {
+    config.sim.latency = msg::LatencyModel::uniform(1, 8);
+  } else if (latency == "exponential") {
+    config.sim.latency = msg::LatencyModel::exponential(3.0);
+  } else if (latency != "fixed") {
+    throw std::runtime_error("unknown --latency '" + latency +
+                             "' (fixed | uniform | exponential)");
+  }
+  grid.configs.push_back({latency == "fixed" ? "standard" : latency, config});
+
+  runner::SweepRunner::Options options;
+  options.threads = static_cast<size_t>(cli.get_int("threads"));
+  options.master_seed = grid.master_seed;
+  options.capture_traces = cli.get_bool("trace");
+  options.generator = "sweep";
+  runner::SweepRunner runner(options);
+
+  const std::vector<runner::RunSpec> specs = runner::expand(grid);
+  std::printf("sweep: %zu runs on %zu threads\n", specs.size(),
+              runner.effective_threads(specs.size()));
+  const runner::SweepResult result = runner.run(specs);
+
+  std::printf("%-12s %-12s %6s %10s %14s %10s %10s\n", "scenario", "ruleset",
+              "runs", "completed", "events/s mean", "hops mean", "moves");
+  for (const auto& group : result.report.summarize()) {
+    std::printf("%-12s %-12s %6zu %10zu %14.0f %10.1f %10.1f\n",
+                group.scenario.c_str(), group.ruleset.c_str(), group.runs,
+                group.completed, group.events_per_sec.mean, group.hops.mean,
+                group.elementary_moves.mean);
+  }
+  if (cli.get_bool("trace")) {
+    size_t moves = 0;
+    for (const auto& run : result.runs) moves += run.move_trace.size();
+    std::printf("captured %zu move-trace lines\n", moves);
+  }
+
+  const std::string json_path = cli.get_string("json");
+  if (json_path == "-") {
+    std::printf("%s", result.report.to_json_text().c_str());
+  } else if (!json_path.empty()) {
+    result.report.write_file(json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  // Exit non-zero when any run failed to complete, so scripted sweeps fail
+  // loudly.
+  for (const auto& run : result.runs) {
+    if (!run.row.complete) return 2;
+  }
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include "msg/message.hpp"
 #include "runner/sweep.hpp"
 #include "sim/simulator.hpp"
+#include "util/fmt.hpp"
 
 namespace {
 
@@ -154,13 +155,57 @@ void report_table() {
       largest > 100'000 ? "REPRODUCED" : "DIVERGES");
 }
 
-/// Emits the BENCH_sim.json report the CI perf gate consumes: flood groups
-/// measured directly, tower16-class groups through the sweep harness.
+/// Emits the BENCH_sim.json report the CI perf gate consumes. Group order
+/// is algorithm first, floods last: the flood worlds allocate hundreds of
+/// megabytes and measurably depress whatever runs after them, so the
+/// gated full-algorithm numbers are taken on a clean heap (the same state
+/// a real sweep sees).
+///
+///   - tower16/tower64: the full distributed algorithm (run to completion)
+///     through the sweep harness;
+///   - blob10000/blob100000: giant random blobs driving the validation hot
+///     path at scale, capped at kGiantEventBudget events per run (a full
+///     reconfiguration at 10^5 blocks is O(N^2) hops — the bench measures
+///     event throughput, not completion);
+///   - flood-*: the raw event core.
 int report_json(const std::string& path, int repeat) {
   runner::BenchReport report("bench_sim_throughput");
   constexpr uint64_t kMasterSeed = 0x5eedULL;
+  constexpr uint64_t kGiantEventBudget = 1'500'000;
   report.set_master_seed(kMasterSeed);
   report.set_threads(1);
+
+  runner::SweepGrid grid;
+  grid.master_seed = kMasterSeed;
+  grid.seed_count = static_cast<size_t>(repeat);
+  grid.scenarios.push_back({"tower16", lat::make_tower_scenario(8)});
+  grid.scenarios.push_back({"tower64", lat::make_tower_scenario(32)});
+  runner::SweepRunner::Options options;
+  options.threads = 1;  // throughput rows must not contend with each other
+  options.master_seed = kMasterSeed;
+  options.generator = "bench_sim_throughput";
+  const runner::SweepResult sweep =
+      runner::SweepRunner(options).run_grid(grid);
+  for (const runner::SweepRun& run : sweep.runs) {
+    report.add_row(run.row);
+  }
+
+  runner::SweepGrid giant;
+  giant.master_seed = kMasterSeed;
+  giant.seed_count = static_cast<size_t>(repeat);
+  for (const int32_t blocks : {10'000, 100'000}) {
+    giant.scenarios.push_back(
+        {fmt("blob{}", blocks),
+         lat::make_giant_blob_scenario(blocks, kMasterSeed)});
+  }
+  core::SessionConfig capped;
+  capped.max_events = kGiantEventBudget;
+  giant.configs.push_back({"standard", capped});
+  const runner::SweepResult giant_sweep =
+      runner::SweepRunner(options).run_grid(giant);
+  for (const runner::SweepRun& run : giant_sweep.runs) {
+    report.add_row(run.row);
+  }
 
   for (const size_t n : {1024u, 16384u, 131072u}) {
     for (int rep = 0; rep < repeat; ++rep) {
@@ -179,28 +224,14 @@ int report_json(const std::string& path, int repeat) {
     }
   }
 
-  runner::SweepGrid grid;
-  grid.master_seed = kMasterSeed;
-  grid.seed_count = static_cast<size_t>(repeat);
-  grid.scenarios.push_back({"tower16", lat::make_tower_scenario(8)});
-  grid.scenarios.push_back({"tower64", lat::make_tower_scenario(32)});
-  runner::SweepRunner::Options options;
-  options.threads = 1;  // throughput rows must not contend with each other
-  options.master_seed = kMasterSeed;
-  options.generator = "bench_sim_throughput";
-  const runner::SweepResult sweep =
-      runner::SweepRunner(options).run_grid(grid);
-  for (const runner::SweepRun& run : sweep.runs) {
-    report.add_row(run.row);
-  }
-
   report.write_file(path);
   std::printf("wrote %s (%zu runs, %zu summary groups)\n", path.c_str(),
               report.rows().size(), report.summarize().size());
   for (const auto& group : report.summarize()) {
-    std::printf("%-14s mean %12.0f events/s over %zu runs\n",
+    std::printf("%-14s mean %12.0f events/s over %zu runs (conn fast-path "
+                "%.4f)\n",
                 group.scenario.c_str(), group.events_per_sec.mean,
-                group.runs);
+                group.runs, group.conn_fast_rate.mean);
   }
   return 0;
 }

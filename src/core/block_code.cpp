@@ -1,5 +1,7 @@
 #include "core/block_code.hpp"
 
+#include <cassert>
+
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -115,20 +117,38 @@ int SmartBlockCode::broadcast_activates(
 
 void SmartBlockCode::on_message(lat::Direction from_side,
                                 const msg::Message& m) {
-  if (const auto* activate = dynamic_cast<const ActivateMsg*>(&m)) {
-    handle_activate(from_side, *activate);
-  } else if (const auto* ack = dynamic_cast<const AckMsg*>(&m)) {
-    handle_ack(from_side, *ack);
-  } else if (const auto* notify = dynamic_cast<const SonNotifyMsg*>(&m)) {
-    handle_son_notify(from_side, *notify);
-  } else if (const auto* select = dynamic_cast<const SelectMsg*>(&m)) {
-    handle_select(*select);
-  } else if (const auto* elected = dynamic_cast<const ElectedAckMsg*>(&m)) {
-    handle_elected_ack(*elected);
-  } else if (const auto* done = dynamic_cast<const MoveDoneMsg*>(&m)) {
-    handle_move_done(from_side, *done);
-  } else {
-    SB_UNREACHABLE("unknown message kind '", m.kind(), "'");
+  // One byte switch on the envelope tag: deliveries are the per-event hot
+  // path, and a dynamic_cast chain costs a vtable probe per candidate type
+  // per message. The debug-only asserts catch a tag that lies about the
+  // dynamic type (e.g. a foreign module family reusing core's tag values)
+  // at zero release cost.
+  switch (m.dispatch_tag) {
+    case AlgoMsg::to_tag(AlgoMsgKind::kActivate):
+      assert(dynamic_cast<const ActivateMsg*>(&m) != nullptr);
+      handle_activate(from_side, static_cast<const ActivateMsg&>(m));
+      return;
+    case AlgoMsg::to_tag(AlgoMsgKind::kAck):
+      assert(dynamic_cast<const AckMsg*>(&m) != nullptr);
+      handle_ack(from_side, static_cast<const AckMsg&>(m));
+      return;
+    case AlgoMsg::to_tag(AlgoMsgKind::kMoveDone):
+      assert(dynamic_cast<const MoveDoneMsg*>(&m) != nullptr);
+      handle_move_done(from_side, static_cast<const MoveDoneMsg&>(m));
+      return;
+    case AlgoMsg::to_tag(AlgoMsgKind::kSelect):
+      assert(dynamic_cast<const SelectMsg*>(&m) != nullptr);
+      handle_select(static_cast<const SelectMsg&>(m));
+      return;
+    case AlgoMsg::to_tag(AlgoMsgKind::kElectedAck):
+      assert(dynamic_cast<const ElectedAckMsg*>(&m) != nullptr);
+      handle_elected_ack(static_cast<const ElectedAckMsg&>(m));
+      return;
+    case AlgoMsg::to_tag(AlgoMsgKind::kSonNotify):
+      assert(dynamic_cast<const SonNotifyMsg*>(&m) != nullptr);
+      handle_son_notify(from_side, static_cast<const SonNotifyMsg&>(m));
+      return;
+    default:
+      SB_UNREACHABLE("unknown message kind '", m.kind(), "'");
   }
 }
 

@@ -22,7 +22,32 @@ namespace sb::core {
 /// message carries it; stale-epoch messages are discarded on receipt.
 using Epoch = uint32_t;
 
-struct ActivateMsg final : msg::Message {
+/// Closed set of algorithm message kinds, ordered roughly by delivery
+/// frequency (Activate/Ack/MoveDone dominate: ~N of each per election).
+enum class AlgoMsgKind : uint8_t {
+  kActivate,
+  kAck,
+  kMoveDone,
+  kSelect,
+  kElectedAck,
+  kSonNotify,
+};
+
+/// Common base of the election vocabulary: stamps the envelope's
+/// dispatch_tag so the block program dispatches with one byte switch
+/// instead of a dynamic_cast chain per delivered message (deliveries are
+/// the per-event hot path).
+struct AlgoMsg : msg::Message {
+  explicit AlgoMsg(AlgoMsgKind kind) { dispatch_tag = to_tag(kind); }
+
+  /// dispatch_tag value for an algorithm message kind (0 stays "foreign").
+  [[nodiscard]] static constexpr uint8_t to_tag(AlgoMsgKind kind) {
+    return static_cast<uint8_t>(kind) + 1;
+  }
+};
+
+struct ActivateMsg final : AlgoMsg {
+  ActivateMsg() : AlgoMsg(AlgoMsgKind::kActivate) {}
   Epoch epoch = 0;
   lat::BlockId father;       // sender
   lat::BlockId son;          // intended receiver
@@ -47,7 +72,8 @@ struct ActivateMsg final : msg::Message {
   }
 };
 
-struct AckMsg final : msg::Message {
+struct AckMsg final : AlgoMsg {
+  AckMsg() : AlgoMsg(AlgoMsgKind::kAck) {}
   Epoch epoch = 0;
   lat::BlockId son;     // sender
   lat::BlockId father;  // receiver
@@ -73,7 +99,8 @@ struct AckMsg final : msg::Message {
 /// take unbounded time, but *some* reply - reject-Ack or SonNotify - must
 /// arrive within a couple of link latencies; silence identifies a dead
 /// neighbour).
-struct SonNotifyMsg final : msg::Message {
+struct SonNotifyMsg final : AlgoMsg {
+  SonNotifyMsg() : AlgoMsg(AlgoMsgKind::kSonNotify) {}
   Epoch epoch = 0;
   lat::BlockId son;
 
@@ -86,7 +113,8 @@ struct SonNotifyMsg final : msg::Message {
   }
 };
 
-struct SelectMsg final : msg::Message {
+struct SelectMsg final : AlgoMsg {
+  SelectMsg() : AlgoMsg(AlgoMsgKind::kSelect) {}
   Epoch epoch = 0;
   lat::BlockId target;  // the elected block
 
@@ -99,7 +127,8 @@ struct SelectMsg final : msg::Message {
   }
 };
 
-struct ElectedAckMsg final : msg::Message {
+struct ElectedAckMsg final : AlgoMsg {
+  ElectedAckMsg() : AlgoMsg(AlgoMsgKind::kElectedAck) {}
   Epoch epoch = 0;
   lat::BlockId elected;
 
@@ -114,7 +143,8 @@ struct ElectedAckMsg final : msg::Message {
   }
 };
 
-struct MoveDoneMsg final : msg::Message {
+struct MoveDoneMsg final : AlgoMsg {
+  MoveDoneMsg() : AlgoMsg(AlgoMsgKind::kMoveDone) {}
   Epoch epoch = 0;
   lat::BlockId mover;
   /// True when the hop landed on O: the path is complete and every block

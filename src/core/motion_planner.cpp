@@ -2,13 +2,18 @@
 
 #include <algorithm>
 
+#include "lattice/connectivity.hpp"
 #include "util/assert.hpp"
 
 namespace sb::core {
 
+using motion::move_scratch;
+
 int32_t net_progress(const motion::RuleApplication& app, lat::Vec2 output) {
+  auto& moves = move_scratch();
+  app.world_moves_into(moves);
   int32_t net = 0;
-  for (const auto& [from, to] : app.world_moves()) {
+  for (const auto& [from, to] : moves) {
     net += manhattan(from, output) - manhattan(to, output);
   }
   return net;
@@ -19,11 +24,15 @@ MotionPlanner::MotionPlanner(const motion::RuleLibrary* rules,
     : rules_(rules), config_(config) {
   SB_EXPECTS(rules_ != nullptr && !rules_->empty(),
              "the planner needs a non-empty rule library");
+  // A decision reads the sensed window (sensing radius) plus one extra ring
+  // for the 8-neighborhood connectivity rule around vacated cells.
+  dependence_radius_ = rules_->sensing_radius() + 1;
 }
 
 bool leaves_path_gap(const motion::RuleApplication& app,
                      const DistanceParams& params) {
-  const auto moves = app.world_moves();
+  auto& moves = move_scratch();
+  app.world_moves_into(moves);
   for (const auto& [from, to] : moves) {
     // The Root block itself never moves: the root role does not migrate in
     // this implementation, so no rule may displace the block on I - not
@@ -43,14 +52,24 @@ bool leaves_path_gap(const motion::RuleApplication& app,
 
 std::vector<motion::RuleApplication> MotionPlanner::legal_moves(
     const sim::World& world, lat::Vec2 pos) const {
-  SB_EXPECTS(world.grid().occupied(pos), "no block at ", pos);
-  // Rule matching runs on the block's sensed window (local knowledge);
-  // connectivity is then checked by the world's physics oracle.
+  const lat::Grid& grid = world.grid();
+  SB_EXPECTS(grid.occupied(pos), "no block at ", pos);
+  // Rule matching runs on the block's sensed window (local knowledge). The
+  // window mirrors the grid exactly, so only the global Remark-1
+  // constraints remain for the physics filter: no single line and no
+  // disconnection — both O(1) via the grid's row/column counts and the
+  // local connectivity rule (with the stamped flood as fallback).
   const lat::Neighborhood window = world.sense(pos);
   std::vector<motion::RuleApplication> candidates =
       motion::enumerate_applications(*rules_, window, pos);
   std::erase_if(candidates, [&](const motion::RuleApplication& app) {
-    return !world.can_apply(app);
+    auto& moves = move_scratch();
+    app.world_moves_into(moves);
+    if (motion::single_line_after_moves(grid, moves.data(), moves.size())) {
+      ++single_line_rejections_;
+      return true;
+    }
+    return !lat::connected_after_moves(grid, moves.data(), moves.size());
   });
   return candidates;
 }
@@ -76,15 +95,91 @@ std::optional<motion::RuleApplication> MotionPlanner::pick(
   SB_UNREACHABLE();
 }
 
+void MotionPlanner::invalidate_around(const lat::Grid& grid,
+                                      lat::Vec2 cell) const {
+  const int32_t radius = dependence_radius_;
+  for (int32_t dy = -radius; dy <= radius; ++dy) {
+    for (int32_t dx = -radius; dx <= radius; ++dx) {
+      const lat::Vec2 q{cell.x + dx, cell.y + dy};
+      const lat::BlockId id = grid.at(q);
+      if (id.valid() && id.value < cache_.size()) {
+        cache_[id.value].stamp = 0;
+      }
+    }
+  }
+}
+
+void MotionPlanner::sync_cache(const lat::Grid& grid) const {
+  const uint64_t version = grid.version();
+  if (version == cache_grid_version_) return;
+  // One elected hop per epoch is the common case: exactly one mutation,
+  // whose touched cells the grid journaled. Anything else (setup bursts,
+  // external surgery) flushes wholesale.
+  const bool single_step = version == cache_grid_version_ + 1 &&
+                           grid.last_change_version() == version &&
+                           !grid.last_change_overflowed();
+  if (single_step) {
+    for (size_t i = 0; i < grid.last_change_count(); ++i) {
+      invalidate_around(grid, grid.last_change_cells()[i]);
+    }
+  } else {
+    if (++cache_stamp_ == 0) cache_stamp_ = 1;
+  }
+  cache_grid_version_ = version;
+}
+
 MoveDecision MotionPlanner::evaluate(const sim::World& world, lat::Vec2 pos,
                                      const TabuList* tabu, uint32_t epoch,
                                      ReconfigMetrics* metrics,
                                      Rng* rng) const {
   if (metrics != nullptr) ++metrics->distance_computations;
 
+  const lat::Grid& grid = world.grid();
+  const bool cache_enabled = config_.tie != MoveTie::kRandom;
+  lat::BlockId id;
+  if (cache_enabled) {
+    sync_cache(grid);
+    id = grid.at(pos);
+    if (id.valid() && id.value < cache_.size()) {
+      CacheEntry& entry = cache_[id.value];
+      if (entry.stamp == cache_stamp_ && entry.pos == pos) {
+        // The single-line test reads global row/column totals, which a far
+        // move can shift; re-check the cached move's verdict (O(1)) before
+        // trusting the entry. (Entries whose computation *rejected* a
+        // candidate on the single-line rule were never cached.)
+        bool fresh = true;
+        if (entry.decision.move.has_value()) {
+          auto& moves = move_scratch();
+          entry.decision.move->world_moves_into(moves);
+          fresh = !motion::single_line_after_moves(grid, moves.data(),
+                                                   moves.size());
+        }
+        if (fresh) {
+          ++cache_hits_;
+          return entry.decision;
+        }
+        entry.stamp = 0;
+      }
+    }
+  }
+  ++cache_misses_;
+
+  // Track whether this evaluation depended on anything beyond the block's
+  // sensed window: a global connectivity flood, a single-line rejection, or
+  // the (epoch-expiring) tabu list. Such decisions are not memoized.
+  const uint64_t floods_before = grid.connectivity_stats().slow_path_floods;
+  const uint64_t line_rejections_before = single_line_rejections_;
+  bool tabu_dependent = false;
+
   MoveDecision decision;
   const int32_t base = base_distance(pos, config_.distance);
-  if (base == kInfiniteDistance) return decision;  // Eq (8): frozen
+  if (base == kInfiniteDistance) {  // Eq (8): frozen
+    if (cache_enabled && id.valid()) {
+      if (id.value >= cache_.size()) cache_.resize(id.value + 1);
+      cache_[id.value] = CacheEntry{cache_stamp_, pos, decision};
+    }
+    return decision;
+  }
 
   const lat::Vec2 output = config_.distance.output;
   const int32_t here = manhattan(pos, output);
@@ -109,32 +204,42 @@ MoveDecision MotionPlanner::evaluate(const sim::World& world, lat::Vec2 pos,
   if (auto move = pick(improving, rng)) {
     decision.distance = base;  // Eq (10)
     decision.move = std::move(move);
-    return decision;
-  }
-  if (!config_.allow_repositioning) return decision;  // Eq (9) strict
-
-  // -- tier 2: tabu-guarded single-block repositioning ----------------------
-  std::vector<motion::RuleApplication> detours;
-  int32_t best_detour = kInfiniteDistance;
-  for (const motion::RuleApplication& app : legal) {
-    if (app.rule->moves().size() != 1) continue;  // never displace helpers
-    if (leaves_path_gap(app, config_.distance)) continue;  // Lemma 1(b)
-    const lat::Vec2 to = app.subject_to();
-    if (tabu != nullptr && tabu->contains(to, epoch)) continue;
-    const int32_t there = manhattan(to, output);
-    if (there > best_detour) continue;
-    if (there < best_detour) {
-      best_detour = there;
-      detours.clear();
+  } else if (config_.allow_repositioning) {
+    // -- tier 2: tabu-guarded single-block repositioning --------------------
+    // Any decision the tier-2 scan produced over real candidates is bound
+    // to the tabu/epoch context it was computed in — even a null-tabu one
+    // must not be replayed to a later call that passes a tabu list.
+    tabu_dependent = !legal.empty();
+    std::vector<motion::RuleApplication> detours;
+    int32_t best_detour = kInfiniteDistance;
+    for (const motion::RuleApplication& app : legal) {
+      if (app.rule->moves().size() != 1) continue;  // never displace helpers
+      if (leaves_path_gap(app, config_.distance)) continue;  // Lemma 1(b)
+      const lat::Vec2 to = app.subject_to();
+      if (tabu != nullptr && tabu->contains(to, epoch)) continue;
+      const int32_t there = manhattan(to, output);
+      if (there > best_detour) continue;
+      if (there < best_detour) {
+        best_detour = there;
+        detours.clear();
+      }
+      detours.push_back(app);
     }
-    detours.push_back(app);
+    if (auto move = pick(detours, rng)) {
+      decision.distance = base + kRepositionPenalty;
+      decision.move = std::move(move);
+      decision.repositioning = true;
+    }
   }
-  if (auto move = pick(detours, rng)) {
-    decision.distance = base + kRepositionPenalty;
-    decision.move = std::move(move);
-    decision.repositioning = true;
+  // (no move at all -> Eq (9): +inf)
+
+  if (cache_enabled && id.valid() && !tabu_dependent &&
+      grid.connectivity_stats().slow_path_floods == floods_before &&
+      single_line_rejections_ == line_rejections_before) {
+    if (id.value >= cache_.size()) cache_.resize(id.value + 1);
+    cache_[id.value] = CacheEntry{cache_stamp_, pos, decision};
   }
-  return decision;  // no move at all -> Eq (9): +inf
+  return decision;
 }
 
 }  // namespace sb::core

@@ -95,6 +95,17 @@ class MotionPlanner {
   /// (may be null to disable) with expiry relative to `epoch`; `metrics`
   /// (optional) counts the evaluation (Remark 2); `rng` is consulted only
   /// for MoveTie::kRandom.
+  ///
+  /// Evaluations are memoized: a block's decision is a pure function of its
+  /// sensed window (plus the globally maintained connectivity invariant),
+  /// and one epoch changes the grid by a single rule application, so the
+  /// planner re-computes only for blocks whose window overlaps the cells
+  /// the last move touched. Decisions that consulted the tabu list or
+  /// needed a global connectivity flood are never cached (they depend on
+  /// more than the window), and MoveTie::kRandom disables the cache
+  /// entirely so repeated evaluations keep re-rolling. The Remark-2 counter
+  /// still advances on every call — the distributed algorithm logically
+  /// computes dBO each activation; the cache only removes redundant work.
   [[nodiscard]] MoveDecision evaluate(const sim::World& world, lat::Vec2 pos,
                                       const TabuList* tabu, uint32_t epoch,
                                       ReconfigMetrics* metrics,
@@ -106,12 +117,42 @@ class MotionPlanner {
   [[nodiscard]] std::vector<motion::RuleApplication> legal_moves(
       const sim::World& world, lat::Vec2 pos) const;
 
+  /// Evaluation-cache hits/misses since construction (diagnostics).
+  [[nodiscard]] uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] uint64_t cache_misses() const { return cache_misses_; }
+
  private:
+  struct CacheEntry {
+    uint32_t stamp = 0;  ///< matches cache_stamp_ when live
+    lat::Vec2 pos;       ///< position the decision was computed for
+    MoveDecision decision;
+  };
+
   [[nodiscard]] std::optional<motion::RuleApplication> pick(
       std::vector<motion::RuleApplication>& candidates, Rng* rng) const;
 
+  /// Brings the cache up to date with the grid: no-op when unchanged,
+  /// targeted invalidation around the last move's cells when exactly one
+  /// mutation happened, full flush otherwise.
+  void sync_cache(const lat::Grid& grid) const;
+  void invalidate_around(const lat::Grid& grid, lat::Vec2 cell) const;
+
   const motion::RuleLibrary* rules_;
   PlannerConfig config_;
+  /// Chebyshev radius of grid cells a decision may depend on: the sensed
+  /// window (sensing radius) plus one ring for the local connectivity rule.
+  int32_t dependence_radius_ = 0;
+
+  // Decision cache, indexed by block id (mutable: evaluate() is logically
+  // const). One planner serves one session on one thread.
+  mutable std::vector<CacheEntry> cache_;
+  mutable uint64_t cache_grid_version_ = 0;
+  mutable uint32_t cache_stamp_ = 1;
+  mutable uint64_t cache_hits_ = 0;
+  mutable uint64_t cache_misses_ = 0;
+  /// Candidates rejected by the single-line rule; evaluations that saw such
+  /// a rejection depend on global row/column totals and are not cached.
+  mutable uint64_t single_line_rejections_ = 0;
 };
 
 }  // namespace sb::core

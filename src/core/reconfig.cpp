@@ -26,6 +26,8 @@ std::string SessionResult::summary() const {
   for (const auto& [kind, count] : messages_by_kind) {
     os << fmt("  {}: {}\n", kind, count);
   }
+  os << fmt("connectivity: fast-path={} floods={} (fast rate {})\n",
+            conn_fast_hits, conn_slow_floods, conn_fast_rate());
   os << fmt("sim time: {} ticks  events: {}  wall: {}s\n", sim_ticks,
             events_processed, wall_seconds);
   return os.str();
@@ -114,6 +116,10 @@ SessionResult ReconfigurationSession::run() {
   result.messages_delivered = stats.messages_delivered;
   result.messages_dropped = stats.messages_dropped;
   result.messages_by_kind = stats.messages_by_kind;
+  const lat::ConnectivityStats& conn =
+      simulator_->world().grid().connectivity_stats();
+  result.conn_fast_hits = conn.fast_path_hits;
+  result.conn_slow_floods = conn.slow_path_floods;
   result.events_processed = stats.events_processed;
   result.sim_ticks = simulator_->now();
   result.wall_seconds =

@@ -10,7 +10,6 @@
 //                                                                config);
 //   // result.complete, result.hops, result.elementary_moves, ...
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,6 +18,7 @@
 #include "lattice/scenario.hpp"
 #include "motion/rule_library.hpp"
 #include "sim/simulator.hpp"
+#include "util/flat_counts.hpp"
 
 namespace sb::core {
 
@@ -69,7 +69,17 @@ struct SessionResult {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
   uint64_t messages_dropped = 0;
-  std::map<std::string_view, uint64_t> messages_by_kind;
+  util::FlatCounts messages_by_kind;
+
+  // Connectivity-oracle counters (move-validation fast path; see
+  // lattice/connectivity.hpp and docs/BENCHMARKS.md).
+  uint64_t conn_fast_hits = 0;
+  uint64_t conn_slow_floods = 0;
+  /// Fraction of connectivity probes answered without a flood.
+  [[nodiscard]] double conn_fast_rate() const {
+    return lat::ConnectivityStats{conn_fast_hits, conn_slow_floods}
+        .fast_path_rate();
+  }
 
   // Costs.
   sim::SimTime sim_ticks = 0;

@@ -1,9 +1,6 @@
 #include "lattice/connectivity.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "util/assert.hpp"
 
@@ -11,89 +8,330 @@ namespace sb::lat {
 
 namespace {
 
-/// BFS over occupied cells starting from `start`; returns visited count.
-size_t flood_count(const Grid& grid, Vec2 start,
-                   const std::unordered_set<Vec2, Vec2Hash>& extra_empty,
-                   const std::unordered_set<Vec2, Vec2Hash>& extra_full) {
-  const auto occupied = [&](Vec2 p) {
-    if (extra_full.count(p)) return true;
-    if (extra_empty.count(p)) return false;
-    return grid.occupied(p);
-  };
-  if (!occupied(start)) return 0;
-  std::unordered_set<Vec2, Vec2Hash> seen;
-  std::vector<Vec2> frontier{start};
-  seen.insert(start);
-  while (!frontier.empty()) {
-    const Vec2 p = frontier.back();
-    frontier.pop_back();
+// ---------------------------------------------------------------------------
+// Scratch-buffer flood
+//
+// The flood works directly on the grid's dense cell array. Visited marks
+// live in a thread-local generation-stamped buffer: bumping the generation
+// invalidates every mark at once, so no clearing, hashing, or per-call
+// allocation happens on the hot path. Each worker thread (SweepRunner runs
+// one session per thread) owns its scratch.
+// ---------------------------------------------------------------------------
+
+struct FloodScratch {
+  std::vector<uint32_t> stamp;  ///< per-cell visit generation
+  std::vector<uint32_t> stack;  ///< DFS work list of cell indices
+  uint32_t generation = 0;
+};
+
+FloodScratch& flood_scratch(size_t cell_count) {
+  thread_local FloodScratch scratch;
+  if (scratch.stamp.size() < cell_count) {
+    scratch.stamp.assign(cell_count, 0);
+    scratch.generation = 0;
+  }
+  if (++scratch.generation == 0) {  // wrapped: clear once per 2^32 floods
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+    scratch.generation = 1;
+  }
+  scratch.stack.clear();
+  return scratch;
+}
+
+/// Hypothetical occupancy: the grid with `vacated` cells emptied and
+/// `filled` cells occupied. Both lists hold at most a rule's worth of cells
+/// and are scanned linearly.
+bool occupied_overlay(const Grid& grid, Vec2 q, const Vec2* vacated,
+                      size_t vacated_count, const Vec2* filled,
+                      size_t filled_count) {
+  for (size_t i = 0; i < filled_count; ++i) {
+    if (filled[i] == q) return true;
+  }
+  for (size_t i = 0; i < vacated_count; ++i) {
+    if (vacated[i] == q) return false;
+  }
+  return grid.occupied(q);
+}
+
+/// Flood from `start` (must be occupied under the overlay) using the
+/// scratch's current generation; returns the number of cells reached.
+size_t flood_fill(const Grid& grid, FloodScratch& scratch, Vec2 start,
+                  const Vec2* vacated, size_t vacated_count,
+                  const Vec2* filled, size_t filled_count) {
+  const uint32_t gen = scratch.generation;
+  const int32_t width = grid.width();
+  const int32_t height = grid.height();
+  const size_t start_index = grid.cell_index(start);
+  scratch.stamp[start_index] = gen;
+  scratch.stack.push_back(static_cast<uint32_t>(start_index));
+  size_t visited = 1;
+  while (!scratch.stack.empty()) {
+    const uint32_t index = scratch.stack.back();
+    scratch.stack.pop_back();
+    const int32_t x = static_cast<int32_t>(index) % width;
+    const int32_t y = static_cast<int32_t>(index) / width;
+    const Vec2 p{x, y};
     for (Direction d : all_directions()) {
       const Vec2 q = p + delta(d);
-      if (!seen.count(q) && occupied(q)) {
-        seen.insert(q);
-        frontier.push_back(q);
+      if (q.x < 0 || q.x >= width || q.y < 0 || q.y >= height) continue;
+      const size_t qi = static_cast<size_t>(q.y) * static_cast<size_t>(width) +
+                        static_cast<size_t>(q.x);
+      if (scratch.stamp[qi] == gen) continue;
+      bool occ;
+      if (vacated_count == 0 && filled_count == 0) {
+        occ = grid.occupied_index(qi);
+      } else {
+        occ = occupied_overlay(grid, q, vacated, vacated_count, filled,
+                               filled_count);
       }
+      if (!occ) continue;
+      scratch.stamp[qi] = gen;
+      scratch.stack.push_back(static_cast<uint32_t>(qi));
+      ++visited;
     }
   }
-  return seen.size();
+  return visited;
+}
+
+// ---------------------------------------------------------------------------
+// 8-neighborhood mask rule
+//
+// Ring cells around a center, in cyclic order; consecutive ring cells are
+// 4-adjacent to each other, so a cyclically contiguous run of occupied ring
+// cells is itself 4-connected without passing through the center.
+// ---------------------------------------------------------------------------
+
+constexpr std::array<Vec2, 8> kRing = {
+    Vec2{0, 1},  Vec2{1, 1},   Vec2{1, 0},  Vec2{1, -1},
+    Vec2{0, -1}, Vec2{-1, -1}, Vec2{-1, 0}, Vec2{-1, 1},
+};
+/// Ring indices of the 4-adjacent (orthogonal) neighbors: N, E, S, W.
+constexpr uint32_t kOrthoMask = 0b01010101;
+
+/// True when vacating the center is provably safe for ring occupancy
+/// `mask`: every occupied orthogonal neighbor lies in one cyclic run of
+/// occupied ring cells. False means "inconclusive", not "disconnects".
+constexpr bool removal_mask_safe(uint32_t mask) {
+  if ((mask & kOrthoMask) == 0) return false;  // isolated center: flood
+  if (mask == 0xFF) return true;               // full ring: one run
+  int runs_with_ortho = 0;
+  for (int i = 0; i < 8; ++i) {
+    const bool current = ((mask >> i) & 1) != 0;
+    const bool previous = ((mask >> ((i + 7) % 8)) & 1) != 0;
+    if (!current || previous) continue;  // not the start of a run
+    bool has_ortho = false;
+    for (int j = i; ((mask >> (j % 8)) & 1) != 0; ++j) {
+      if (((kOrthoMask >> (j % 8)) & 1) != 0) has_ortho = true;
+    }
+    if (has_ortho) ++runs_with_ortho;
+  }
+  return runs_with_ortho == 1;
+}
+
+constexpr std::array<bool, 256> make_removal_table() {
+  std::array<bool, 256> table{};
+  for (uint32_t mask = 0; mask < 256; ++mask) {
+    table[mask] = removal_mask_safe(mask);
+  }
+  return table;
+}
+
+constexpr std::array<bool, 256> kRemovalSafe = make_removal_table();
+
+uint32_t ring_mask(const Grid& grid, Vec2 center) {
+  uint32_t mask = 0;
+  for (size_t i = 0; i < kRing.size(); ++i) {
+    if (grid.occupied(center + kRing[i])) mask |= 1u << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+LocalVerdict local_removal_check(const Grid& grid, Vec2 from) {
+  return kRemovalSafe[ring_mask(grid, from)]
+             ? LocalVerdict::kPreservesConnectivity
+             : LocalVerdict::kInconclusive;
+}
+
+LocalVerdict local_move_check(const Grid& grid, Vec2 from, Vec2 to) {
+  // The post-move configuration is K = (G \ {from}) u {to}. K is connected
+  // iff G \ {from} is connected and `to` touches it; both facts are decided
+  // from current occupancy around the two cells.
+  bool attaches = false;
+  for (Direction d : all_directions()) {
+    const Vec2 q = to + delta(d);
+    if (q != from && grid.occupied(q)) {
+      attaches = true;
+      break;
+    }
+  }
+  if (!attaches) return LocalVerdict::kDisconnects;  // `to` lands isolated
+  return local_removal_check(grid, from);
+}
+
+namespace {
+
+/// is_connected without stats accounting: probes that embed this as a
+/// subroutine (connected_after_moves) record themselves exactly once.
+/// Sets *flooded when a full flood ran.
+bool is_connected_impl(const Grid& grid, bool* flooded) {
+  if (grid.block_count() <= 1) return true;
+  const ConnectivityHint hint = grid.connectivity_hint();
+  if (hint != ConnectivityHint::kUnknown) {
+    return hint == ConnectivityHint::kConnected;
+  }
+  FloodScratch& scratch = flood_scratch(grid.cell_count());
+  *flooded = true;
+  const bool connected =
+      flood_fill(grid, scratch, grid.first_block_position(), nullptr, 0,
+                 nullptr, 0) == grid.block_count();
+  grid.set_connectivity_hint(connected);
+  return connected;
+}
+
+/// One probe, one counter: a probe is "fast" iff it ran no flood.
+void count_probe(const Grid& grid, bool flooded) {
+  ConnectivityStats& stats = grid.mutable_connectivity_stats();
+  if (flooded) {
+    ++stats.slow_path_floods;
+  } else {
+    ++stats.fast_path_hits;
+  }
 }
 
 }  // namespace
 
 bool is_connected(const Grid& grid) {
   if (grid.block_count() <= 1) return true;
-  const Vec2 start = grid.first_block_position();
-  return flood_count(grid, start, {}, {}) == grid.block_count();
+  bool flooded = false;
+  const bool connected = is_connected_impl(grid, &flooded);
+  count_probe(grid, flooded);
+  return connected;
+}
+
+NetMoveEffect net_move_effect(const std::pair<Vec2, Vec2>* moves,
+                              size_t count, Vec2* vacated_out,
+                              Vec2* landed_out) {
+  NetMoveEffect net;
+  for (size_t i = 0; i < count; ++i) {
+    bool refilled = false;
+    bool was_source = false;
+    for (size_t j = 0; j < count; ++j) {
+      refilled |= moves[j].second == moves[i].first;
+      was_source |= moves[j].first == moves[i].second;
+    }
+    if (!refilled) {
+      net.vacated = moves[i].first;
+      if (vacated_out != nullptr) {
+        vacated_out[net.vacated_count] = moves[i].first;
+      }
+      ++net.vacated_count;
+    }
+    if (!was_source) {
+      net.landed = moves[i].second;
+      if (landed_out != nullptr) landed_out[net.landed_count] = moves[i].second;
+      ++net.landed_count;
+    }
+  }
+  return net;
+}
+
+bool connected_after_moves(const Grid& grid, const std::pair<Vec2, Vec2>* moves,
+                           size_t move_count) {
+  for (size_t i = 0; i < move_count; ++i) {
+    SB_EXPECTS(grid.occupied(moves[i].first),
+               "hypothetical move from empty cell ", moves[i].first);
+    SB_EXPECTS(grid.in_bounds(moves[i].second),
+               "hypothetical move to off-surface cell ", moves[i].second);
+  }
+  const size_t total = grid.block_count();
+  if (total <= 1) return true;
+
+  // Net effect of the batch: handover chains (A->B while B->C) keep the
+  // intermediate cells occupied, so only sources nobody lands on are truly
+  // vacated, and only destinations nobody leaves are truly new.
+  constexpr size_t kMaxInline = 8;
+  std::array<Vec2, kMaxInline> vacated_buf;
+  std::array<Vec2, kMaxInline> landed_buf;
+  std::vector<Vec2> vacated_heap;
+  std::vector<Vec2> landed_heap;
+  Vec2* vacated = vacated_buf.data();
+  Vec2* landed = landed_buf.data();
+  if (move_count > kMaxInline) {
+    vacated_heap.resize(move_count);
+    landed_heap.resize(move_count);
+    vacated = vacated_heap.data();
+    landed = landed_heap.data();
+  }
+  const NetMoveEffect net =
+      net_move_effect(moves, move_count, vacated, landed);
+  const size_t vacated_count = net.vacated_count;
+
+  bool flooded = false;
+  if (vacated_count == 0 && net.landed_count == 0) {
+    const bool connected = is_connected_impl(grid, &flooded);
+    count_probe(grid, flooded);
+    return connected;
+  }
+
+  if (vacated_count == 1 && net.landed_count == 1 &&
+      is_connected_impl(grid, &flooded)) {
+    switch (local_move_check(grid, net.vacated, net.landed)) {
+      case LocalVerdict::kPreservesConnectivity:
+        count_probe(grid, flooded);
+        return true;
+      case LocalVerdict::kDisconnects:
+        count_probe(grid, flooded);
+        return false;
+      case LocalVerdict::kInconclusive:
+        break;
+    }
+  }
+
+  // Slow path: flood the hypothetical configuration. The overlay fills all
+  // destinations and vacates the net sources; any destination is a valid
+  // seed (it is occupied afterwards).
+  constexpr size_t kMaxInlineFilled = 8;
+  std::array<Vec2, kMaxInlineFilled> filled_buf;
+  std::vector<Vec2> filled_heap;
+  Vec2* filled = filled_buf.data();
+  if (move_count > kMaxInlineFilled) {
+    filled_heap.resize(move_count);
+    filled = filled_heap.data();
+  }
+  for (size_t i = 0; i < move_count; ++i) filled[i] = moves[i].second;
+  const Vec2 start = net.landed_count > 0 ? landed[0] : moves[0].second;
+  FloodScratch& scratch = flood_scratch(grid.cell_count());
+  count_probe(grid, /*flooded=*/true);
+  return flood_fill(grid, scratch, start, vacated, vacated_count, filled,
+                    move_count) == total;
 }
 
 bool connected_after_moves(const Grid& grid,
                            const std::vector<std::pair<Vec2, Vec2>>& moves) {
-  std::unordered_set<Vec2, Vec2Hash> vacated;
-  std::unordered_set<Vec2, Vec2Hash> filled;
-  for (const auto& [from, to] : moves) {
-    SB_EXPECTS(grid.occupied(from), "hypothetical move from empty cell ",
-               from);
-    vacated.insert(from);
-  }
-  for (const auto& [from, to] : moves) {
-    filled.insert(to);
-    vacated.erase(to);  // handover: destination stays occupied
-  }
-  // Find any occupied cell in the hypothetical configuration.
-  Vec2 start{-1, -1};
-  bool found = false;
-  size_t total = 0;
-  for (const auto& [id, pos] : grid.blocks()) {
-    Vec2 p = pos;
-    // Where does this block end up?
-    for (const auto& [from, to] : moves) {
-      if (from == pos) {
-        p = to;
-        break;
-      }
-    }
-    if (!found) {
-      start = p;
-      found = true;
-    }
-    ++total;
-  }
-  if (total <= 1) return true;
-  return flood_count(grid, start, vacated, filled) == total;
+  return connected_after_moves(grid, moves.data(), moves.size());
 }
 
 std::vector<Vec2> articulation_points(const Grid& grid) {
-  // Hopcroft–Tarjan on the block adjacency graph via iterative DFS.
-  std::vector<Vec2> nodes;
-  nodes.reserve(grid.block_count());
-  for (const auto& [id, pos] : grid.blocks()) nodes.push_back(pos);
-  std::sort(nodes.begin(), nodes.end());
-  std::unordered_map<Vec2, int, Vec2Hash> index_of;
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    index_of[nodes[i]] = static_cast<int>(i);
-  }
-  const int n = static_cast<int>(nodes.size());
+  // Hopcroft–Tarjan on the block adjacency graph via iterative DFS. Node
+  // lookup goes through a dense cell-index array instead of a hash map;
+  // this path serves analysis and tests, not the per-move oracle.
+  const int n = static_cast<int>(grid.block_count());
   if (n <= 2) return {};  // removing one of <=2 blocks cannot disconnect
+
+  std::vector<Vec2> nodes;
+  nodes.reserve(static_cast<size_t>(n));
+  std::vector<int32_t> node_at(grid.cell_count(), -1);
+  for (int32_t y = 0; y < grid.height(); ++y) {
+    for (int32_t x = 0; x < grid.width(); ++x) {
+      const Vec2 p{x, y};
+      const size_t cell = grid.cell_index(p);
+      if (!grid.occupied_index(cell)) continue;
+      node_at[cell] = static_cast<int32_t>(nodes.size());
+      nodes.push_back(p);  // row-major == sorted by Vec2 ordering
+    }
+  }
 
   std::vector<int> disc(static_cast<size_t>(n), -1);
   std::vector<int> low(static_cast<size_t>(n), 0);
@@ -101,36 +339,26 @@ std::vector<Vec2> articulation_points(const Grid& grid) {
   std::vector<bool> is_art(static_cast<size_t>(n), false);
   int timer = 0;
 
-  const auto neighbors = [&](int u) {
-    std::vector<int> out;
-    for (Direction d : all_directions()) {
-      const auto it = index_of.find(nodes[static_cast<size_t>(u)] + delta(d));
-      if (it != index_of.end()) out.push_back(it->second);
-    }
-    return out;
-  };
-
+  // DFS stack of (node, next direction to try).
+  std::vector<std::pair<int, uint8_t>> stack;
   for (int root = 0; root < n; ++root) {
     if (disc[static_cast<size_t>(root)] != -1) continue;
-    // Iterative DFS with an explicit stack of (node, neighbor cursor).
-    std::vector<std::pair<int, size_t>> stack;
-    std::vector<std::vector<int>> adj_cache(static_cast<size_t>(n));
-    disc[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] =
-        timer++;
-    adj_cache[static_cast<size_t>(root)] = neighbors(root);
+    disc[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] = timer++;
     stack.emplace_back(root, 0);
     int root_children = 0;
     while (!stack.empty()) {
       auto& [u, cursor] = stack.back();
-      const auto& adj = adj_cache[static_cast<size_t>(u)];
-      if (cursor < adj.size()) {
-        const int v = adj[cursor++];
+      if (cursor < kDirectionCount) {
+        const Direction d = static_cast<Direction>(cursor++);
+        const Vec2 q = nodes[static_cast<size_t>(u)] + delta(d);
+        if (!grid.in_bounds(q)) continue;
+        const int v = node_at[grid.cell_index(q)];
+        if (v < 0) continue;
         if (disc[static_cast<size_t>(v)] == -1) {
           parent[static_cast<size_t>(v)] = u;
           if (u == root) ++root_children;
           disc[static_cast<size_t>(v)] = low[static_cast<size_t>(v)] =
               timer++;
-          adj_cache[static_cast<size_t>(v)] = neighbors(v);
           stack.emplace_back(v, 0);
         } else if (v != parent[static_cast<size_t>(u)]) {
           low[static_cast<size_t>(u)] = std::min(
@@ -156,40 +384,34 @@ std::vector<Vec2> articulation_points(const Grid& grid) {
   for (int i = 0; i < n; ++i) {
     if (is_art[static_cast<size_t>(i)]) out.push_back(nodes[static_cast<size_t>(i)]);
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return out;  // nodes were gathered row-major, so `out` is already sorted
 }
 
 bool is_single_line(const Grid& grid) {
-  if (grid.block_count() <= 1) return true;
-  bool same_x = true;
-  bool same_y = true;
-  const Vec2 first = grid.first_block_position();
-  for (const auto& [id, pos] : grid.blocks()) {
-    same_x &= pos.x == first.x;
-    same_y &= pos.y == first.y;
+  const size_t n = grid.block_count();
+  if (n <= 1) return true;
+  for (int32_t y = 0; y < grid.height(); ++y) {
+    if (grid.blocks_in_row(y) == n) return true;
   }
-  return same_x || same_y;
+  for (int32_t x = 0; x < grid.width(); ++x) {
+    if (grid.blocks_in_column(x) == n) return true;
+  }
+  return false;
 }
 
 int component_count(const Grid& grid) {
-  std::unordered_set<Vec2, Vec2Hash> seen;
+  // Analysis only — not an oracle probe, so no stats accounting.
+  if (grid.block_count() == 0) return 0;
+  FloodScratch& scratch = flood_scratch(grid.cell_count());
+  const uint32_t gen = scratch.generation;
   int components = 0;
-  for (const auto& [id, pos] : grid.blocks()) {
-    if (seen.count(pos)) continue;
-    ++components;
-    std::vector<Vec2> frontier{pos};
-    seen.insert(pos);
-    while (!frontier.empty()) {
-      const Vec2 p = frontier.back();
-      frontier.pop_back();
-      for (Direction d : all_directions()) {
-        const Vec2 q = p + delta(d);
-        if (grid.occupied(q) && !seen.count(q)) {
-          seen.insert(q);
-          frontier.push_back(q);
-        }
-      }
+  for (int32_t y = 0; y < grid.height(); ++y) {
+    for (int32_t x = 0; x < grid.width(); ++x) {
+      const Vec2 p{x, y};
+      const size_t cell = grid.cell_index(p);
+      if (!grid.occupied_index(cell) || scratch.stamp[cell] == gen) continue;
+      ++components;
+      flood_fill(grid, scratch, p, nullptr, 0, nullptr, 0);
     }
   }
   return components;

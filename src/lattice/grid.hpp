@@ -6,7 +6,21 @@
 // The inverse map is a dense array indexed by id so that the simulator's
 // per-event lookups (position_of, contains) are O(1); ids are expected to be
 // small and near-contiguous, as the scenario generators produce them.
+//
+// Beyond raw occupancy the grid maintains O(1)-updatable derived state that
+// the motion-validation hot path consumes (see lattice/connectivity.hpp):
+//   - per-row / per-column block counts (the single-line test of Remark 1
+//     becomes O(#moves) instead of O(N));
+//   - a cached connectivity verdict ("hint"), kept alive across mutations
+//     whose local neighborhood proves they preserve connectivity, so the
+//     scratch-buffer flood runs at most once per grid change;
+//   - a bounded journal of the cells touched by the latest mutation plus a
+//     monotonic version counter, which lets the MotionPlanner invalidate
+//     only the cached decisions near a move;
+//   - fast-path / slow-path counters for the connectivity checks (reported
+//     through SessionResult and the BENCH_sim.json schema).
 
+#include <array>
 #include <utility>
 #include <vector>
 
@@ -16,6 +30,25 @@
 #include "util/assert.hpp"
 
 namespace sb::lat {
+
+/// Cached connectivity verdict. kConnected/kDisconnected are authoritative;
+/// kUnknown means the next is_connected() call must flood.
+enum class ConnectivityHint : uint8_t { kUnknown, kConnected, kDisconnected };
+
+/// Counters for the two tiers of the connectivity oracle: probes answered
+/// by the O(1) local-neighborhood rule vs. full scratch-buffer floods.
+struct ConnectivityStats {
+  uint64_t fast_path_hits = 0;
+  uint64_t slow_path_floods = 0;
+
+  /// Fraction of probes answered without a flood (1.0 when nothing ran).
+  [[nodiscard]] double fast_path_rate() const {
+    const uint64_t total = fast_path_hits + slow_path_floods;
+    return total == 0 ? 1.0
+                      : static_cast<double>(fast_path_hits) /
+                            static_cast<double>(total);
+  }
+};
 
 class Grid {
  public:
@@ -43,6 +76,18 @@ class Grid {
     return in_bounds(p) ? cells_[index(p)] : kInvalidBlock;
   }
 
+  /// Row-major index of an in-bounds cell; the flood scratch buffers in
+  /// lattice/connectivity.cpp address cells by this index.
+  [[nodiscard]] size_t cell_index(Vec2 p) const {
+    SB_EXPECTS(in_bounds(p), "cell_index out of bounds at ", p);
+    return index(p);
+  }
+
+  /// Occupancy by raw cell index (no bounds re-check).
+  [[nodiscard]] bool occupied_index(size_t cell) const {
+    return cells_[cell].valid();
+  }
+
   [[nodiscard]] bool contains(BlockId id) const {
     return id.valid() && id.value < positions_.size() &&
            positions_[id.value] != kUnplaced;
@@ -55,6 +100,14 @@ class Grid {
   }
 
   [[nodiscard]] size_t block_count() const { return block_count_; }
+
+  /// Number of blocks currently in row y / column x. O(1).
+  [[nodiscard]] size_t blocks_in_row(int32_t y) const {
+    return row_counts_[static_cast<size_t>(y)];
+  }
+  [[nodiscard]] size_t blocks_in_column(int32_t x) const {
+    return col_counts_[static_cast<size_t>(x)];
+  }
 
   /// Blocks in deterministic (id) order.
   [[nodiscard]] std::vector<BlockId> block_ids() const;
@@ -97,6 +150,45 @@ class Grid {
   /// Number of occupied 4-neighbors (the "support" count).
   [[nodiscard]] int occupied_neighbor_count(Vec2 p) const;
 
+  // -- mutation journal -----------------------------------------------------
+
+  /// Monotonic counter bumped by every mutation (place/remove/move call).
+  [[nodiscard]] uint64_t version() const { return version_; }
+
+  /// Cells touched by the most recent mutation (sources and destinations),
+  /// valid only while last_change_version() == version(). When the latest
+  /// mutation touched more cells than the journal holds,
+  /// last_change_overflowed() is set and consumers must treat the whole
+  /// grid as changed.
+  [[nodiscard]] const Vec2* last_change_cells() const {
+    return last_change_.data();
+  }
+  [[nodiscard]] size_t last_change_count() const { return last_change_count_; }
+  [[nodiscard]] bool last_change_overflowed() const {
+    return last_change_overflow_;
+  }
+  [[nodiscard]] uint64_t last_change_version() const {
+    return last_change_version_;
+  }
+
+  // -- connectivity cache (maintained with lattice/connectivity.cpp) --------
+
+  [[nodiscard]] ConnectivityHint connectivity_hint() const { return conn_; }
+  /// Stores a flood verdict; called by is_connected() (hence const).
+  void set_connectivity_hint(bool connected) const {
+    conn_ = connected ? ConnectivityHint::kConnected
+                      : ConnectivityHint::kDisconnected;
+  }
+
+  [[nodiscard]] const ConnectivityStats& connectivity_stats() const {
+    return conn_stats_;
+  }
+  /// Counter access for the connectivity oracle (bookkeeping only, so
+  /// mutable through a const grid).
+  [[nodiscard]] ConnectivityStats& mutable_connectivity_stats() const {
+    return conn_stats_;
+  }
+
   friend bool operator==(const Grid& a, const Grid& b) {
     return a.width_ == b.width_ && a.height_ == b.height_ &&
            a.cells_ == b.cells_;
@@ -106,6 +198,10 @@ class Grid {
   /// Sentinel for "id not on the surface" in the dense position array.
   static constexpr Vec2 kUnplaced{INT32_MIN, INT32_MIN};
 
+  /// Journal capacity: a carrying rule moves two blocks (four cells); eight
+  /// covers every rule in the library with headroom.
+  static constexpr size_t kJournalCapacity = 8;
+
   [[nodiscard]] size_t index(Vec2 p) const {
     return static_cast<size_t>(p.y) * static_cast<size_t>(width_) +
            static_cast<size_t>(p.x);
@@ -113,12 +209,41 @@ class Grid {
 
   void set_position(BlockId id, Vec2 p);
 
+  /// Starts a new journal entry for one mutation call.
+  void journal_begin() {
+    ++version_;
+    last_change_version_ = version_;
+    last_change_count_ = 0;
+    last_change_overflow_ = false;
+  }
+  void journal_touch(Vec2 p) {
+    if (last_change_count_ < kJournalCapacity) {
+      last_change_[last_change_count_++] = p;
+    } else {
+      last_change_overflow_ = true;
+    }
+  }
+
   int32_t width_;
   int32_t height_;
   std::vector<BlockId> cells_;
   /// positions_[id.value] = position, or kUnplaced; indexed by id.
   std::vector<Vec2> positions_;
   size_t block_count_ = 0;
+  /// Blocks per row / column, kept in lock-step with cells_.
+  std::vector<size_t> row_counts_;
+  std::vector<size_t> col_counts_;
+
+  uint64_t version_ = 0;
+  uint64_t last_change_version_ = 0;
+  std::array<Vec2, kJournalCapacity> last_change_{};
+  size_t last_change_count_ = 0;
+  bool last_change_overflow_ = false;
+
+  /// Connectivity verdict cache + oracle counters; derived state only, so
+  /// excluded from operator== and mutable through const grids.
+  mutable ConnectivityHint conn_ = ConnectivityHint::kUnknown;
+  mutable ConnectivityStats conn_stats_;
 };
 
 }  // namespace sb::lat

@@ -4,7 +4,6 @@
 #include <fstream>
 #include <set>
 #include <sstream>
-#include <unordered_set>
 
 #include "lattice/connectivity.hpp"
 #include "lattice/region.hpp"
@@ -296,52 +295,108 @@ Scenario try_random_blob(const BlobParams& params, Rng& rng) {
     return rect.contains(p) &&
            (p.x == params.output.x || p.y == params.output.y);
   };
-
-  std::unordered_set<Vec2, Vec2Hash> blob{params.input};
-  std::vector<Vec2> cells{params.input};
   const auto in_bounds = [&](Vec2 p) {
     return p.x >= 0 && p.x < params.surface_width && p.y >= 0 &&
            p.y < params.surface_height;
   };
 
-  while (static_cast<int32_t>(blob.size()) < params.block_count) {
-    // Gather the frontier: empty legal cells adjacent to the blob.
-    std::vector<Vec2> frontier;
-    for (Vec2 p : cells) {
-      for (Direction d : all_directions()) {
-        const Vec2 q = p + delta(d);
-        if (in_bounds(q) && !blob.count(q) && !forbidden(q)) {
-          frontier.push_back(q);
-        }
+  // Dense state instead of hash sets, and an incrementally maintained
+  // frontier instead of a full rescan per grown block: the rescan made the
+  // generator O(N^2), which locked it out of the 10^5..10^6-block worlds
+  // the giant benches drive. The frontier stays sorted so the RNG consumes
+  // the exact same stream as the historical implementation (seeded blob
+  // layouts are pinned by tests and ablation baselines).
+  const size_t cell_count = static_cast<size_t>(params.surface_width) *
+                            static_cast<size_t>(params.surface_height);
+  const auto cell_index = [&](Vec2 p) {
+    return static_cast<size_t>(p.y) *
+               static_cast<size_t>(params.surface_width) +
+           static_cast<size_t>(p.x);
+  };
+  std::vector<uint8_t> occupied(cell_count, 0);
+  std::vector<uint8_t> in_frontier(cell_count, 0);
+  std::vector<uint8_t> in_pockets(cell_count, 0);
+  std::vector<uint8_t> support(cell_count, 0);  // occupied-neighbor counts
+  occupied[cell_index(params.input)] = 1;
+  size_t blob_size = 1;
+
+  // Both pools stay sorted, so the picks consume the exact RNG stream the
+  // historical full-rescan implementation did. Pockets — frontier cells
+  // with >= 2 occupied neighbours, the compactness bias pool — are
+  // maintained incrementally: a cell's support only grows, so it enters
+  // the pocket pool exactly once, when its count reaches two.
+  std::vector<Vec2> frontier;  // empty legal cells touching the blob
+  std::vector<Vec2> pockets;
+  const auto sorted_insert = [](std::vector<Vec2>& pool, Vec2 q) {
+    pool.insert(std::lower_bound(pool.begin(), pool.end(), q), q);
+  };
+  const auto sorted_erase = [](std::vector<Vec2>& pool, Vec2 q) {
+    pool.erase(std::lower_bound(pool.begin(), pool.end(), q));
+  };
+  const auto add_frontier_around = [&](Vec2 p) {
+    for (Direction d : all_directions()) {
+      const Vec2 q = p + delta(d);
+      if (!in_bounds(q)) continue;
+      const size_t qi = cell_index(q);
+      if (occupied[qi] || in_frontier[qi] || forbidden(q)) continue;
+      in_frontier[qi] = 1;
+      uint8_t count = 0;
+      for (Direction e : all_directions()) {
+        const Vec2 r = q + delta(e);
+        count += in_bounds(r) && occupied[cell_index(r)] ? 1 : 0;
+      }
+      support[qi] = count;
+      sorted_insert(frontier, q);
+      if (count >= 2) {
+        in_pockets[qi] = 1;
+        sorted_insert(pockets, q);
       }
     }
-    std::sort(frontier.begin(), frontier.end());
-    frontier.erase(std::unique(frontier.begin(), frontier.end()),
-                   frontier.end());
+  };
+  add_frontier_around(params.input);
+
+  while (static_cast<int32_t>(blob_size) < params.block_count) {
     SB_ASSERT(!frontier.empty(),
               "random blob cannot grow to ", params.block_count,
               " blocks on a ", params.surface_width, "x",
               params.surface_height, " surface");
-    // Compactness bias: prefer pockets (>= 2 occupied neighbours) so the
-    // blob stays locally two-dimensional and hence physically mobile.
-    std::vector<Vec2> pockets;
-    for (const Vec2 q : frontier) {
-      int neighbors = 0;
-      for (Direction d : all_directions()) neighbors += blob.count(q + delta(d)) ? 1 : 0;
-      if (neighbors >= 2) pockets.push_back(q);
-    }
+    // Compactness bias: prefer pockets so the blob stays locally
+    // two-dimensional and hence physically mobile.
     const bool use_pockets =
         !pockets.empty() && rng.next_bool(params.compactness);
     const std::vector<Vec2>& pool = use_pockets ? pockets : frontier;
     const Vec2 pick = pool[rng.pick_index(pool)];
-    blob.insert(pick);
-    cells.push_back(pick);
+    const size_t pick_cell = cell_index(pick);
+    occupied[pick_cell] = 1;
+    in_frontier[pick_cell] = 0;
+    sorted_erase(frontier, pick);
+    if (in_pockets[pick_cell]) {
+      in_pockets[pick_cell] = 0;
+      sorted_erase(pockets, pick);
+    }
+    ++blob_size;
+    // Existing frontier neighbours gained support; promote fresh pockets.
+    for (Direction d : all_directions()) {
+      const Vec2 q = pick + delta(d);
+      if (!in_bounds(q)) continue;
+      const size_t qi = cell_index(q);
+      if (!in_frontier[qi]) continue;
+      if (++support[qi] == 2) {
+        in_pockets[qi] = 1;
+        sorted_insert(pockets, q);
+      }
+    }
+    add_frontier_around(pick);
   }
 
+  // Ids are assigned in row-major (sorted) order over the grown blob.
   uint32_t next_id = 1;
-  std::sort(cells.begin(), cells.end());
-  for (Vec2 p : cells) {
-    s.blocks.emplace_back(BlockId{next_id++}, p);
+  for (int32_t y = 0; y < params.surface_height; ++y) {
+    for (int32_t x = 0; x < params.surface_width; ++x) {
+      if (occupied[cell_index({x, y})]) {
+        s.blocks.emplace_back(BlockId{next_id++}, Vec2{x, y});
+      }
+    }
   }
   return s;
 }
@@ -358,6 +413,47 @@ Scenario random_blob_scenario(const BlobParams& params, Rng& rng) {
   }
   SB_UNREACHABLE("random_blob_scenario failed to produce a valid scenario; "
                  "parameters are too constrained");
+}
+
+Scenario make_giant_blob_scenario(int32_t block_count, uint64_t seed) {
+  SB_EXPECTS(block_count >= 64,
+             "giant blobs start at 64 blocks; use random_blob_scenario "
+             "with explicit parameters below that");
+  // Square surface with ~2.5 empty-ish cells per block: room to grow a
+  // compact blob plus working space around it.
+  int32_t side = 8;
+  while (static_cast<int64_t>(side) * side < static_cast<int64_t>(
+             block_count) * 5 / 2) {
+    ++side;
+  }
+  side += 8;
+  BlobParams params;
+  params.surface_width = side;
+  params.surface_height = side;
+  params.input = {2, 2};
+  params.output = {side - 3, side - 3};
+  params.block_count = block_count;
+  Rng rng(seed);
+  Scenario s = random_blob_scenario(params, rng);
+  s.name = fmt("blob{}", block_count);
+  return s;
+}
+
+Scenario make_giant_rect_scenario(int32_t block_count) {
+  SB_EXPECTS(block_count >= 64,
+             "giant rectangles start at 64 blocks; use "
+             "make_rectangle_scenario with explicit parameters below that");
+  int32_t w = 8;
+  while (w * w < block_count) ++w;
+  const int32_t h = (block_count + w - 1) / w;
+  const Vec2 origin{1, 1};
+  const Vec2 input = origin;                  // south-west corner block
+  const Vec2 output{w + 2, h + 2};            // two cells past the corner
+  Scenario s = make_rectangle_scenario(w + 4, h + 4, origin, w, h, input,
+                                       output);
+  s.name = fmt("rect{}", w * h);
+  SB_ENSURES(validate(s).empty(), "giant rect scenario must be valid");
+  return s;
 }
 
 }  // namespace sb::lat

@@ -113,8 +113,25 @@ struct BlobParams {
 };
 
 /// Grows a random connected blob from the input cell. Deterministic for a
-/// given RNG state; the result always satisfies validate().
+/// given RNG state; the result always satisfies validate(). The frontier is
+/// maintained incrementally, so generation is near-linear in block_count
+/// and practical up to the 10^6-module scale.
 [[nodiscard]] Scenario random_blob_scenario(const BlobParams& params,
                                             Rng& rng);
+
+/// Convenience wrapper for the giant-scenario benches (docs/BENCHMARKS.md):
+/// a random blob of `block_count` blocks on a self-sized square surface,
+/// input near the south-west corner, output near the north-east. Requires
+/// block_count >= 64. Deterministic for a given seed; named
+/// "blob<block_count>".
+[[nodiscard]] Scenario make_giant_blob_scenario(int32_t block_count,
+                                                uint64_t seed);
+
+/// Giant-rectangle companion: a near-square w x h block rectangle of about
+/// `block_count` blocks (rounded to w*h) on a self-sized surface, input at
+/// the rectangle's south-west corner, output two cells beyond its
+/// north-east corner. Requires block_count >= 64; named
+/// "rect<actual_count>".
+[[nodiscard]] Scenario make_giant_rect_scenario(int32_t block_count);
 
 }  // namespace sb::lat

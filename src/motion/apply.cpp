@@ -21,19 +21,37 @@ std::vector<std::pair<lat::Vec2, lat::Vec2>> RuleApplication::world_moves()
   return rule->world_moves(anchor);
 }
 
+void RuleApplication::world_moves_into(
+    std::vector<std::pair<lat::Vec2, lat::Vec2>>& out) const {
+  SB_EXPECTS(rule != nullptr);
+  rule->world_moves_into(anchor, out);
+}
+
 std::string RuleApplication::describe() const {
   if (rule == nullptr) return "<empty application>";
   return fmt("{}@{} moving {}->{}", rule->name(), anchor, subject_from(),
              subject_to());
 }
 
+std::vector<std::pair<lat::Vec2, lat::Vec2>>& move_scratch() {
+  thread_local std::vector<std::pair<lat::Vec2, lat::Vec2>> scratch;
+  return scratch;
+}
+
 bool physically_valid(const lat::Grid& grid, const RuleApplication& app) {
   SB_EXPECTS(app.rule != nullptr);
   const GridView view{&grid};
   if (!rule_applicable(*app.rule, view, app.anchor)) return false;
-  const auto moves = app.world_moves();
-  if (!lat::connected_after_moves(grid, moves)) return false;
-  if (single_line_after_moves(grid, moves)) return false;
+  // Per-candidate scratch: probes run at election rates, so the move list
+  // reuses one thread-local buffer and the two Remark-1 checks are O(1)
+  // (single-line via row/column counts, connectivity via the local rule,
+  // falling back to the stamped flood only when inconclusive).
+  auto& moves = move_scratch();
+  app.world_moves_into(moves);
+  if (single_line_after_moves(grid, moves.data(), moves.size())) return false;
+  if (!lat::connected_after_moves(grid, moves.data(), moves.size())) {
+    return false;
+  }
   return true;
 }
 
@@ -41,31 +59,45 @@ void apply_to_grid(lat::Grid& grid, const RuleApplication& app) {
   grid.move_simultaneously(app.world_moves());
 }
 
+bool single_line_after_moves(const lat::Grid& grid,
+                             const std::pair<lat::Vec2, lat::Vec2>* moves,
+                             size_t move_count) {
+  for (size_t i = 0; i < move_count; ++i) {
+    SB_EXPECTS(grid.in_bounds(moves[i].first) &&
+                   grid.in_bounds(moves[i].second),
+               "hypothetical move ", moves[i].first, " -> ", moves[i].second,
+               " leaves the surface");
+  }
+  const size_t n = grid.block_count();
+  if (n <= 1) return true;
+  if (move_count == 0) return lat::is_single_line(grid);
+  // Every mover ends on a destination cell, so a single-line outcome can
+  // only be the destinations' shared column (or row). Adjust that line's
+  // block count by the moves crossing it; each source decrements, each
+  // destination increments, so handover chains net out.
+  const lat::Vec2 reference = moves[0].second;
+  bool same_column = true;
+  bool same_row = true;
+  int64_t column_blocks =
+      static_cast<int64_t>(grid.blocks_in_column(reference.x));
+  int64_t row_blocks = static_cast<int64_t>(grid.blocks_in_row(reference.y));
+  for (size_t i = 0; i < move_count; ++i) {
+    const auto& [from, to] = moves[i];
+    same_column &= to.x == reference.x;
+    same_row &= to.y == reference.y;
+    if (from.x == reference.x) --column_blocks;
+    if (to.x == reference.x) ++column_blocks;
+    if (from.y == reference.y) --row_blocks;
+    if (to.y == reference.y) ++row_blocks;
+  }
+  return (same_column && column_blocks == static_cast<int64_t>(n)) ||
+         (same_row && row_blocks == static_cast<int64_t>(n));
+}
+
 bool single_line_after_moves(
     const lat::Grid& grid,
     const std::vector<std::pair<lat::Vec2, lat::Vec2>>& moves) {
-  if (grid.block_count() <= 1) return true;
-  bool same_x = true;
-  bool same_y = true;
-  bool first = true;
-  lat::Vec2 reference;
-  for (const auto& [id, pos] : grid.blocks()) {
-    lat::Vec2 p = pos;
-    for (const auto& [from, to] : moves) {
-      if (from == pos) {
-        p = to;
-        break;
-      }
-    }
-    if (first) {
-      reference = p;
-      first = false;
-    } else {
-      same_x &= p.x == reference.x;
-      same_y &= p.y == reference.y;
-    }
-  }
-  return same_x || same_y;
+  return single_line_after_moves(grid, moves.data(), moves.size());
 }
 
 }  // namespace sb::motion

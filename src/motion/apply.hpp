@@ -30,6 +30,11 @@ struct RuleApplication {
   [[nodiscard]] std::vector<std::pair<lat::Vec2, lat::Vec2>> world_moves()
       const;
 
+  /// world_moves() into a reused buffer (cleared first); the validation hot
+  /// path avoids a fresh vector per candidate probe this way.
+  void world_moves_into(
+      std::vector<std::pair<lat::Vec2, lat::Vec2>>& out) const;
+
   /// Human-readable description, e.g. "carry_ES@(2,3) moving (2,3)->(3,3)".
   [[nodiscard]] std::string describe() const;
 };
@@ -55,6 +60,12 @@ template <typename View>
   return out;
 }
 
+/// Reused per-thread move buffer for per-candidate probes (validation runs
+/// at election rates; one buffer per worker thread, filled via
+/// world_moves_into). Callers must not hold the reference across another
+/// call that uses the scratch.
+[[nodiscard]] std::vector<std::pair<lat::Vec2, lat::Vec2>>& move_scratch();
+
 /// Physics oracle: applicability on the real grid plus the global
 /// constraints of Remark 1 — the configuration stays connected and does not
 /// degenerate to a single line (which could never move again).
@@ -66,6 +77,12 @@ template <typename View>
 void apply_to_grid(lat::Grid& grid, const RuleApplication& app);
 
 /// True when all blocks would lie on one row or column after the moves.
+/// O(#moves) via the grid's per-row/column block counts: a single-line
+/// outcome must contain every move destination, so only the destinations'
+/// row/column can qualify.
+[[nodiscard]] bool single_line_after_moves(
+    const lat::Grid& grid, const std::pair<lat::Vec2, lat::Vec2>* moves,
+    size_t move_count);
 [[nodiscard]] bool single_line_after_moves(
     const lat::Grid& grid,
     const std::vector<std::pair<lat::Vec2, lat::Vec2>>& moves);

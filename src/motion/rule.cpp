@@ -13,26 +13,30 @@ MotionRule::MotionRule(std::string name, CodeMatrix matrix,
                        std::vector<ElementaryMove> moves)
     : name_(std::move(name)),
       matrix_(std::move(matrix)),
-      moves_(std::move(moves)) {
+      moves_(std::move(moves)),
+      time_ordered_(moves_) {
   SB_EXPECTS(!name_.empty(), "motion rules need a name");
+  std::stable_sort(time_ordered_.begin(), time_ordered_.end(),
+                   [](const ElementaryMove& a, const ElementaryMove& b) {
+                     return a.time < b.time;
+                   });
 }
 
 std::vector<std::pair<lat::Vec2, lat::Vec2>> MotionRule::world_moves(
     lat::Vec2 anchor) const {
-  std::vector<const ElementaryMove*> ordered;
-  ordered.reserve(moves_.size());
-  for (const auto& move : moves_) ordered.push_back(&move);
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const ElementaryMove* a, const ElementaryMove* b) {
-                     return a->time < b->time;
-                   });
   std::vector<std::pair<lat::Vec2, lat::Vec2>> out;
-  out.reserve(ordered.size());
-  for (const ElementaryMove* move : ordered) {
-    out.emplace_back(world_cell(anchor, move->from),
-                     world_cell(anchor, move->to));
-  }
+  world_moves_into(anchor, out);
   return out;
+}
+
+void MotionRule::world_moves_into(
+    lat::Vec2 anchor, std::vector<std::pair<lat::Vec2, lat::Vec2>>& out) const {
+  out.clear();
+  out.reserve(time_ordered_.size());
+  for (const ElementaryMove& move : time_ordered_) {
+    out.emplace_back(world_cell(anchor, move.from),
+                     world_cell(anchor, move.to));
+  }
 }
 
 std::vector<std::string> MotionRule::semantic_issues() const {

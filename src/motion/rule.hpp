@@ -47,6 +47,14 @@ class MotionRule {
   [[nodiscard]] std::vector<std::pair<lat::Vec2, lat::Vec2>> world_moves(
       lat::Vec2 anchor) const;
 
+  /// world_moves() into a caller-owned buffer (cleared first): the
+  /// validation hot path calls this with a reused scratch vector so that
+  /// per-candidate probes do not allocate. The time ordering is precomputed
+  /// at construction.
+  void world_moves_into(
+      lat::Vec2 anchor,
+      std::vector<std::pair<lat::Vec2, lat::Vec2>>& out) const;
+
   /// Consistency problems between the matrix and the move list; empty means
   /// the rule is well-formed. Checked:
   ///  - every move goes from a source code (4/5) to a destination code (3/5)
@@ -71,6 +79,9 @@ class MotionRule {
   std::string name_;
   CodeMatrix matrix_;
   std::vector<ElementaryMove> moves_;
+  /// moves_ stably sorted by time, fixed at construction (rules are
+  /// immutable apart from their name).
+  std::vector<ElementaryMove> time_ordered_;
 };
 
 }  // namespace sb::motion

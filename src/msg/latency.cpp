@@ -24,7 +24,7 @@ LatencyModel LatencyModel::exponential(double mean) {
   return LatencyModel(Kind::kExponential, mean, 0.0);
 }
 
-Ticks LatencyModel::sample(Rng& rng) const {
+Ticks LatencyModel::sample_slow(Rng& rng) const {
   switch (kind_) {
     case Kind::kFixed:
       return static_cast<Ticks>(a_);

@@ -28,13 +28,20 @@ class LatencyModel {
   /// tail that exercises the asynchronous-election code paths.
   [[nodiscard]] static LatencyModel exponential(double mean);
 
-  [[nodiscard]] Ticks sample(Rng& rng) const;
+  /// Inline: sampled once per message send (the per-event hot path); the
+  /// fixed model must cost a branch, not a call.
+  [[nodiscard]] Ticks sample(Rng& rng) const {
+    if (kind_ == Kind::kFixed) return static_cast<Ticks>(a_);
+    return sample_slow(rng);
+  }
 
   [[nodiscard]] std::string describe() const;
 
  private:
   enum class Kind { kFixed, kUniform, kExponential };
   LatencyModel(Kind kind, double a, double b) : kind_(kind), a_(a), b_(b) {}
+
+  [[nodiscard]] Ticks sample_slow(Rng& rng) const;
 
   Kind kind_;
   double a_;

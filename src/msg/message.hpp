@@ -17,6 +17,12 @@ class Message {
  public:
   virtual ~Message() = default;
 
+  /// Cheap dispatch tag for hot receivers: 0 means "untagged". Protocol
+  /// layers define their own non-zero values (core's election vocabulary
+  /// uses AlgoMsgKind + 1) so a receiver can switch on a byte instead of
+  /// running a dynamic_cast chain per delivered message.
+  uint8_t dispatch_tag = 0;
+
   /// Messages are created and destroyed at event rates; all subclasses
   /// allocate through the thread-local pool (util/pool.hpp). The sized
   /// delete receives the dynamic type's size via the virtual destructor, so

@@ -26,6 +26,8 @@ RunRow make_row(const std::string& scenario, const std::string& ruleset,
   row.iterations = result.iterations;
   row.sim_ticks = result.sim_ticks;
   row.block_count = result.block_count;
+  row.conn_fast_hits = result.conn_fast_hits;
+  row.conn_slow_floods = result.conn_slow_floods;
   return row;
 }
 
@@ -62,6 +64,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
     Accumulator hops;
     Accumulator elementary_moves;
     Accumulator messages_sent;
+    Accumulator conn_fast_rate;
   };
   std::vector<Group> groups;
   for (const RunRow& row : rows_) {
@@ -85,6 +88,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
     group->hops.add(static_cast<double>(row.hops));
     group->elementary_moves.add(static_cast<double>(row.elementary_moves));
     group->messages_sent.add(static_cast<double>(row.messages_sent));
+    group->conn_fast_rate.add(row.conn_fast_rate());
   }
   std::vector<GroupSummary> out;
   out.reserve(groups.size());
@@ -94,6 +98,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
     g.out.hops = summarize_metric(g.hops);
     g.out.elementary_moves = summarize_metric(g.elementary_moves);
     g.out.messages_sent = summarize_metric(g.messages_sent);
+    g.out.conn_fast_rate = summarize_metric(g.conn_fast_rate);
     out.push_back(std::move(g.out));
   }
   return out;
@@ -122,6 +127,8 @@ util::JsonValue BenchReport::to_json() const {
     r["messages_sent"] = util::JsonValue(row.messages_sent);
     r["iterations"] = util::JsonValue(row.iterations);
     r["sim_ticks"] = util::JsonValue(row.sim_ticks);
+    r["conn_fast_hits"] = util::JsonValue(row.conn_fast_hits);
+    r["conn_slow_floods"] = util::JsonValue(row.conn_slow_floods);
     runs.push_back(std::move(r));
   }
   root["runs"] = std::move(runs);
@@ -138,6 +145,7 @@ util::JsonValue BenchReport::to_json() const {
     g["hops"] = metric_json(group.hops);
     g["elementary_moves"] = metric_json(group.elementary_moves);
     g["messages_sent"] = metric_json(group.messages_sent);
+    g["conn_fast_rate"] = metric_json(group.conn_fast_rate);
     summary.push_back(std::move(g));
   }
   root["summary"] = std::move(summary);

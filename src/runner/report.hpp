@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/reconfig.hpp"
+#include "lattice/grid.hpp"
 #include "util/json.hpp"
 
 namespace sb::runner {
@@ -29,6 +30,15 @@ struct RunRow {
   uint32_t iterations = 0;
   uint64_t sim_ticks = 0;
   size_t block_count = 0;
+  /// Connectivity-oracle split on the move-validation path: probes answered
+  /// by the O(1) local rule vs. full floods (docs/BENCHMARKS.md).
+  uint64_t conn_fast_hits = 0;
+  uint64_t conn_slow_floods = 0;
+
+  [[nodiscard]] double conn_fast_rate() const {
+    return lat::ConnectivityStats{conn_fast_hits, conn_slow_floods}
+        .fast_path_rate();
+  }
 };
 
 /// Flattens a session outcome into a report row.
@@ -54,6 +64,8 @@ struct GroupSummary {
   MetricSummary hops;
   MetricSummary elementary_moves;
   MetricSummary messages_sent;
+  /// Per-run fast-path hit rate of the connectivity oracle.
+  MetricSummary conn_fast_rate;
 };
 
 class BenchReport {

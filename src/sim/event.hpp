@@ -93,14 +93,18 @@ struct EventRecord {
     return r;
   }
 
+  /// `payload_bytes` rides in the (otherwise unused) tag field so the
+  /// receive side does not re-query the message's virtual payload_bytes().
   [[nodiscard]] static EventRecord delivery(SimTime t, lat::BlockId sender,
                                             lat::BlockId receiver,
-                                            msg::MessagePtr m) {
+                                            msg::MessagePtr m,
+                                            size_t payload_bytes) {
     EventRecord r;
     r.time = t;
     r.kind = EventKind::kDelivery;
     r.a = sender;
     r.b = receiver;
+    r.tag = payload_bytes;
     r.message = std::move(m);
     return r;
   }

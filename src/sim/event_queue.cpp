@@ -59,30 +59,93 @@ const EventRecord* BinaryHeapEventQueue::peek() const {
   return heap_.empty() ? nullptr : &heap_.front();
 }
 
+BucketMapEventQueue::Bucket& BucketMapEventQueue::ring_bucket(SimTime t) {
+  Bucket& bucket = ring_[static_cast<size_t>(t & kRingMask)];
+  if (bucket.time != t) {
+    // A slot can only hold a different timestamp when that bucket has been
+    // fully drained (times within the window map to distinct slots).
+    SB_ASSERT(bucket.drained(), "calendar slot collision at t=", t);
+    bucket.time = t;
+    bucket.head = 0;
+    bucket.records.clear();  // keeps capacity: steady state never allocates
+  }
+  return bucket;
+}
+
+void BucketMapEventQueue::migrate_overflow() {
+  while (!overflow_.empty() &&
+         overflow_.begin()->first < cursor_ + kRingSize) {
+    auto it = overflow_.begin();
+    Bucket& slot = ring_bucket(it->first);
+    SB_ASSERT(slot.drained(), "overflow migration into a live slot");
+    slot.head = it->second.head;
+    slot.records = std::move(it->second.records);
+    overflow_.erase(it);
+  }
+}
+
 void BucketMapEventQueue::push(EventRecord record) {
   record.seq = next_seq_++;
-  Bucket& bucket = buckets_[record.time];
-  bucket.records.push_back(std::move(record));
+  const SimTime t = record.time;
+  if (t < cursor_) {
+    // The simulator never schedules into the past, but the queue API
+    // permits it. Rewind the window and spill entries that no longer fit.
+    for (Bucket& bucket : ring_) {
+      if (!bucket.drained() && bucket.time - t >= kRingSize) {
+        Bucket& spill = overflow_[bucket.time];
+        spill.head = bucket.head;
+        spill.records = std::move(bucket.records);
+        bucket.records.clear();
+        bucket.head = 0;
+      }
+    }
+    cursor_ = t;
+  }
   ++size_;
+  if (t - cursor_ < kRingSize) {
+    ring_bucket(t).records.push_back(std::move(record));
+    return;
+  }
+  overflow_[t].records.push_back(std::move(record));
 }
 
 EventRecord BucketMapEventQueue::pop() {
   SB_EXPECTS(size_ > 0, "pop from empty event queue");
-  auto it = buckets_.begin();
-  Bucket& bucket = it->second;
-  // Buckets are FIFO by construction (seq is monotone), so the head cursor
-  // points at the earliest record; the storage is reclaimed when the whole
-  // bucket drains.
+  // Scan forward from the cursor; simulated time only advances, so each
+  // slot is crossed once per ring revolution (amortized O(1) per pop).
+  for (size_t k = 0; k < kRingSize; ++k) {
+    const SimTime t = cursor_ + k;
+    Bucket& bucket = ring_[static_cast<size_t>(t & kRingMask)];
+    if (bucket.time != t || bucket.drained()) continue;
+    cursor_ = t;
+    if (k > 0) migrate_overflow();
+    EventRecord record = std::move(bucket.records[bucket.head]);
+    ++bucket.head;
+    --size_;
+    return record;
+  }
+  // Ring window empty: jump to the earliest overflow bucket.
+  SB_ASSERT(!overflow_.empty(), "calendar lost events");
+  cursor_ = overflow_.begin()->first;
+  migrate_overflow();
+  Bucket& bucket = ring_[static_cast<size_t>(cursor_ & kRingMask)];
+  SB_ASSERT(bucket.time == cursor_ && !bucket.drained());
   EventRecord record = std::move(bucket.records[bucket.head]);
   ++bucket.head;
-  if (bucket.head == bucket.records.size()) buckets_.erase(it);
   --size_;
   return record;
 }
 
 const EventRecord* BucketMapEventQueue::peek() const {
   if (size_ == 0) return nullptr;
-  const Bucket& bucket = buckets_.begin()->second;
+  for (size_t k = 0; k < kRingSize; ++k) {
+    const SimTime t = cursor_ + k;
+    const Bucket& bucket = ring_[static_cast<size_t>(t & kRingMask)];
+    if (bucket.time == t && !bucket.drained()) {
+      return &bucket.records[bucket.head];
+    }
+  }
+  const Bucket& bucket = overflow_.begin()->second;
   return &bucket.records[bucket.head];
 }
 

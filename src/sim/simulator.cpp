@@ -130,7 +130,7 @@ void Simulator::dispatch(EventRecord& record) {
       return;
     }
     case EventKind::kDelivery:
-      deliver(record.a, record.b, *record.message);
+      deliver(record.a, record.b, *record.message, record.tag);
       return;
     case EventKind::kMotionComplete:
       complete_motion(record.a, record.app);
@@ -181,11 +181,11 @@ void Simulator::send_from(Module& sender, lat::Direction side,
   }
   const Ticks latency = config_.latency.sample(rng_);
   schedule_record(EventRecord::delivery(now_ + latency, sender.id(), receiver,
-                                        std::move(message)));
+                                        std::move(message), bytes));
 }
 
 void Simulator::deliver(lat::BlockId sender, lat::BlockId receiver,
-                        const msg::Message& message) {
+                        const msg::Message& message, size_t payload_bytes) {
   Module* target = find_module(receiver);
   if (target == nullptr || !target->alive()) {
     ++stats_.messages_dropped;
@@ -205,7 +205,7 @@ void Simulator::deliver(lat::BlockId sender, lat::BlockId receiver,
     ++stats_.messages_dropped;
     return;
   }
-  target->mailbox_.record_receive(*from_side, message.payload_bytes());
+  target->mailbox_.record_receive(*from_side, payload_bytes);
   ++stats_.messages_delivered;
   target->on_message(*from_side, message);
 }

@@ -6,7 +6,6 @@
 // only through messages with randomized link latency. Executions are
 // deterministic for a fixed seed.
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +18,7 @@
 #include "sim/time.hpp"
 #include "sim/world.hpp"
 #include "util/assert.hpp"
+#include "util/flat_counts.hpp"
 #include "util/rng.hpp"
 
 namespace sb::sim {
@@ -43,8 +43,10 @@ struct SimStats {
   uint64_t motions_started = 0;
   uint64_t motions_completed = 0;
   /// Per message kind (Activate, Ack, ...); keys are static string tags.
-  std::map<std::string_view, uint64_t> messages_by_kind;
-  std::map<std::string_view, uint64_t> events_by_kind;
+  /// Flat sorted vectors: bumped once per event/message and copied per
+  /// sweep run, where a node-based map is measurable overhead.
+  util::FlatCounts messages_by_kind;
+  util::FlatCounts events_by_kind;
 };
 
 struct RunLimits {
@@ -138,7 +140,7 @@ class Simulator {
   void dispatch(EventRecord& record);
 
   void deliver(lat::BlockId sender, lat::BlockId receiver,
-               const msg::Message& message);
+               const msg::Message& message, size_t payload_bytes);
   void complete_motion(lat::BlockId subject,
                        const motion::RuleApplication& app);
   /// Recomputes neighbor tables around the given cells and fires

@@ -1,0 +1,83 @@
+#pragma once
+// Flat sorted-vector counter map keyed by static string tags.
+//
+// SimStats and SessionResult count messages/events per kind. The kind tags
+// are interned string literals (Message::kind(), EventRecord::kind_name()),
+// there are only ever a handful of distinct keys, and the counters are
+// bumped once per simulated event and copied once per sweep run — a
+// node-based std::map is all overhead here. This is the std::map subset
+// those call sites use, backed by one sorted vector: O(log n) binary-search
+// lookup over n <= ~10 contiguous entries, and copying is a single memcpy-
+// class vector copy.
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sb::util {
+
+class FlatCounts {
+ public:
+  using value_type = std::pair<std::string_view, uint64_t>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  /// Counter for `key`, inserted as 0 when absent (std::map::operator[]).
+  /// The lookup is a linear scan with an identity shortcut: keys are static
+  /// string literals, so after the first insertion the same call site hits
+  /// on pointer+length equality without touching the characters.
+  uint64_t& operator[](std::string_view key) {
+    for (auto& entry : entries_) {
+      if (entry.first.data() == key.data() &&
+          entry.first.size() == key.size()) {
+        return entry.second;
+      }
+    }
+    return insert_slow(key);
+  }
+
+  /// Counter for `key`; the key must be present (std::map::at contract).
+  [[nodiscard]] uint64_t at(std::string_view key) const {
+    const auto it = lower_bound(key);
+    SB_EXPECTS(it != entries_.end() && it->first == key,
+               "no counter for kind '", key, "'");
+    return it->second;
+  }
+
+  [[nodiscard]] size_t count(std::string_view key) const {
+    const auto it = lower_bound(key);
+    return it != entries_.end() && it->first == key ? 1 : 0;
+  }
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+
+  friend bool operator==(const FlatCounts& a, const FlatCounts& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  /// Content-compare fallback: the same kind tag may be a distinct literal
+  /// in another translation unit, which must still map to one counter.
+  uint64_t& insert_slow(std::string_view key) {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, std::string_view k) { return e.first < k; });
+    if (it != entries_.end() && it->first == key) return it->second;
+    return entries_.insert(it, {key, 0})->second;
+  }
+  [[nodiscard]] const_iterator lower_bound(std::string_view key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, std::string_view k) { return e.first < k; });
+  }
+
+  /// Sorted by key; tags point at string literals with static storage.
+  std::vector<value_type> entries_;
+};
+
+}  // namespace sb::util

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/cli.hpp"
+#include "util/flat_counts.hpp"
 #include "util/fmt.hpp"
 #include "util/pool.hpp"
 #include "util/rng.hpp"
@@ -377,6 +378,60 @@ TEST(Pool, AdoptsMemoryParkedByExitedThreads) {
     // of carving fresh slabs.
     EXPECT_EQ(second, 0u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// FlatCounts
+// ---------------------------------------------------------------------------
+
+TEST(FlatCounts, CountsAndIteratesSorted) {
+  util::FlatCounts counts;
+  counts["MoveDone"] += 2;
+  counts["Ack"] += 5;
+  counts["Activate"] += 1;
+  counts["Ack"] += 1;
+  EXPECT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts.at("Ack"), 6u);
+  EXPECT_EQ(counts.at("MoveDone"), 2u);
+  EXPECT_EQ(counts.count("Activate"), 1u);
+  EXPECT_EQ(counts.count("Select"), 0u);
+  // Iteration is sorted by key regardless of insertion order.
+  std::vector<std::string_view> keys;
+  for (const auto& [kind, value] : counts) keys.push_back(kind);
+  EXPECT_EQ(keys, (std::vector<std::string_view>{"Ack", "Activate",
+                                                 "MoveDone"}));
+}
+
+TEST(FlatCounts, MergesSameContentKeysFromDistinctStorage) {
+  // The fast path compares pointers (kind tags are static literals); keys
+  // with equal content but different addresses — e.g. the same literal
+  // from two translation units — must still land on one counter, and the
+  // mixed insertion path must keep iteration sorted.
+  const std::string heap_a = "Activate";
+  const std::string heap_b = "Activate";
+  const std::string heap_c = "Zeta";
+  util::FlatCounts counts;
+  counts[std::string_view(heap_a)] += 1;
+  counts["Activate"] += 1;  // different address, same content
+  counts[std::string_view(heap_b)] += 1;
+  counts[std::string_view(heap_c)] += 1;
+  counts["Ack"] += 1;
+  EXPECT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts.at("Activate"), 3u);
+  std::vector<std::string_view> keys;
+  for (const auto& [kind, value] : counts) keys.push_back(kind);
+  EXPECT_EQ(keys,
+            (std::vector<std::string_view>{"Ack", "Activate", "Zeta"}));
+}
+
+TEST(FlatCounts, CopiesIndependently) {
+  util::FlatCounts counts;
+  counts["Ping"] = 7;
+  util::FlatCounts copy = counts;
+  copy["Ping"] += 1;
+  EXPECT_EQ(counts.at("Ping"), 7u);
+  EXPECT_EQ(copy.at("Ping"), 8u);
+  EXPECT_TRUE(counts == counts);
 }
 
 TEST(Pool, RecyclesFreedNodesOfTheSameClass) {

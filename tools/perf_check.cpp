@@ -87,8 +87,9 @@ int main(int argc, char** argv) {
   }
 
   bool failed = false;
-  std::printf("%-16s %-12s %14s %14s %8s  %s\n", "scenario", "ruleset",
-              "baseline ev/s", "current ev/s", "ratio", "verdict");
+  std::printf("%-16s %-12s %14s %14s %8s %10s  %s\n", "scenario", "ruleset",
+              "baseline ev/s", "current ev/s", "ratio", "conn fast",
+              "verdict");
   for (const JsonValue& group : summary->as_array()) {
     const JsonValue* scenario_v = group.find("scenario");
     const JsonValue* ruleset_v = group.find("ruleset");
@@ -110,17 +111,26 @@ int main(int argc, char** argv) {
             ? nullptr
             : current_group->find_path({"events_per_sec", "mean"});
     if (cur_mean_v == nullptr) {
-      std::printf("%-16s %-12s %14.0f %14s %8s  MISSING\n", scenario.c_str(),
-                  ruleset.c_str(), base_mean, "-", "-");
+      std::printf("%-16s %-12s %14.0f %14s %8s %10s  MISSING\n",
+                  scenario.c_str(), ruleset.c_str(), base_mean, "-", "-",
+                  "-");
       failed = true;
       continue;
     }
     const double cur_mean = cur_mean_v->as_number();
     const double ratio = base_mean > 0.0 ? cur_mean / base_mean : 1.0;
     const bool ok = ratio >= 1.0 - tolerance;
-    std::printf("%-16s %-12s %14.0f %14.0f %8.2f  %s\n", scenario.c_str(),
-                ruleset.c_str(), base_mean, cur_mean, ratio,
-                ok ? "ok" : "REGRESSED");
+    // Informational: the connectivity-oracle fast-path hit rate of the
+    // current run (absent in pre-fast-path reports).
+    const JsonValue* fast_v =
+        current_group->find_path({"conn_fast_rate", "mean"});
+    char fast[16] = "-";
+    if (fast_v != nullptr) {
+      std::snprintf(fast, sizeof(fast), "%.4f", fast_v->as_number());
+    }
+    std::printf("%-16s %-12s %14.0f %14.0f %8.2f %10s  %s\n",
+                scenario.c_str(), ruleset.c_str(), base_mean, cur_mean,
+                ratio, fast, ok ? "ok" : "REGRESSED");
     failed |= !ok;
   }
   if (failed) {

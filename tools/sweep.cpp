@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -39,16 +40,42 @@ std::vector<std::string> split_csv(const std::string& text) {
   return out;
 }
 
-/// Resolves a scenario name (tower<N>, fig10, or a .surf path).
-lat::Scenario resolve_scenario(const std::string& name) {
-  if (name.rfind("tower", 0) == 0 && name.size() > 5 &&
-      name.find_first_not_of("0123456789", 5) == std::string::npos) {
-    const long blocks = std::strtol(name.c_str() + 5, nullptr, 10);
+/// Parses "<prefix><digits>" and returns the number, or -1 on mismatch.
+long parse_sized_name(const std::string& name, const char* prefix) {
+  const size_t len = std::strlen(prefix);
+  if (name.rfind(prefix, 0) != 0 || name.size() <= len ||
+      name.find_first_not_of("0123456789", len) != std::string::npos) {
+    return -1;
+  }
+  return std::strtol(name.c_str() + len, nullptr, 10);
+}
+
+/// Resolves a scenario name (tower<N>, blob<N>, rect<N>, fig10, or a .surf
+/// path). blob<N>/rect<N> are the giant validation-path workloads
+/// (docs/BENCHMARKS.md): up to 10^6 blocks; cap their runs with
+/// --max-events, a full reconfiguration at that scale is O(N^2) hops.
+lat::Scenario resolve_scenario(const std::string& name, uint64_t master_seed) {
+  if (const long blocks = parse_sized_name(name, "tower"); blocks >= 0) {
     if (blocks >= 4 && blocks <= 1'000'000 && blocks % 2 == 0) {
       return lat::make_tower_scenario(static_cast<int32_t>(blocks / 2));
     }
     throw std::runtime_error("tower<N> needs an even N >= 4, got '" + name +
                              "'");
+  }
+  if (const long blocks = parse_sized_name(name, "blob"); blocks >= 0) {
+    if (blocks >= 64 && blocks <= 1'000'000) {
+      return lat::make_giant_blob_scenario(static_cast<int32_t>(blocks),
+                                           master_seed);
+    }
+    throw std::runtime_error("blob<N> needs 64 <= N <= 1000000, got '" +
+                             name + "'");
+  }
+  if (const long blocks = parse_sized_name(name, "rect"); blocks >= 0) {
+    if (blocks >= 64 && blocks <= 1'000'000) {
+      return lat::make_giant_rect_scenario(static_cast<int32_t>(blocks));
+    }
+    throw std::runtime_error("rect<N> needs 64 <= N <= 1000000, got '" +
+                             name + "'");
   }
   if (name == "fig10") return lat::make_fig10_scenario();
   return lat::load_scenario(name);  // throws with a message on a bad path
@@ -72,13 +99,16 @@ int main(int argc, char** argv) {
 int run_sweep(int argc, char** argv) {
   CliParser cli("parallel scenario/seed/rule-set sweep harness");
   cli.add_string("scenario", "tower16",
-                 "comma-separated scenario names (tower<N>, fig10) — .surf "
-                 "paths go as positional arguments");
+                 "comma-separated scenario names (tower<N>, blob<N>, "
+                 "rect<N>, fig10) — .surf paths go as positional arguments");
   cli.add_int("seeds", 4, "number of seeds forked from --master-seed");
   cli.add_string("master-seed", "0x5eed", "master seed for RNG forking");
   cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
   cli.add_string("latency", "fixed",
                  "link latency model: fixed | uniform | exponential");
+  cli.add_int("max-events", 0,
+              "event budget per run (0 = default; giant blob/rect runs "
+              "need a cap — completion is O(N^2) hops)");
   cli.add_string("json", "", "write BENCH_sim.json here ('-' = stdout)");
   cli.add_bool("trace", false, "capture per-run move traces (printed count)");
   if (!cli.parse(argc, argv)) return 1;
@@ -93,10 +123,15 @@ int run_sweep(int argc, char** argv) {
     if (name.empty()) {
       throw std::runtime_error("empty scenario name in --scenario list");
     }
-    grid.scenarios.push_back({name, resolve_scenario(name)});
+    grid.scenarios.push_back(
+        {name, resolve_scenario(name, grid.master_seed)});
   }
 
   core::SessionConfig config;
+  const int max_events = cli.get_int("max-events");
+  if (max_events > 0) {
+    config.max_events = static_cast<uint64_t>(max_events);
+  }
   const std::string latency = cli.get_string("latency");
   if (latency == "uniform") {
     config.sim.latency = msg::LatencyModel::uniform(1, 8);
@@ -120,13 +155,14 @@ int run_sweep(int argc, char** argv) {
               runner.effective_threads(specs.size()));
   const runner::SweepResult result = runner.run(specs);
 
-  std::printf("%-12s %-12s %6s %10s %14s %10s %10s\n", "scenario", "ruleset",
-              "runs", "completed", "events/s mean", "hops mean", "moves");
+  std::printf("%-12s %-12s %6s %10s %14s %10s %10s %10s\n", "scenario",
+              "ruleset", "runs", "completed", "events/s mean", "hops mean",
+              "moves", "conn fast");
   for (const auto& group : result.report.summarize()) {
-    std::printf("%-12s %-12s %6zu %10zu %14.0f %10.1f %10.1f\n",
+    std::printf("%-12s %-12s %6zu %10zu %14.0f %10.1f %10.1f %10.4f\n",
                 group.scenario.c_str(), group.ruleset.c_str(), group.runs,
                 group.completed, group.events_per_sec.mean, group.hops.mean,
-                group.elementary_moves.mean);
+                group.elementary_moves.mean, group.conn_fast_rate.mean);
   }
   if (cli.get_bool("trace")) {
     size_t moves = 0;
@@ -143,9 +179,14 @@ int run_sweep(int argc, char** argv) {
   }
 
   // Exit non-zero when any run failed to complete, so scripted sweeps fail
-  // loudly.
+  // loudly. Runs stopped by an explicit --max-events budget are expected to
+  // be incomplete (the giant throughput workloads) and do not fail.
   for (const auto& run : result.runs) {
-    if (!run.row.complete) return 2;
+    if (!run.row.complete &&
+        !(max_events > 0 &&
+          run.session.stop_reason == sim::StopReason::kEventLimit)) {
+      return 2;
+    }
   }
   return 0;
 }

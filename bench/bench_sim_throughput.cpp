@@ -18,10 +18,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "msg/message.hpp"
 #include "runner/sweep.hpp"
@@ -167,6 +169,10 @@ void report_table() {
 ///     path at scale, capped at kGiantEventBudget events per run (a full
 ///     reconfiguration at 10^5 blocks is O(N^2) hops — the bench measures
 ///     event throughput, not completion);
+///   - blob100000 / shards<S> (S in 1,2,4,8): the shard-count scaling
+///     group — the same giant blob on the sharded engine with S column
+///     stripes and min(S, hardware) shard threads (docs/BENCHMARKS.md
+///     "Shard scaling");
 ///   - flood-*: the raw event core.
 int report_json(const std::string& path, int repeat) {
   runner::BenchReport report("bench_sim_throughput");
@@ -204,6 +210,31 @@ int report_json(const std::string& path, int repeat) {
   const runner::SweepResult giant_sweep =
       runner::SweepRunner(options).run_grid(giant);
   for (const runner::SweepRun& run : giant_sweep.runs) {
+    report.add_row(run.row);
+  }
+
+  // Shard-count scaling on the largest blob: rulesets shards1..shards8 so
+  // each point is its own gated summary group. Shard threads scale with the
+  // shard count but never oversubscribe the machine — the committed
+  // baseline stays comparable across runner core counts (the gate is
+  // one-sided, so extra cores only add headroom).
+  runner::SweepGrid scaling;
+  scaling.master_seed = kMasterSeed;
+  scaling.seed_count = static_cast<size_t>(repeat);
+  scaling.scenarios.push_back(
+      {"blob100000", lat::make_giant_blob_scenario(100'000, kMasterSeed)});
+  const size_t cores =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  for (const size_t shards : {1u, 2u, 4u, 8u}) {
+    core::SessionConfig config;
+    config.max_events = kGiantEventBudget;
+    config.sim.shards = shards;
+    config.sim.shard_threads = std::min<size_t>(shards, cores);
+    scaling.configs.push_back({fmt("shards{}", shards), config});
+  }
+  const runner::SweepResult scaling_sweep =
+      runner::SweepRunner(options).run_grid(scaling);
+  for (const runner::SweepRun& run : scaling_sweep.runs) {
     report.add_row(run.row);
   }
 

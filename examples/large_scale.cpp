@@ -3,12 +3,17 @@
 // same BlockCode runs unchanged from 12 blocks to hundreds.
 //
 //   $ ./large_scale [--half-height 32] [--quiet]
+//   $ ./large_scale --scenario blob10000 --shards 4 --shard-threads 4
 //
 // Fleet mode runs the same scenario over many forked seeds on the parallel
 // sweep harness (runner/) and reports aggregate statistics:
 //
 //   $ ./large_scale --half-height 32 --seeds 8 --threads 4 [--json out.json]
+//
+// --scenario accepts the shared lat::resolve_scenario vocabulary (tower<N>,
+// blob<N>, rect<N>, fig10, or a .surf path) and overrides --half-height.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -21,8 +26,9 @@
 
 namespace {
 
-int run_single(const sb::lat::Scenario& scenario, bool quiet) {
-  sb::core::ReconfigurationSession session(scenario, {});
+int run_single(const sb::lat::Scenario& scenario,
+               const sb::core::SessionConfig& config, bool quiet) {
+  sb::core::ReconfigurationSession session(scenario, config);
   const auto start = std::chrono::steady_clock::now();
   const sb::core::SessionResult result = session.run();
   const auto end = std::chrono::steady_clock::now();
@@ -44,10 +50,13 @@ int run_single(const sb::lat::Scenario& scenario, bool quiet) {
   return result.complete ? 0 : 1;
 }
 
-int run_fleet(const sb::lat::Scenario& scenario, size_t seeds, size_t threads,
-              uint64_t master_seed, const std::string& json_path) {
+int run_fleet(const sb::lat::Scenario& scenario,
+              const sb::core::SessionConfig& config, size_t seeds,
+              size_t threads, uint64_t master_seed,
+              const std::string& json_path) {
   sb::runner::SweepGrid grid;
   grid.scenarios.push_back({scenario.name, scenario});
+  grid.configs.push_back({"standard", config});
   grid.seed_count = seeds;
   grid.master_seed = master_seed;
 
@@ -86,6 +95,14 @@ int main(int argc, char** argv) {
   sb::CliParser cli("large-surface reconfiguration");
   cli.add_int("half-height", 32,
               "tower half-height k (N = 2k blocks, path of 2k-1 cells)");
+  cli.add_string("scenario", "",
+                 "scenario name (tower<N>, blob<N>, rect<N>, fig10, or a "
+                 ".surf path); overrides --half-height");
+  cli.add_int("shards", 1,
+              "column-stripe shards per world (1 = classic event loop)");
+  cli.add_int("shard-threads", 1,
+              "threads draining shard windows (0 = hardware concurrency)");
+  cli.add_int("max-events", 0, "event budget (0 = session default)");
   cli.add_bool("quiet", false, "skip the final ASCII rendering");
   cli.add_int("seeds", 0,
               "fleet mode: run this many forked seeds on the sweep harness");
@@ -94,25 +111,44 @@ int main(int argc, char** argv) {
   cli.add_string("json", "", "fleet mode: write BENCH_sim.json here");
   if (!cli.parse(argc, argv)) return 1;
 
-  const auto k = static_cast<int32_t>(cli.get_int("half-height"));
-  const sb::lat::Scenario scenario = sb::lat::make_tower_scenario(k);
+  uint64_t master_seed = 0;
+  try {
+    master_seed = sb::util::parse_u64(cli.get_string("master-seed"));
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "large_scale: bad --master-seed '%s'\n",
+                 cli.get_string("master-seed").c_str());
+    return 1;
+  }
+
+  sb::lat::Scenario scenario;
+  const std::string name = cli.get_string("scenario");
+  try {
+    scenario = name.empty()
+                   ? sb::lat::make_tower_scenario(
+                         static_cast<int32_t>(cli.get_int("half-height")))
+                   : sb::lat::resolve_scenario(name, master_seed);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "large_scale: %s\n", error.what());
+    return 1;
+  }
   std::printf("N = %zu blocks, shortest path of %d cells\n",
               scenario.block_count(),
               sb::lat::shortest_path_cells(scenario.input, scenario.output));
 
+  sb::core::SessionConfig config;
+  config.sim.shards =
+      static_cast<size_t>(std::max<int64_t>(1, cli.get_int("shards")));
+  config.sim.shard_threads =
+      static_cast<size_t>(std::max<int64_t>(0, cli.get_int("shard-threads")));
+  if (cli.get_int("max-events") > 0) {
+    config.max_events = static_cast<uint64_t>(cli.get_int("max-events"));
+  }
+
   const auto seeds = static_cast<size_t>(cli.get_int("seeds"));
   if (seeds > 0) {
-    uint64_t master_seed = 0;
-    try {
-      master_seed = sb::util::parse_u64(cli.get_string("master-seed"));
-    } catch (const std::exception&) {
-      std::fprintf(stderr, "large_scale: bad --master-seed '%s'\n",
-                   cli.get_string("master-seed").c_str());
-      return 1;
-    }
-    return run_fleet(scenario, seeds,
+    return run_fleet(scenario, config, seeds,
                      static_cast<size_t>(cli.get_int("threads")), master_seed,
                      cli.get_string("json"));
   }
-  return run_single(scenario, cli.get_bool("quiet"));
+  return run_single(scenario, config, cli.get_bool("quiet"));
 }

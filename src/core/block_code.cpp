@@ -8,16 +8,16 @@
 namespace sb::core {
 
 SmartBlockCode::SmartBlockCode(lat::BlockId id, bool is_root,
-                               const MotionPlanner* planner,
+                               const PlannerSet* planners,
                                AlgorithmConfig config, SessionShared* shared)
     : sim::Module(id),
       is_root_(is_root),
-      planner_(planner),
+      planners_(planners),
       config_(config),
       shared_(shared),
       tie_rng_(0),
       tabu_(config.tabu_capacity, config.tabu_horizon) {
-  SB_EXPECTS(planner_ != nullptr && shared_ != nullptr);
+  SB_EXPECTS(planners_ != nullptr && shared_ != nullptr);
 }
 
 void SmartBlockCode::on_start() {
@@ -185,8 +185,13 @@ void SmartBlockCode::handle_activate(lat::Direction from_side,
   // Evaluate dBO (Eqs 8-10). The Root never evaluates (it anchors I), but a
   // non-root block always does - this is the "distance computation" counted
   // by Remark 2.
-  decision_ = planner_->evaluate(sim().world(), position(), &tabu_, epoch_,
-                                 &shared_->metrics, &tie_rng_);
+  // Evaluate on the planner owned by this block's current shard: evaluate()
+  // mutates the memo cache, and shard workers run handlers concurrently.
+  const lat::Vec2 pos = position();
+  const MotionPlanner& planner =
+      planners_->for_shard(sim().shard_for(pos));
+  decision_ = planner.evaluate(sim().world(), pos, &tabu_, epoch_,
+                               &shared_->metrics, &tie_rng_);
   // Fold the incoming record and our own distance into the local minimum.
   merge_report(m.shortest_distance, m.id_shortest, std::nullopt);
   if (decision_.eligible()) {

@@ -84,7 +84,7 @@ struct SessionShared {
 
 class SmartBlockCode final : public sim::Module {
  public:
-  SmartBlockCode(lat::BlockId id, bool is_root, const MotionPlanner* planner,
+  SmartBlockCode(lat::BlockId id, bool is_root, const PlannerSet* planners,
                  AlgorithmConfig config, SessionShared* shared);
 
   [[nodiscard]] bool is_root() const { return is_root_; }
@@ -138,7 +138,9 @@ class SmartBlockCode final : public sim::Module {
 
   // -- immutable configuration ----------------------------------------------
   bool is_root_;
-  const MotionPlanner* planner_;
+  /// Per-shard planner memos; the block evaluates on its current shard's
+  /// planner so parallel windows never share a cache.
+  const PlannerSet* planners_;
   AlgorithmConfig config_;
   SessionShared* shared_;
   Rng tie_rng_;  // used only for ElectionTie::kRandom / MoveTie::kRandom

@@ -242,4 +242,13 @@ MoveDecision MotionPlanner::evaluate(const sim::World& world, lat::Vec2 pos,
   return decision;
 }
 
+PlannerSet::PlannerSet(const motion::RuleLibrary* rules, PlannerConfig config,
+                       size_t shard_count) {
+  if (shard_count < 1) shard_count = 1;
+  planners_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    planners_.push_back(std::make_unique<MotionPlanner>(rules, config));
+  }
+}
+
 }  // namespace sb::core

@@ -21,6 +21,7 @@
 //   outer lane. Termination is then enforced by the session's iteration
 //   cap, sized per Remark 4 (O(N^2) hops).
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "motion/apply.hpp"
 #include "motion/rule_library.hpp"
 #include "sim/world.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace sb::core {
@@ -153,6 +155,27 @@ class MotionPlanner {
   /// Candidates rejected by the single-line rule; evaluations that saw such
   /// a rejection depend on global row/column totals and are not cached.
   mutable uint64_t single_line_rejections_ = 0;
+};
+
+/// One MotionPlanner per simulator shard, all configured identically. A
+/// decision is a pure function of the block's sensed window, so every
+/// planner computes identical answers — the split exists because evaluate()
+/// mutates the memo cache, and under the sharded simulator evaluations run
+/// concurrently across shard workers. Each shard only ever touches its own
+/// planner (sim::Simulator::shard_for routes by block position); a classic
+/// single-loop session gets a set of size one.
+class PlannerSet {
+ public:
+  PlannerSet(const motion::RuleLibrary* rules, PlannerConfig config,
+             size_t shard_count);
+
+  [[nodiscard]] const MotionPlanner& for_shard(size_t shard) const {
+    SB_EXPECTS(shard < planners_.size(), "no planner for shard ", shard);
+    return *planners_[shard];
+  }
+
+ private:
+  std::vector<std::unique_ptr<MotionPlanner>> planners_;
 };
 
 }  // namespace sb::core

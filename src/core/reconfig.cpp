@@ -30,6 +30,11 @@ std::string SessionResult::summary() const {
             conn_fast_hits, conn_slow_floods, conn_fast_rate());
   os << fmt("sim time: {} ticks  events: {}  wall: {}s\n", sim_ticks,
             events_processed, wall_seconds);
+  if (shards > 1) {
+    os << fmt("shards: {} (events per shard:", shards);
+    for (const uint64_t events : shard_events) os << fmt(" {}", events);
+    os << ")\n";
+  }
   return os.str();
 }
 
@@ -54,8 +59,9 @@ ReconfigurationSession::ReconfigurationSession(const lat::Scenario& scenario,
   planner_config.distance.path_shape = config_.path_shape;
   planner_config.tie = config_.move_tie;
   planner_config.allow_repositioning = config_.allow_repositioning;
-  planner_ = std::make_unique<MotionPlanner>(&simulator_->world().rules(),
-                                             planner_config);
+  planners_ = std::make_unique<PlannerSet>(&simulator_->world().rules(),
+                                           planner_config,
+                                           simulator_->shard_count());
 
   AlgorithmConfig algorithm;
   algorithm.input = scenario_.input;
@@ -73,7 +79,7 @@ ReconfigurationSession::ReconfigurationSession(const lat::Scenario& scenario,
   for (const auto& [id, pos] : scenario_.blocks) {
     const bool is_root = pos == scenario_.input;
     simulator_->add_module(std::make_unique<SmartBlockCode>(
-        id, is_root, planner_.get(), algorithm, &shared_));
+        id, is_root, planners_.get(), algorithm, &shared_));
   }
 }
 
@@ -121,6 +127,8 @@ SessionResult ReconfigurationSession::run() {
   result.conn_fast_hits = conn.fast_path_hits;
   result.conn_slow_floods = conn.slow_path_floods;
   result.events_processed = stats.events_processed;
+  result.shards = simulator_->shard_count();
+  result.shard_events = simulator_->shard_event_counts();
   result.sim_ticks = simulator_->now();
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/block_code.hpp"
 #include "lattice/scenario.hpp"
@@ -85,6 +86,12 @@ struct SessionResult {
   sim::SimTime sim_ticks = 0;
   double wall_seconds = 0.0;
   uint64_t events_processed = 0;
+  /// Effective shard count of the world (1 = classic single event loop).
+  size_t shards = 1;
+  /// Events processed per shard, index = shard (empty when shards == 1).
+  /// The scalar counters above are the per-shard counters merged via
+  /// util::FlatCounts / SimStats::accumulate.
+  std::vector<uint64_t> shard_events;
 
   // Outcome.
   size_t block_count = 0;
@@ -141,7 +148,8 @@ class ReconfigurationSession {
   SessionConfig config_;
   SessionShared shared_;
   std::unique_ptr<sim::Simulator> simulator_;
-  std::unique_ptr<MotionPlanner> planner_;
+  /// One planner memo per simulator shard (size 1 in classic mode).
+  std::unique_ptr<PlannerSet> planners_;
   bool started_ = false;
 };
 

@@ -7,6 +7,8 @@
 
 namespace sb::lat {
 
+thread_local ConnectivityScratchView* Grid::tls_conn_view = nullptr;
+
 Grid::Grid(int32_t width, int32_t height) : width_(width), height_(height) {
   SB_EXPECTS(width > 0 && height > 0, "grid dimensions must be positive, got ",
              width, "x", height);

@@ -48,6 +48,25 @@ struct ConnectivityStats {
                       : static_cast<double>(fast_path_hits) /
                             static_cast<double>(total);
   }
+
+  ConnectivityStats& operator+=(const ConnectivityStats& other) {
+    fast_path_hits += other.fast_path_hits;
+    slow_path_floods += other.slow_path_floods;
+    return *this;
+  }
+};
+
+/// Thread-scoped stand-in for the grid's connectivity verdict cache and
+/// oracle counters, installed by the sharded simulator while shard workers
+/// probe one frozen grid concurrently (sim/simulator.hpp). While installed
+/// on a thread, is_connected() and friends read and write this view instead
+/// of the shared grid fields, so parallel probes never race; the simulator
+/// folds the counters back into the grid at barriers. `version` records the
+/// grid mutation the cached `hint` was computed against.
+struct ConnectivityScratchView {
+  ConnectivityStats stats;
+  ConnectivityHint hint = ConnectivityHint::kUnknown;
+  uint64_t version = UINT64_MAX;
 };
 
 class Grid {
@@ -173,20 +192,44 @@ class Grid {
 
   // -- connectivity cache (maintained with lattice/connectivity.cpp) --------
 
-  [[nodiscard]] ConnectivityHint connectivity_hint() const { return conn_; }
+  [[nodiscard]] ConnectivityHint connectivity_hint() const {
+    return tls_conn_view != nullptr ? tls_conn_view->hint : conn_;
+  }
   /// Stores a flood verdict; called by is_connected() (hence const).
   void set_connectivity_hint(bool connected) const {
-    conn_ = connected ? ConnectivityHint::kConnected
-                      : ConnectivityHint::kDisconnected;
+    const ConnectivityHint hint = connected ? ConnectivityHint::kConnected
+                                            : ConnectivityHint::kDisconnected;
+    if (tls_conn_view != nullptr) {
+      tls_conn_view->hint = hint;
+    } else {
+      conn_ = hint;
+    }
   }
 
   [[nodiscard]] const ConnectivityStats& connectivity_stats() const {
-    return conn_stats_;
+    return mutable_connectivity_stats();
   }
   /// Counter access for the connectivity oracle (bookkeeping only, so
   /// mutable through a const grid).
   [[nodiscard]] ConnectivityStats& mutable_connectivity_stats() const {
+    return tls_conn_view != nullptr ? tls_conn_view->stats : conn_stats_;
+  }
+
+  /// The grid's own accumulated oracle counters, bypassing any installed
+  /// scratch view (final reporting and barrier-side merging).
+  [[nodiscard]] ConnectivityStats& own_connectivity_stats() const {
     return conn_stats_;
+  }
+  /// The grid's own verdict cache, bypassing any installed scratch view.
+  [[nodiscard]] ConnectivityHint own_connectivity_hint() const { return conn_; }
+  void set_own_connectivity_hint(ConnectivityHint hint) const { conn_ = hint; }
+
+  /// Installs (or clears, with nullptr) this thread's connectivity scratch
+  /// view. The sharded simulator brackets every parallel window with this;
+  /// nothing else should touch it. Applies to every grid probed on the
+  /// calling thread — shard workers only ever probe their world's grid.
+  static void install_connectivity_view(ConnectivityScratchView* view) {
+    tls_conn_view = view;
   }
 
   friend bool operator==(const Grid& a, const Grid& b) {
@@ -244,6 +287,10 @@ class Grid {
   /// excluded from operator== and mutable through const grids.
   mutable ConnectivityHint conn_ = ConnectivityHint::kUnknown;
   mutable ConnectivityStats conn_stats_;
+
+  /// Per-thread override for the verdict cache and counters; see
+  /// ConnectivityScratchView.
+  static thread_local ConnectivityScratchView* tls_conn_view;
 };
 
 }  // namespace sb::lat

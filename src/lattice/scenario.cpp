@@ -1,6 +1,7 @@
 #include "lattice/scenario.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -161,6 +162,45 @@ Scenario load_scenario(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_scenario(buffer.str());
+}
+
+long parse_sized_scenario_name(const std::string& name, const char* prefix) {
+  const size_t len = std::char_traits<char>::length(prefix);
+  if (name.rfind(prefix, 0) != 0 || name.size() <= len ||
+      name.find_first_not_of("0123456789", len) != std::string::npos) {
+    return -1;
+  }
+  return std::strtol(name.c_str() + len, nullptr, 10);
+}
+
+Scenario resolve_scenario(const std::string& name, uint64_t master_seed) {
+  if (const long blocks = parse_sized_scenario_name(name, "tower");
+      blocks >= 0) {
+    if (blocks >= 4 && blocks <= 1'000'000 && blocks % 2 == 0) {
+      return make_tower_scenario(static_cast<int32_t>(blocks / 2));
+    }
+    throw std::runtime_error("tower<N> needs an even N >= 4, got '" + name +
+                             "'");
+  }
+  if (const long blocks = parse_sized_scenario_name(name, "blob");
+      blocks >= 0) {
+    if (blocks >= 64 && blocks <= 1'000'000) {
+      return make_giant_blob_scenario(static_cast<int32_t>(blocks),
+                                      master_seed);
+    }
+    throw std::runtime_error("blob<N> needs 64 <= N <= 1000000, got '" +
+                             name + "'");
+  }
+  if (const long blocks = parse_sized_scenario_name(name, "rect");
+      blocks >= 0) {
+    if (blocks >= 64 && blocks <= 1'000'000) {
+      return make_giant_rect_scenario(static_cast<int32_t>(blocks));
+    }
+    throw std::runtime_error("rect<N> needs 64 <= N <= 1000000, got '" +
+                             name + "'");
+  }
+  if (name == "fig10") return make_fig10_scenario();
+  return load_scenario(name);  // throws with a message on a bad path
 }
 
 std::string serialize_scenario(const Scenario& s) {

@@ -54,6 +54,25 @@ struct Scenario {
 /// Loads a scenario file.
 [[nodiscard]] Scenario load_scenario(const std::string& path);
 
+/// Parses a sized scenario name "<prefix><digits>" (e.g. "tower64",
+/// "blob10000") and returns the number, or -1 when `name` does not match
+/// the prefix + digits shape.
+[[nodiscard]] long parse_sized_scenario_name(const std::string& name,
+                                             const char* prefix);
+
+/// Resolves a scenario by CLI-style name — the one scenario vocabulary
+/// shared by tools/sweep, examples/large_scale, and the benches:
+///   tower<N>   Lemma-1 tower of N blocks (even N >= 4)
+///   blob<N>    giant random blob, 64 <= N <= 1000000 (seeded by
+///              `master_seed`)
+///   rect<N>    giant block rectangle, 64 <= N <= 1000000
+///   fig10      the paper's Figs 10-11 example
+///   <path>     anything else is loaded as a .surf scenario file
+/// Throws std::runtime_error with a usage-style message on bad names or
+/// out-of-range sizes.
+[[nodiscard]] Scenario resolve_scenario(const std::string& name,
+                                        uint64_t master_seed = 0x5eedULL);
+
 /// Serializes to the text format (round-trips through parse_scenario).
 [[nodiscard]] std::string serialize_scenario(const Scenario& scenario);
 

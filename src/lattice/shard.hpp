@@ -1,0 +1,74 @@
+#pragma once
+// Spatial sharding of the surface into column stripes.
+//
+// The sharded simulator (sim/simulator.hpp, docs/ARCHITECTURE.md) partitions
+// the grid into vertical stripes of equal width and gives each stripe its
+// own event queue, RNG stream, and counters. The algorithm's communication
+// is strictly nearest-neighbor, so a block only ever interacts with its own
+// stripe or the two adjacent ones — the ShardMap is the single source of
+// truth for "which shard owns this cell".
+//
+// The map is pure geometry: it holds no occupancy and never changes after
+// construction, so concurrent shard workers can query it freely.
+
+#include <cstdint>
+
+#include "lattice/vec2.hpp"
+#include "util/assert.hpp"
+
+namespace sb::lat {
+
+class ShardMap {
+ public:
+  /// Identity map: one shard covering the whole surface.
+  ShardMap() = default;
+
+  /// Splits a `grid_width`-wide surface into `requested` column stripes.
+  /// The effective shard count is clamped to the width (a stripe is at
+  /// least one column wide). The stripe width is rounded up so every
+  /// column is covered, and the count is then recomputed from it — the
+  /// rounding can leave trailing stripes with no columns (width 10,
+  /// requested 8: stripes of 2 cover everything with 5 shards), and empty
+  /// shards must not exist (they would idle workers and misreport the
+  /// shard count).
+  ShardMap(int32_t grid_width, size_t requested) : width_(grid_width) {
+    SB_EXPECTS(grid_width > 0, "ShardMap needs a positive grid width");
+    const size_t clamped = clamp_count(grid_width, requested);
+    stripe_width_ = (grid_width + static_cast<int32_t>(clamped) - 1) /
+                    static_cast<int32_t>(clamped);
+    count_ = static_cast<size_t>((grid_width + stripe_width_ - 1) /
+                                 stripe_width_);
+  }
+
+  /// Number of stripes actually created (<= requested).
+  [[nodiscard]] size_t count() const { return count_; }
+
+  /// Columns per stripe (the last stripe may be narrower).
+  [[nodiscard]] int32_t stripe_width() const { return stripe_width_; }
+
+  /// Shard owning column x. The caller must pass an in-surface column.
+  [[nodiscard]] size_t shard_of_column(int32_t x) const {
+    SB_ASSERT(x >= 0 && x < width_, "column ", x, " is off the surface");
+    return static_cast<size_t>(x / stripe_width_);
+  }
+
+  [[nodiscard]] size_t shard_of(Vec2 p) const { return shard_of_column(p.x); }
+
+  /// First (west-most) column of a stripe.
+  [[nodiscard]] int32_t first_column(size_t shard) const {
+    return static_cast<int32_t>(shard) * stripe_width_;
+  }
+
+ private:
+  static size_t clamp_count(int32_t grid_width, size_t requested) {
+    if (requested < 1) requested = 1;
+    const auto width = static_cast<size_t>(grid_width > 0 ? grid_width : 1);
+    return requested < width ? requested : width;
+  }
+
+  int32_t width_ = 1;
+  size_t count_ = 1;
+  int32_t stripe_width_ = 1;
+};
+
+}  // namespace sb::lat

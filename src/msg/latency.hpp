@@ -35,6 +35,19 @@ class LatencyModel {
     return sample_slow(rng);
   }
 
+  /// Guaranteed lower bound on every sample, in ticks (>= 1: all models
+  /// enforce strict causality). This is the sharded simulator's lookahead:
+  /// a message sent inside a time window can only be delivered in a later
+  /// window, so shards synchronize once per min_ticks() of simulated time.
+  [[nodiscard]] Ticks min_ticks() const {
+    switch (kind_) {
+      case Kind::kFixed:
+      case Kind::kUniform: return static_cast<Ticks>(a_);
+      case Kind::kExponential: return 1;
+    }
+    return 1;
+  }
+
   [[nodiscard]] std::string describe() const;
 
  private:

@@ -26,6 +26,7 @@ RunRow make_row(const std::string& scenario, const std::string& ruleset,
   row.iterations = result.iterations;
   row.sim_ticks = result.sim_ticks;
   row.block_count = result.block_count;
+  row.shards = result.shards;
   row.conn_fast_hits = result.conn_fast_hits;
   row.conn_slow_floods = result.conn_slow_floods;
   return row;
@@ -80,6 +81,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
       group = &groups.back();
       group->out.scenario = row.scenario;
       group->out.ruleset = row.ruleset;
+      group->out.shards = row.shards;
     }
     ++group->out.runs;
     if (row.complete) ++group->out.completed;
@@ -127,6 +129,7 @@ util::JsonValue BenchReport::to_json() const {
     r["messages_sent"] = util::JsonValue(row.messages_sent);
     r["iterations"] = util::JsonValue(row.iterations);
     r["sim_ticks"] = util::JsonValue(row.sim_ticks);
+    r["shards"] = util::JsonValue(row.shards);
     r["conn_fast_hits"] = util::JsonValue(row.conn_fast_hits);
     r["conn_slow_floods"] = util::JsonValue(row.conn_slow_floods);
     runs.push_back(std::move(r));
@@ -140,6 +143,7 @@ util::JsonValue BenchReport::to_json() const {
     g["ruleset"] = util::JsonValue(group.ruleset);
     g["runs"] = util::JsonValue(group.runs);
     g["completed"] = util::JsonValue(group.completed);
+    g["shards"] = util::JsonValue(group.shards);
     g["events_per_sec"] = metric_json(group.events_per_sec);
     g["wall_seconds"] = metric_json(group.wall_seconds);
     g["hops"] = metric_json(group.hops);

@@ -30,6 +30,9 @@ struct RunRow {
   uint32_t iterations = 0;
   uint64_t sim_ticks = 0;
   size_t block_count = 0;
+  /// Effective shard count of the run's world (1 = classic event loop; the
+  /// scalar metrics are the per-shard counters merged — docs/BENCHMARKS.md).
+  size_t shards = 1;
   /// Connectivity-oracle split on the move-validation path: probes answered
   /// by the O(1) local rule vs. full floods (docs/BENCHMARKS.md).
   uint64_t conn_fast_hits = 0;
@@ -59,6 +62,9 @@ struct GroupSummary {
   std::string ruleset;
   size_t runs = 0;
   size_t completed = 0;
+  /// Shard count of the group's runs (groups never mix shard counts in
+  /// practice; the first row's value is reported).
+  size_t shards = 1;
   MetricSummary events_per_sec;
   MetricSummary wall_seconds;
   MetricSummary hops;

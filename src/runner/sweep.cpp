@@ -63,9 +63,11 @@ size_t SweepRunner::effective_threads(size_t jobs) const {
 
 namespace {
 
-SweepRun execute(const RunSpec& spec, bool capture_trace) {
+SweepRun execute(const RunSpec& spec, bool capture_trace,
+                 size_t shard_threads) {
   core::SessionConfig config = spec.config;
   config.sim.seed = spec.seed;
+  if (shard_threads != 0) config.sim.shard_threads = shard_threads;
 
   core::ReconfigurationSession session(spec.scenario, config);
   SweepRun out;
@@ -103,7 +105,8 @@ SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
     for (;;) {
       const size_t index = next.fetch_add(1);
       if (index >= specs.size()) return;
-      result.runs[index] = execute(specs[index], options_.capture_traces);
+      result.runs[index] = execute(specs[index], options_.capture_traces,
+                                   options_.shard_threads);
       const size_t done = finished.fetch_add(1) + 1;
       if (options_.on_progress) options_.on_progress(done, specs.size());
     }

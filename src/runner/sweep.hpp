@@ -75,6 +75,12 @@ class SweepRunner {
   struct Options {
     /// Worker threads; 0 = hardware concurrency.
     size_t threads = 0;
+    /// Intra-world shard threads forced onto every run's SimConfig
+    /// (SimConfig::shard_threads); 0 = leave each spec's own value. Only
+    /// runs whose config enables sharding (sim.shards > 1) are affected.
+    /// Note the multiplication: a sweep on T threads with S shard threads
+    /// can occupy T x S cores.
+    size_t shard_threads = 0;
     /// Recorded in the report; also used by run_grid for seed forking.
     uint64_t master_seed = 0x5eedULL;
     /// Record per-run move traces (costs memory; used by determinism tests

@@ -1,10 +1,36 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.hpp"
 
 namespace sb::sim {
+
+namespace {
+
+/// True when `record` is addressed to `target`: the subject of a start or
+/// timer, or the receiver of a delivery. Motion completions and external
+/// events never live in shard queues, so they are not matched.
+bool addressed_to(const EventRecord& record, lat::BlockId target) {
+  switch (record.kind) {
+    case EventKind::kStart:
+    case EventKind::kTimer: return record.a == target;
+    case EventKind::kDelivery: return record.b == target;
+    case EventKind::kMotionComplete:
+    case EventKind::kExternal: return false;
+  }
+  return false;
+}
+
+void sort_extracted(std::vector<EventRecord>& out, size_t first) {
+  std::sort(out.begin() + static_cast<ptrdiff_t>(first), out.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              return event_before(a, b);
+            });
+}
+
+}  // namespace
 
 // Manual sift with a moving hole: each level costs one move instead of the
 // swap (three moves) std::push_heap/pop_heap would do on 80-byte records.
@@ -57,6 +83,25 @@ EventRecord BinaryHeapEventQueue::pop() {
 
 const EventRecord* BinaryHeapEventQueue::peek() const {
   return heap_.empty() ? nullptr : &heap_.front();
+}
+
+void BinaryHeapEventQueue::extract_for(lat::BlockId target,
+                                       std::vector<EventRecord>& out) {
+  const size_t first = out.size();
+  size_t kept = 0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (addressed_to(heap_[i], target)) {
+      out.push_back(std::move(heap_[i]));
+    } else {
+      if (kept != i) heap_[kept] = std::move(heap_[i]);
+      ++kept;
+    }
+  }
+  if (kept == heap_.size()) return;  // nothing matched
+  heap_.resize(kept);
+  // Floyd heap construction over the survivors.
+  for (size_t i = kept / 2; i-- > 0;) sift_down(i);
+  sort_extracted(out, first);
 }
 
 BucketMapEventQueue::Bucket& BucketMapEventQueue::ring_bucket(SimTime t) {
@@ -134,6 +179,38 @@ EventRecord BucketMapEventQueue::pop() {
   ++bucket.head;
   --size_;
   return record;
+}
+
+void BucketMapEventQueue::extract_for(lat::BlockId target,
+                                      std::vector<EventRecord>& out) {
+  const size_t first = out.size();
+  const auto sweep_bucket = [&](Bucket& bucket) {
+    size_t kept = bucket.head;
+    for (size_t i = bucket.head; i < bucket.records.size(); ++i) {
+      if (addressed_to(bucket.records[i], target)) {
+        out.push_back(std::move(bucket.records[i]));
+        --size_;
+      } else {
+        if (kept != i) bucket.records[kept] = std::move(bucket.records[i]);
+        ++kept;
+      }
+    }
+    bucket.records.resize(kept);
+  };
+  for (Bucket& bucket : ring_) {
+    if (!bucket.drained()) sweep_bucket(bucket);
+  }
+  for (auto& [time, bucket] : overflow_) {
+    if (!bucket.drained()) sweep_bucket(bucket);
+  }
+  // A sweep can empty an overflow bucket outright; drop it, or the
+  // pop()/peek() fall-through — which trusts overflow_.begin() to hold a
+  // live record — would migrate a drained bucket into the ring. (Drained
+  // ring slots are harmless: the scans skip them and ring_bucket() resets
+  // them on reuse.)
+  std::erase_if(overflow_,
+                [](const auto& entry) { return entry.second.drained(); });
+  sort_extracted(out, first);
 }
 
 const EventRecord* BucketMapEventQueue::peek() const {

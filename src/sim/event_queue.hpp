@@ -30,6 +30,15 @@ class EventQueue {
   /// Earliest event without removing it; nullptr when empty.
   [[nodiscard]] virtual const EventRecord* peek() const = 0;
 
+  /// Removes every pending event addressed to `target` (start/timer events
+  /// whose subject it is, deliveries whose receiver it is) and appends them
+  /// to `out` in (time, seq) order. The sharded simulator re-homes a
+  /// migrating block's events with this when a motion carries it across a
+  /// stripe boundary; motions are rare, so the linear scan is off the hot
+  /// path.
+  virtual void extract_for(lat::BlockId target,
+                           std::vector<EventRecord>& out) = 0;
+
   [[nodiscard]] virtual size_t size() const = 0;
   [[nodiscard]] bool empty() const { return size() == 0; }
 
@@ -43,6 +52,7 @@ class BinaryHeapEventQueue final : public EventQueue {
   void push(EventRecord record) override;
   EventRecord pop() override;
   [[nodiscard]] const EventRecord* peek() const override;
+  void extract_for(lat::BlockId target, std::vector<EventRecord>& out) override;
   [[nodiscard]] size_t size() const override { return heap_.size(); }
 
  private:
@@ -62,17 +72,21 @@ class BinaryHeapEventQueue final : public EventQueue {
 /// binary heap, so runs are bit-for-bit the same under either queue.
 class BucketMapEventQueue final : public EventQueue {
  public:
-  void push(EventRecord record) override;
-  EventRecord pop() override;
-  [[nodiscard]] const EventRecord* peek() const override;
-  [[nodiscard]] size_t size() const override { return size_; }
-
- private:
   /// Ring span in ticks; larger than any latency model's typical draw so
   /// overflow stays rare (timers and exponential tails still land there).
+  /// Public so the ring-horizon boundary tests can target the exact tick
+  /// where a push spills from the ring into the overflow map.
   static constexpr size_t kRingBits = 7;
   static constexpr size_t kRingSize = size_t{1} << kRingBits;
   static constexpr SimTime kRingMask = kRingSize - 1;
+
+  void push(EventRecord record) override;
+  EventRecord pop() override;
+  [[nodiscard]] const EventRecord* peek() const override;
+  void extract_for(lat::BlockId target, std::vector<EventRecord>& out) override;
+  [[nodiscard]] size_t size() const override { return size_; }
+
+ private:
 
   struct Bucket {
     SimTime time = 0;

@@ -1,0 +1,70 @@
+#include "sim/shard.hpp"
+
+#include "util/assert.hpp"
+
+namespace sb::sim {
+
+ShardWorkerPool::ShardWorkerPool(size_t threads)
+    : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (size_t w = 0; w + 1 < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ShardWorkerPool::~ShardWorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardWorkerPool::run(size_t jobs, const std::function<void(size_t)>& fn) {
+  if (jobs == 0) return;
+  if (workers_.empty() || jobs == 1) {
+    for (size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SB_ASSERT(running_ == 0, "ShardWorkerPool::run re-entered");
+    job_ = &fn;
+    jobs_ = jobs;
+    running_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The caller is the last worker: strided jobs after the spawned threads'.
+  for (size_t i = workers_.size(); i < jobs; i += threads_) fn(i);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void ShardWorkerPool::worker_main(size_t worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    size_t jobs = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock,
+                     [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      jobs = jobs_;
+    }
+    for (size_t i = worker; i < jobs; i += threads_) (*job)(i);
+    bool last = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      last = --running_ == 0;
+    }
+    if (last) cv_done_.notify_one();
+  }
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,102 @@
+#pragma once
+// Per-shard execution state and the worker pool of the sharded simulator.
+//
+// When SimConfig::shards > 1 the simulator partitions the surface into
+// column stripes (lattice/shard.hpp) and runs a conservative windowed
+// schedule: each shard drains its own event queue for one lookahead window
+// of simulated time, all shards synchronize at the window edge, and only
+// there do cross-shard messages, grid mutations, and external events move
+// between shards. ShardState is everything one stripe owns; ShardWorkerPool
+// fans the per-window drains out over a fixed set of threads.
+//
+// Determinism contract (docs/ARCHITECTURE.md "Sharded worlds"): every field
+// here is either touched by exactly one worker during a window, or only by
+// the coordinating thread between windows — so the event trace depends on
+// the shard count, never on the thread count.
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lattice/grid.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "util/rng.hpp"
+
+namespace sb::sim {
+
+/// Everything one column-stripe shard owns. The owning worker mutates this
+/// freely during its window drain; the coordinator reads and resets the
+/// exchange buffers at barriers.
+struct ShardState {
+  size_t index = 0;
+  /// Pending events addressed to blocks inside this stripe.
+  std::unique_ptr<EventQueue> queue;
+  /// Independent latency stream, forked from the master seed by shard
+  /// index; consumed only while this shard drains, so draw order is
+  /// deterministic.
+  Rng rng{0};
+  /// Local clock while draining a window (monotone across windows).
+  SimTime now = 0;
+  /// Time of the last event this shard processed.
+  SimTime last_time = 0;
+  /// Events processed in the current window; reset by the coordinator.
+  uint64_t window_events = 0;
+  /// Cumulative events processed by this shard (reported per-shard).
+  uint64_t total_events = 0;
+  /// Per-shard counters, folded into the simulator totals when run()
+  /// returns.
+  SimStats stats;
+  /// Per-shard connectivity verdict cache + oracle counters, installed as
+  /// the thread's scratch view while this shard drains.
+  lat::ConnectivityScratchView conn_view;
+  /// Cross-shard deliveries produced this window: (destination shard,
+  /// record). Routed into destination queues at the barrier, in shard
+  /// order.
+  std::vector<std::pair<size_t, EventRecord>> outbox;
+  /// Grid-mutating / external events scheduled this window (motion
+  /// completions); merged into the sequential global queue at the barrier.
+  std::vector<EventRecord> pending_global;
+  /// A module on this shard called halt(); honored at the barrier.
+  bool halt_requested = false;
+};
+
+/// Persistent pool running `fn(job)` for jobs 0..jobs-1 across a fixed
+/// thread count, with the caller participating as the last worker. run()
+/// is a full barrier: it returns only when every job finished. Jobs are
+/// assigned by stride (worker w takes jobs w, w+T, ...), so the assignment
+/// is static and scheduling-independent.
+class ShardWorkerPool {
+ public:
+  /// `threads` >= 1 total workers (threads - 1 are spawned).
+  explicit ShardWorkerPool(size_t threads);
+  ~ShardWorkerPool();
+
+  ShardWorkerPool(const ShardWorkerPool&) = delete;
+  ShardWorkerPool& operator=(const ShardWorkerPool&) = delete;
+
+  [[nodiscard]] size_t threads() const { return threads_; }
+
+  /// Runs fn(0..jobs-1) across the pool and blocks until all complete.
+  void run(size_t jobs, const std::function<void(size_t)>& fn);
+
+ private:
+  void worker_main(size_t worker);
+
+  size_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t jobs_ = 0;
+  uint64_t generation_ = 0;
+  size_t running_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sb::sim

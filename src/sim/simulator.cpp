@@ -60,11 +60,22 @@ lat::Neighborhood Module::sense() const {
 // Simulator
 // ---------------------------------------------------------------------------
 
+thread_local ShardState* Simulator::tls_exec_ = nullptr;
+
 Simulator::Simulator(World world, SimConfig config)
     : world_(std::move(world)),
       config_(config),
       rng_(config.seed),
-      queue_(make_event_queue(config.queue)) {}
+      queue_(make_event_queue(config.queue)) {
+  if (config_.shards > 1) init_shards();
+}
+
+Rng& Simulator::active_rng(const Module& sender) {
+  if (!sharded_) return rng_;
+  ShardState* ctx = tls_exec_;
+  if (ctx != nullptr) return ctx->rng;
+  return shards_[shard_for(world_.grid().position_of(sender.id()))]->rng;
+}
 
 Module& Simulator::add_module(std::unique_ptr<Module> module) {
   SB_EXPECTS(module != nullptr);
@@ -96,9 +107,59 @@ void Simulator::kill_module(lat::BlockId id) {
 }
 
 void Simulator::schedule_record(EventRecord record) {
-  SB_EXPECTS(record.time >= now_, "cannot schedule into the past (t=",
-             record.time, " < now=", now_, ")");
-  queue_->push(std::move(record));
+  if (!sharded_) {
+    SB_EXPECTS(record.time >= now_, "cannot schedule into the past (t=",
+               record.time, " < now=", now_, ")");
+    queue_->push(std::move(record));
+    return;
+  }
+  // Sharded routing: grid-mutating / external events go to the sequential
+  // global queue; module events go to the queue of the shard owning the
+  // target block. From inside a window, cross-shard pushes are buffered and
+  // flushed at the barrier so no thread ever touches another shard's queue.
+  ShardState* ctx = tls_exec_;
+  SB_EXPECTS(record.time >= (ctx != nullptr ? ctx->now : now_),
+             "cannot schedule into the past (t=", record.time, ")");
+  switch (record.kind) {
+    case EventKind::kMotionComplete:
+    case EventKind::kExternal:
+      if (ctx != nullptr) {
+        ctx->pending_global.push_back(std::move(record));
+      } else {
+        global_queue_->push(std::move(record));
+      }
+      return;
+    case EventKind::kStart:
+    case EventKind::kTimer: {
+      const size_t dest = shard_for(world_.grid().position_of(record.a));
+      // Starts are scheduled between windows; timers only ever target the
+      // module that set them, which executes on its own shard.
+      SB_ASSERT(ctx == nullptr || dest == ctx->index,
+                "start/timer scheduled across shards for block ", record.a);
+      shards_[dest]->queue->push(std::move(record));
+      return;
+    }
+    case EventKind::kDelivery: {
+      const lat::Grid& grid = world_.grid();
+      size_t dest;
+      if (grid.contains(record.b)) {
+        dest = shard_for(grid.position_of(record.b));
+      } else if (ctx != nullptr) {
+        dest = ctx->index;  // receiver left the surface; deliver() drops it
+      } else {
+        dest = grid.contains(record.a)
+                   ? shard_for(grid.position_of(record.a))
+                   : 0;
+      }
+      if (ctx != nullptr && dest != ctx->index) {
+        ctx->outbox.emplace_back(dest, std::move(record));
+      } else {
+        shards_[dest]->queue->push(std::move(record));
+      }
+      return;
+    }
+  }
+  SB_UNREACHABLE();
 }
 
 void Simulator::schedule(SimTime when, std::unique_ptr<Event> event) {
@@ -143,16 +204,20 @@ void Simulator::dispatch(EventRecord& record) {
 }
 
 bool Simulator::step() {
+  SB_EXPECTS(!sharded_, "step() is only supported in classic (shards=1) "
+                        "mode; use run() on a sharded simulator");
   if (queue_->empty()) return false;
   EventRecord record = queue_->pop();
   SB_ASSERT(record.time >= now_, "event time ran backwards");
   now_ = record.time;
   count_event(record);
+  if (trace_events_) record_trace(0, record);
   dispatch(record);
   return true;
 }
 
 StopReason Simulator::run(RunLimits limits) {
+  if (sharded_) return run_sharded(limits);
   uint64_t processed = 0;
   while (!halted_) {
     const EventRecord* next = queue_->peek();
@@ -169,49 +234,51 @@ void Simulator::send_from(Module& sender, lat::Direction side,
                           msg::MessagePtr message) {
   SB_EXPECTS(message != nullptr);
   const size_t bytes = message->payload_bytes();
+  SimStats& stats = active_stats();
   sender.mailbox_.record_send(side, bytes);
-  ++stats_.messages_sent;
-  if (config_.detailed_stats) ++stats_.messages_by_kind[message->kind()];
+  ++stats.messages_sent;
+  if (config_.detailed_stats) ++stats.messages_by_kind[message->kind()];
 
   const lat::BlockId receiver = sender.neighbors_.neighbor(side);
   if (!receiver.valid()) {
     sender.mailbox_.record_drop(side);
-    ++stats_.messages_dropped;
+    ++stats.messages_dropped;
     return;
   }
-  const Ticks latency = config_.latency.sample(rng_);
-  schedule_record(EventRecord::delivery(now_ + latency, sender.id(), receiver,
+  const Ticks latency = config_.latency.sample(active_rng(sender));
+  schedule_record(EventRecord::delivery(now() + latency, sender.id(), receiver,
                                         std::move(message), bytes));
 }
 
 void Simulator::deliver(lat::BlockId sender, lat::BlockId receiver,
                         const msg::Message& message, size_t payload_bytes) {
+  SimStats& stats = active_stats();
   Module* target = find_module(receiver);
   if (target == nullptr || !target->alive()) {
-    ++stats_.messages_dropped;
+    ++stats.messages_dropped;
     return;
   }
   // The physical contact must still exist: both blocks on the surface and
   // laterally adjacent (messages in flight are lost when a block departs).
   const lat::Grid& grid = world_.grid();
   if (!grid.contains(sender) || !grid.contains(receiver)) {
-    ++stats_.messages_dropped;
+    ++stats.messages_dropped;
     return;
   }
   const lat::Vec2 sender_pos = grid.position_of(sender);
   const lat::Vec2 receiver_pos = grid.position_of(receiver);
   const auto from_side = lat::direction_from(receiver_pos, sender_pos);
   if (!from_side) {
-    ++stats_.messages_dropped;
+    ++stats.messages_dropped;
     return;
   }
   target->mailbox_.record_receive(*from_side, payload_bytes);
-  ++stats_.messages_delivered;
+  ++stats.messages_delivered;
   target->on_message(*from_side, message);
 }
 
 void Simulator::timer_for(Module& module, Ticks delay, uint64_t tag) {
-  schedule_record(EventRecord::timer(now_ + delay, module.id(), tag));
+  schedule_record(EventRecord::timer(now() + delay, module.id(), tag));
 }
 
 void Simulator::start_motion_for(Module& subject,
@@ -222,8 +289,8 @@ void Simulator::start_motion_for(Module& subject,
              app.describe());
   SB_EXPECTS(world_.can_apply(app), "physically invalid motion requested: ",
              app.describe());
-  ++stats_.motions_started;
-  const SimTime lands = now_ + config_.motion_duration;
+  ++active_stats().motions_started;
+  const SimTime lands = now() + config_.motion_duration;
   schedule_record(EventRecord::motion_complete(lands, subject.id(), app));
 }
 
@@ -236,6 +303,19 @@ void Simulator::complete_motion(lat::BlockId subject,
   const auto moves = app.world_moves();
   world_.apply(app);
   ++stats_.motions_completed;
+
+  // A move across a stripe boundary migrates block ownership: pending
+  // events addressed to the mover follow it to its new shard.
+  if (sharded_) {
+    for (const auto& [from, to] : moves) {
+      const size_t shard_from = shard_map_.shard_of(from);
+      const size_t shard_to = shard_map_.shard_of(to);
+      if (shard_from == shard_to) continue;
+      // After a simultaneous batch, the block that left `from` is the one
+      // now at `to`.
+      rehome_block_events(world_.grid().at(to), shard_from, shard_to);
+    }
+  }
 
   std::vector<lat::Vec2> touched;
   for (const auto& [from, to] : moves) {

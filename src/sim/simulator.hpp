@@ -10,11 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "lattice/shard.hpp"
 #include "motion/apply.hpp"
 #include "msg/latency.hpp"
 #include "msg/message.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/module.hpp"
+#include "sim/shard.hpp"
+#include "sim/stats.hpp"
 #include "sim/time.hpp"
 #include "sim/world.hpp"
 #include "util/assert.hpp"
@@ -33,20 +36,16 @@ struct SimConfig {
   QueueKind queue = QueueKind::kBinaryHeap;
   /// Disable per-kind counter maps in tight throughput benches.
   bool detailed_stats = true;
-};
-
-struct SimStats {
-  uint64_t events_processed = 0;
-  uint64_t messages_sent = 0;
-  uint64_t messages_delivered = 0;
-  uint64_t messages_dropped = 0;
-  uint64_t motions_started = 0;
-  uint64_t motions_completed = 0;
-  /// Per message kind (Activate, Ack, ...); keys are static string tags.
-  /// Flat sorted vectors: bumped once per event/message and copied per
-  /// sweep run, where a node-based map is measurable overhead.
-  util::FlatCounts messages_by_kind;
-  util::FlatCounts events_by_kind;
+  /// Column-stripe shards the world is partitioned into. 1 keeps the
+  /// classic single event loop byte-for-byte; > 1 switches to the windowed
+  /// sharded schedule (per-shard queues, RNG streams, and counters;
+  /// clamped to the surface width). See docs/ARCHITECTURE.md.
+  size_t shards = 1;
+  /// Worker threads draining shard windows in parallel (only used when
+  /// shards > 1). 0 = hardware concurrency; always capped at the shard
+  /// count. Event traces are byte-identical for every value — thread count
+  /// affects wall-clock only.
+  size_t shard_threads = 1;
 };
 
 struct RunLimits {
@@ -64,10 +63,43 @@ class Simulator {
 
   [[nodiscard]] World& world() { return world_; }
   [[nodiscard]] const World& world() const { return world_; }
-  [[nodiscard]] SimTime now() const { return now_; }
+  /// Current simulated time: the executing shard's local clock while a
+  /// window drains on this thread, the global clock otherwise.
+  [[nodiscard]] SimTime now() const {
+    const ShardState* ctx = tls_exec_;
+    return ctx != nullptr ? ctx->now : now_;
+  }
   [[nodiscard]] Rng& rng() { return rng_; }
+  /// Simulator-wide counters. In sharded mode the per-shard counters are
+  /// folded in every time run() returns (mid-run reads see only the
+  /// sequential share).
   [[nodiscard]] SimStats& stats() { return stats_; }
   [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  // -- sharding -------------------------------------------------------------
+
+  /// Effective shard count: 1 in classic mode, else config().shards clamped
+  /// to the surface width.
+  [[nodiscard]] size_t shard_count() const {
+    return sharded_ ? shards_.size() : 1;
+  }
+  /// Shard owning position `pos` (always 0 in classic mode). Modules use
+  /// this to select shard-scoped helpers (e.g. core's per-shard planners).
+  [[nodiscard]] size_t shard_for(lat::Vec2 pos) const {
+    return sharded_ ? shard_map_.shard_of(pos) : 0;
+  }
+  /// Cumulative events processed per shard (empty in classic mode).
+  [[nodiscard]] std::vector<uint64_t> shard_event_counts() const;
+
+  /// Starts recording one line per dispatched event. Streams are per shard
+  /// plus one for the sequential (grid-mutating / external) steps — classic
+  /// mode records a single stream. The determinism tests compare these
+  /// byte-for-byte across shard-thread counts.
+  void enable_event_trace();
+  [[nodiscard]] const std::vector<std::vector<std::string>>& event_trace()
+      const {
+    return trace_streams_;
+  }
 
   // -- modules --------------------------------------------------------------
 
@@ -115,19 +147,36 @@ class Simulator {
   /// Queues on_start() for every registered module at the current time.
   void start_all_modules();
 
-  /// Runs until the queue drains, a limit hits, or halt() is called.
+  /// Runs until the queues drain, a limit hits, or halt() is called. In
+  /// sharded mode events execute in lookahead windows; limits are honored
+  /// at window granularity (an event budget may overshoot by one window,
+  /// deterministically).
   StopReason run(RunLimits limits = RunLimits{});
 
-  /// Processes a single event; false when the queue is empty.
+  /// Processes a single event; false when the queue is empty. Classic
+  /// (unsharded) mode only.
   bool step();
 
   /// Stops the run loop after the current event (modules call this through
-  /// their program when the distributed computation finishes).
-  void halt() { halted_ = true; }
+  /// their program when the distributed computation finishes). From inside
+  /// a shard window the request is honored at the window barrier.
+  void halt() {
+    ShardState* ctx = tls_exec_;
+    if (ctx != nullptr) {
+      ctx->halt_requested = true;
+    } else {
+      halted_ = true;
+    }
+  }
   [[nodiscard]] bool halted() const { return halted_; }
   void clear_halt() { halted_ = false; }
 
-  [[nodiscard]] size_t pending_events() const { return queue_->size(); }
+  [[nodiscard]] size_t pending_events() const {
+    if (!sharded_) return queue_->size();
+    size_t pending = global_queue_->size();
+    for (const auto& shard : shards_) pending += shard->queue->size();
+    return pending;
+  }
 
   // -- services used by Module ----------------------------------------------
 
@@ -149,6 +198,35 @@ class Simulator {
 
   void count_event(const EventRecord& record);
 
+  /// Counters the current context owns: the draining shard's during a
+  /// window, the simulator's otherwise.
+  [[nodiscard]] SimStats& active_stats() {
+    ShardState* ctx = tls_exec_;
+    return ctx != nullptr ? ctx->stats : stats_;
+  }
+  /// Latency stream the current context draws from. Per-shard draws keep
+  /// the draw order deterministic while windows execute in parallel.
+  [[nodiscard]] Rng& active_rng(const Module& sender);
+
+  // -- sharded mode (simulator_sharded.cpp) ---------------------------------
+
+  void init_shards();
+  StopReason run_sharded(RunLimits limits);
+  StopReason run_sharded_loop(RunLimits limits);
+  void run_window(SimTime window_end);
+  void drain_shard_window(ShardState& shard, SimTime window_end);
+  /// Barrier work: routes outboxes into destination queues, merges pending
+  /// grid-mutating events into the sequential queue, and publishes a shard
+  /// flood verdict to the grid's own cache. Fixed shard order.
+  void flush_shard_buffers();
+  /// Moves a migrated block's pending events to its new home shard.
+  void rehome_block_events(lat::BlockId id, size_t from_shard,
+                           size_t to_shard);
+  /// Folds per-shard stats and oracle counters into the simulator totals
+  /// and the grid (called whenever run_sharded returns).
+  void merge_shard_stats();
+  void record_trace(size_t stream, const EventRecord& record);
+
   World world_;
   SimConfig config_;
   Rng rng_;
@@ -160,6 +238,22 @@ class Simulator {
   std::vector<std::unique_ptr<Module>> modules_;
   size_t module_count_ = 0;
   SimStats stats_;
+
+  // -- sharded mode ---------------------------------------------------------
+
+  bool sharded_ = false;
+  Ticks lookahead_ = 1;
+  lat::ShardMap shard_map_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// Grid-mutating (motion-complete) and external events; always executed
+  /// sequentially between windows so handlers see a quiescent world.
+  std::unique_ptr<EventQueue> global_queue_;
+  std::unique_ptr<ShardWorkerPool> pool_;
+  bool trace_events_ = false;
+  std::vector<std::vector<std::string>> trace_streams_;
+  /// The shard whose window the current thread is draining (null outside
+  /// parallel phases); routes now()/halt()/scheduling to shard state.
+  static thread_local ShardState* tls_exec_;
 };
 
 }  // namespace sb::sim

@@ -1,0 +1,241 @@
+#include <algorithm>
+#include <thread>
+
+#include "sim/simulator.hpp"
+#include "util/fmt.hpp"
+
+// The windowed sharded schedule (SimConfig::shards > 1).
+//
+// The surface is split into column stripes; each shard owns the events of
+// the blocks inside its stripe. Execution alternates between two phases:
+//
+//   Parallel window — every shard drains its queue up to a horizon
+//   `window_end`, in local (time, seq) order, on its own worker. The grid
+//   is frozen (no event in a shard queue mutates it), so handlers may read
+//   it freely; writes stay inside the shard (its modules, queue, RNG,
+//   counters, connectivity scratch). The horizon is bounded by the
+//   lookahead — the minimum link latency — so any message sent inside the
+//   window can only be delivered in a later one, and by the time of the
+//   next grid-mutating event.
+//
+//   Sequential step — the earliest grid-mutating or external event (motion
+//   completion, test event) executes alone on the coordinating thread,
+//   between windows. Its handlers see a quiescent world and may touch any
+//   shard.
+//
+// Determinism: shard queues pop in (time, seq); seqs are assigned by
+// deterministic per-shard push order; cross-shard traffic moves only at
+// barriers, in fixed shard order, on one thread; each shard draws latencies
+// from its own RNG stream. Thread assignment never reorders anything, so
+// event traces are byte-identical for every shard_threads value.
+
+namespace sb::sim {
+
+namespace {
+/// RNG fork streams for shards live far above the block-id fork space used
+/// by module programs (ids are < 2^26), so the streams never collide.
+constexpr uint64_t kShardRngStreamBase = uint64_t{1} << 32;
+}  // namespace
+
+void Simulator::init_shards() {
+  shard_map_ = lat::ShardMap(world_.grid().width(), config_.shards);
+  if (shard_map_.count() <= 1) return;  // one-column surface: stay classic
+  sharded_ = true;
+  // The lookahead is the guaranteed delay of *any* cross-window effect: a
+  // message needs at least the minimum link latency, and a motion —
+  // the grid mutations the windows must never straddle — needs
+  // motion_duration. Capping at the smaller of the two keeps every
+  // mutation scheduled inside a window strictly beyond its horizon.
+  SB_EXPECTS(config_.motion_duration >= 1,
+             "sharded execution needs motion_duration >= 1 tick (got ",
+             config_.motion_duration, ")");
+  lookahead_ = std::max<Ticks>(
+      1, std::min<Ticks>(config_.latency.min_ticks(),
+                         config_.motion_duration));
+  global_queue_ = make_event_queue(config_.queue);
+  shards_.reserve(shard_map_.count());
+  for (size_t i = 0; i < shard_map_.count(); ++i) {
+    auto shard = std::make_unique<ShardState>();
+    shard->index = i;
+    shard->queue = make_event_queue(config_.queue);
+    shard->rng = rng_.fork(kShardRngStreamBase + i);
+    shards_.push_back(std::move(shard));
+  }
+  size_t threads = config_.shard_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, shards_.size());
+  if (threads > 1) pool_ = std::make_unique<ShardWorkerPool>(threads);
+}
+
+std::vector<uint64_t> Simulator::shard_event_counts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) counts.push_back(shard->total_events);
+  return counts;
+}
+
+void Simulator::enable_event_trace() {
+  trace_events_ = true;
+  trace_streams_.assign(sharded_ ? shards_.size() + 1 : 1, {});
+}
+
+void Simulator::record_trace(size_t stream, const EventRecord& record) {
+  trace_streams_[stream].push_back(
+      fmt("t={} seq={} {} a={} b={} tag={}", record.time, record.seq,
+          record.kind_name(), record.a.value, record.b.value, record.tag));
+}
+
+StopReason Simulator::run_sharded(RunLimits limits) {
+  const StopReason reason = run_sharded_loop(limits);
+  merge_shard_stats();
+  return reason;
+}
+
+StopReason Simulator::run_sharded_loop(RunLimits limits) {
+  uint64_t processed = 0;
+  const size_t sequential_stream = shards_.size();
+  for (;;) {
+    if (halted_) return StopReason::kHalted;
+    if (processed >= limits.max_events) return StopReason::kEventLimit;
+
+    SimTime t_shard = kTimeMax;
+    for (const auto& shard : shards_) {
+      if (const EventRecord* head = shard->queue->peek()) {
+        t_shard = std::min(t_shard, head->time);
+      }
+    }
+    const EventRecord* global_head = global_queue_->peek();
+    const SimTime t_global =
+        global_head != nullptr ? global_head->time : kTimeMax;
+    const SimTime t_min = std::min(t_shard, t_global);
+    if (t_min == kTimeMax) return StopReason::kQueueEmpty;
+    if (t_min > limits.until) return StopReason::kTimeLimit;
+
+    if (t_global <= t_shard) {
+      // Sequential step: the next grid mutation (or external event) is due
+      // before any shard event. At equal timestamps mutations go first so
+      // same-tick module events observe the post-move surface.
+      EventRecord record = global_queue_->pop();
+      now_ = record.time;
+      count_event(record);
+      if (trace_events_) record_trace(sequential_stream, record);
+      ++processed;
+      dispatch(record);
+      continue;
+    }
+
+    // Parallel window [t_shard, window_end): bounded by the lookahead, the
+    // next grid mutation, and the time limit.
+    SimTime window_end = t_shard + lookahead_;
+    if (t_global < window_end) window_end = t_global;
+    if (limits.until != kTimeMax && limits.until + 1 < window_end) {
+      window_end = limits.until + 1;
+    }
+    run_window(window_end);
+
+    // Barrier: fold window results and exchange cross-shard traffic, in
+    // fixed shard order on this thread.
+    for (const auto& shard : shards_) {
+      processed += shard->window_events;
+      shard->window_events = 0;
+      if (shard->last_time > now_) now_ = shard->last_time;
+      if (shard->halt_requested) {
+        shard->halt_requested = false;
+        halted_ = true;
+      }
+    }
+    flush_shard_buffers();
+  }
+}
+
+void Simulator::run_window(SimTime window_end) {
+  if (pool_ == nullptr) {
+    for (const auto& shard : shards_) drain_shard_window(*shard, window_end);
+    return;
+  }
+  pool_->run(shards_.size(), [this, window_end](size_t index) {
+    drain_shard_window(*shards_[index], window_end);
+  });
+}
+
+void Simulator::drain_shard_window(ShardState& shard, SimTime window_end) {
+  SB_ASSERT(tls_exec_ == nullptr, "nested shard window drains");
+  tls_exec_ = &shard;
+  // The shard probes connectivity through its own scratch view while the
+  // grid is frozen; seed it from the grid's verdict for the current
+  // mutation generation so at most one flood runs per shard per grid
+  // change.
+  const lat::Grid& grid = world_.grid();
+  if (shard.conn_view.version != grid.version()) {
+    shard.conn_view.version = grid.version();
+    shard.conn_view.hint = grid.own_connectivity_hint();
+  }
+  lat::Grid::install_connectivity_view(&shard.conn_view);
+
+  EventQueue& queue = *shard.queue;
+  const bool detailed = config_.detailed_stats;
+  while (const EventRecord* head = queue.peek()) {
+    if (head->time >= window_end) break;
+    EventRecord record = queue.pop();
+    SB_ASSERT(record.time >= shard.now, "shard time ran backwards");
+    shard.now = record.time;
+    shard.last_time = record.time;
+    ++shard.window_events;
+    ++shard.total_events;
+    ++shard.stats.events_processed;
+    if (detailed) ++shard.stats.events_by_kind[record.kind_name()];
+    if (trace_events_) record_trace(shard.index, record);
+    dispatch(record);
+  }
+
+  lat::Grid::install_connectivity_view(nullptr);
+  tls_exec_ = nullptr;
+}
+
+void Simulator::flush_shard_buffers() {
+  const lat::Grid& grid = world_.grid();
+  for (const auto& shard : shards_) {
+    for (auto& [dest, record] : shard->outbox) {
+      shards_[dest]->queue->push(std::move(record));
+    }
+    shard->outbox.clear();
+    for (auto& record : shard->pending_global) {
+      global_queue_->push(std::move(record));
+    }
+    shard->pending_global.clear();
+    // Publish a window flood's verdict: it was computed against the current
+    // (un-mutated) grid, so the grid cache and the other shards can reuse
+    // it. Every shard computes the same verdict for the same version.
+    if (grid.own_connectivity_hint() == lat::ConnectivityHint::kUnknown &&
+        shard->conn_view.version == grid.version() &&
+        shard->conn_view.hint != lat::ConnectivityHint::kUnknown) {
+      grid.set_own_connectivity_hint(shard->conn_view.hint);
+    }
+  }
+}
+
+void Simulator::rehome_block_events(lat::BlockId id, size_t from_shard,
+                                    size_t to_shard) {
+  SB_ASSERT(id.valid());
+  std::vector<EventRecord> extracted;
+  shards_[from_shard]->queue->extract_for(id, extracted);
+  // Re-pushing in (time, seq) order assigns fresh destination seqs while
+  // preserving the events' relative order.
+  for (EventRecord& record : extracted) {
+    shards_[to_shard]->queue->push(std::move(record));
+  }
+}
+
+void Simulator::merge_shard_stats() {
+  lat::ConnectivityStats& conn = world_.grid().own_connectivity_stats();
+  for (const auto& shard : shards_) {
+    stats_.accumulate(shard->stats);
+    shard->stats = SimStats{};
+    conn += shard->conn_view.stats;
+    shard->conn_view.stats = lat::ConnectivityStats{};
+  }
+}
+
+}  // namespace sb::sim

@@ -51,6 +51,19 @@ class FlatCounts {
     return it != entries_.end() && it->first == key ? 1 : 0;
   }
 
+  /// Adds every counter of `other` into this map (set union of keys, sum of
+  /// counts). The sharded simulator folds per-shard counter maps into one
+  /// total with this; merging a map into itself doubles every counter.
+  void merge(const FlatCounts& other) {
+    if (&other == this) {
+      for (auto& entry : entries_) entry.second *= 2;
+      return;
+    }
+    for (const auto& [key, count] : other.entries_) {
+      insert_slow(key) += count;
+    }
+  }
+
   [[nodiscard]] size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] const_iterator begin() const { return entries_.begin(); }

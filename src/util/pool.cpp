@@ -7,11 +7,11 @@
 #include <vector>
 
 #if defined(__has_feature)
-#if __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
 #define SB_POOL_DISABLED 1
 #endif
 #endif
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define SB_POOL_DISABLED 1
 #endif
 

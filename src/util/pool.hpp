@@ -20,7 +20,9 @@
 //     slabs instead of growing without bound.
 //
 // Under AddressSanitizer the pool is compiled out (plain new/delete) so ASan
-// retains byte-precise use-after-free detection on message payloads.
+// retains byte-precise use-after-free detection on message payloads; under
+// ThreadSanitizer likewise, so recycled nodes cannot mask cross-thread
+// races on message memory.
 
 #include <cstddef>
 #include <cstdint>

@@ -318,5 +318,59 @@ TEST(ScenarioGen, RectangleScenario) {
   EXPECT_FALSE(s.to_grid().occupied({4, 5}));
 }
 
+// ---------------------------------------------------------------------------
+// resolve_scenario — the CLI scenario vocabulary shared by tools/sweep,
+// examples/large_scale, and the benches.
+// ---------------------------------------------------------------------------
+
+TEST(ResolveScenario, ParsesSizedNames) {
+  EXPECT_EQ(parse_sized_scenario_name("tower64", "tower"), 64);
+  EXPECT_EQ(parse_sized_scenario_name("blob100000", "blob"), 100000);
+  EXPECT_EQ(parse_sized_scenario_name("tower", "tower"), -1);    // no digits
+  EXPECT_EQ(parse_sized_scenario_name("tower6x", "tower"), -1);  // junk tail
+  EXPECT_EQ(parse_sized_scenario_name("blob64", "tower"), -1);   // bad prefix
+  EXPECT_EQ(parse_sized_scenario_name("xtower64", "tower"), -1);  // infix
+}
+
+TEST(ResolveScenario, TowerBlobRectAndFig10) {
+  const Scenario tower = resolve_scenario("tower16");
+  EXPECT_EQ(tower.block_count(), 16u);
+  EXPECT_TRUE(validate(tower).empty());
+
+  const Scenario blob = resolve_scenario("blob64", 0x5eed);
+  EXPECT_EQ(blob.block_count(), 64u);
+  EXPECT_TRUE(validate(blob).empty());
+
+  const Scenario rect = resolve_scenario("rect100");
+  EXPECT_GE(rect.block_count(), 64u);
+  EXPECT_TRUE(validate(rect).empty());
+
+  EXPECT_EQ(resolve_scenario("fig10").block_count(), 12u);
+}
+
+TEST(ResolveScenario, BlobIsDeterministicPerSeed) {
+  const Scenario a = resolve_scenario("blob128", 42);
+  const Scenario b = resolve_scenario("blob128", 42);
+  const Scenario c = resolve_scenario("blob128", 43);
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_NE(a.blocks, c.blocks);
+}
+
+TEST(ResolveScenario, RejectsBadSizes) {
+  EXPECT_THROW(resolve_scenario("tower15"), std::runtime_error);  // odd
+  EXPECT_THROW(resolve_scenario("tower2"), std::runtime_error);   // too small
+  EXPECT_THROW(resolve_scenario("blob63"), std::runtime_error);
+  EXPECT_THROW(resolve_scenario("blob1000001"), std::runtime_error);
+  EXPECT_THROW(resolve_scenario("rect1"), std::runtime_error);
+}
+
+TEST(ResolveScenario, FallsBackToScenarioFiles) {
+  const Scenario s =
+      resolve_scenario(std::string(SMARTBLOCKS_DATA_DIR) +
+                       "/scenarios/fig10.surf");
+  EXPECT_EQ(s.block_count(), 12u);
+  EXPECT_THROW(resolve_scenario("no/such/file.surf"), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace sb::lat

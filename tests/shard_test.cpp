@@ -1,0 +1,296 @@
+// Tests for the sharded world: ShardMap geometry, the windowed sharded
+// schedule (sim/simulator_sharded.cpp), cross-shard messaging, event
+// re-homing on stripe migration, and the determinism contract — event and
+// move traces byte-identical across shard-thread counts (the sharded
+// counterpart of runner_test's sweep determinism).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/reconfig.hpp"
+#include "lattice/scenario.hpp"
+#include "lattice/shard.hpp"
+#include "sim/shard.hpp"
+#include "util/fmt.hpp"
+
+namespace sb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ShardMap geometry
+// ---------------------------------------------------------------------------
+
+TEST(ShardMap, SplitsWidthIntoStripes) {
+  const lat::ShardMap map(8, 4);
+  EXPECT_EQ(map.count(), 4u);
+  EXPECT_EQ(map.stripe_width(), 2);
+  EXPECT_EQ(map.shard_of({0, 5}), 0u);
+  EXPECT_EQ(map.shard_of({1, 0}), 0u);
+  EXPECT_EQ(map.shard_of({2, 0}), 1u);
+  EXPECT_EQ(map.shard_of({7, 3}), 3u);
+  EXPECT_EQ(map.first_column(2), 4);
+}
+
+TEST(ShardMap, RoundsStripeWidthUp) {
+  // 10 columns over 4 shards: stripes of 3 columns; the last holds one.
+  const lat::ShardMap map(10, 4);
+  EXPECT_EQ(map.count(), 4u);
+  EXPECT_EQ(map.stripe_width(), 3);
+  EXPECT_EQ(map.shard_of({8, 0}), 2u);
+  EXPECT_EQ(map.shard_of({9, 0}), 3u);
+}
+
+TEST(ShardMap, NeverCreatesEmptyTrailingStripes) {
+  // Width 10 over 8 requested shards: ceil-rounded stripes of 2 columns
+  // cover the surface with 5 stripes; the count must say 5, not 8.
+  const lat::ShardMap map(10, 8);
+  EXPECT_EQ(map.stripe_width(), 2);
+  EXPECT_EQ(map.count(), 5u);
+  EXPECT_EQ(map.shard_of({9, 0}), map.count() - 1);
+  // Every shard owns at least one column.
+  for (size_t shard = 0; shard < map.count(); ++shard) {
+    EXPECT_LT(map.first_column(shard), 10);
+  }
+}
+
+TEST(ShardMap, ClampsCountToWidth) {
+  const lat::ShardMap map(3, 16);
+  EXPECT_EQ(map.count(), 3u);
+  EXPECT_EQ(map.stripe_width(), 1);
+  EXPECT_EQ(map.shard_of({2, 0}), 2u);
+}
+
+TEST(ShardMap, SingleShardOwnsEverything) {
+  const lat::ShardMap map(64, 1);
+  EXPECT_EQ(map.count(), 1u);
+  EXPECT_EQ(map.shard_of({0, 0}), 0u);
+  EXPECT_EQ(map.shard_of({63, 9}), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded sessions: correctness and determinism
+// ---------------------------------------------------------------------------
+
+struct SessionRun {
+  core::SessionResult result;
+  std::vector<std::string> move_trace;
+  std::vector<std::vector<std::string>> event_trace;
+};
+
+SessionRun run_session(const lat::Scenario& scenario,
+                       core::SessionConfig config, size_t shards,
+                       size_t shard_threads) {
+  config.sim.shards = shards;
+  config.sim.shard_threads = shard_threads;
+  core::ReconfigurationSession session(scenario, config);
+  SessionRun run;
+  session.set_move_listener([&run](core::Epoch epoch, lat::BlockId block,
+                                   const motion::RuleApplication& app) {
+    run.move_trace.push_back(fmt("{} {} {}", epoch, block, app.describe()));
+  });
+  session.simulator().enable_event_trace();
+  run.result = session.run();
+  run.event_trace = session.simulator().event_trace();
+  return run;
+}
+
+core::SessionConfig jittery_config() {
+  core::SessionConfig config;
+  config.sim.latency = msg::LatencyModel::uniform(1, 8);
+  return config;
+}
+
+// The tentpole determinism property: for a fixed shard count, event and
+// move traces are byte-identical whether windows drain on 1 thread or many.
+TEST(ShardedDeterminism, TracesIdenticalAcrossThreadCountsTower16) {
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun serial = run_session(scenario, {}, 3, 1);
+  const SessionRun parallel = run_session(scenario, {}, 3, 4);
+  const SessionRun two = run_session(scenario, {}, 3, 2);
+
+  ASSERT_TRUE(serial.result.complete);
+  ASSERT_FALSE(serial.move_trace.empty());
+  EXPECT_EQ(serial.event_trace, parallel.event_trace);
+  EXPECT_EQ(serial.event_trace, two.event_trace);
+  EXPECT_EQ(serial.move_trace, parallel.move_trace);
+  EXPECT_EQ(serial.result.events_processed, parallel.result.events_processed);
+  EXPECT_EQ(serial.result.sim_ticks, parallel.result.sim_ticks);
+  EXPECT_EQ(serial.result.shard_events, parallel.result.shard_events);
+}
+
+TEST(ShardedDeterminism, TracesIdenticalAcrossThreadCountsFig10) {
+  const lat::Scenario scenario = lat::make_fig10_scenario();
+  const SessionRun serial = run_session(scenario, {}, 3, 1);
+  const SessionRun parallel = run_session(scenario, {}, 3, 4);
+
+  ASSERT_TRUE(serial.result.complete);
+  EXPECT_EQ(serial.event_trace, parallel.event_trace);
+  EXPECT_EQ(serial.move_trace, parallel.move_trace);
+  EXPECT_EQ(serial.result.events_processed, parallel.result.events_processed);
+}
+
+// Randomized latency exercises the per-shard RNG streams: draws must land
+// identically regardless of which OS thread executes a shard's window.
+TEST(ShardedDeterminism, JitteryLatencyStableAcrossThreads) {
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun serial = run_session(scenario, jittery_config(), 3, 1);
+  const SessionRun parallel = run_session(scenario, jittery_config(), 3, 4);
+
+  ASSERT_TRUE(serial.result.complete);
+  EXPECT_EQ(serial.event_trace, parallel.event_trace);
+  EXPECT_EQ(serial.move_trace, parallel.move_trace);
+}
+
+// A link latency longer than the motion duration must not let a window
+// straddle a motion landing: the lookahead is min(latency, motion
+// duration), so motions requested inside a window always land beyond its
+// horizon (regression: with lookahead = 20 > motion_duration = 10, shards
+// kept draining past the landing tick against the pre-move grid).
+TEST(ShardedDeterminism, SlowLinksStayBehindMotionLandings) {
+  core::SessionConfig config;
+  config.sim.latency = msg::LatencyModel::fixed(20);
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun classic = run_session(scenario, config, 1, 1);
+  const SessionRun serial = run_session(scenario, config, 3, 1);
+  const SessionRun parallel = run_session(scenario, config, 3, 4);
+
+  ASSERT_TRUE(classic.result.complete);
+  ASSERT_TRUE(serial.result.complete);
+  EXPECT_EQ(serial.event_trace, parallel.event_trace);
+  EXPECT_EQ(serial.result.hops, classic.result.hops);
+  EXPECT_EQ(serial.move_trace, classic.move_trace);
+}
+
+// shards = 1 must stay the classic engine: byte-identical to a default
+// configuration, single trace stream.
+TEST(ShardedDeterminism, SingleShardReducesToClassicSchedule) {
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun classic = run_session(scenario, {}, 1, 1);
+  const SessionRun classic_threaded = run_session(scenario, {}, 1, 8);
+
+  ASSERT_TRUE(classic.result.complete);
+  EXPECT_EQ(classic.result.shards, 1u);
+  EXPECT_TRUE(classic.result.shard_events.empty());
+  ASSERT_EQ(classic.event_trace.size(), 1u);
+  EXPECT_EQ(classic.event_trace, classic_threaded.event_trace);
+}
+
+// One-column-per-stripe sharding maximizes cross-shard traffic and makes
+// every horizontal hop a migration — the re-homing path gets no mercy.
+TEST(ShardedSession, MaximallyShardedTowerCompletes) {
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun classic = run_session(scenario, {}, 1, 1);
+  const SessionRun sharded =
+      run_session(scenario, {}, static_cast<size_t>(scenario.width), 2);
+
+  ASSERT_TRUE(sharded.result.complete);
+  EXPECT_GT(sharded.result.shards, 2u);
+  // The distributed algorithm's outcome metrics are schedule-independent.
+  EXPECT_EQ(sharded.result.hops, classic.result.hops);
+  EXPECT_EQ(sharded.result.elementary_moves, classic.result.elementary_moves);
+  EXPECT_EQ(sharded.result.path, classic.result.path);
+}
+
+// Fault-mode timers (ack_timeout) ride the shard queues; a sharded world
+// with timers must still terminate and stay thread-count deterministic.
+TEST(ShardedSession, FaultModeTimersStayDeterministic) {
+  core::SessionConfig config;
+  config.ack_timeout = 64;
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun serial = run_session(scenario, config, 3, 1);
+  const SessionRun parallel = run_session(scenario, config, 3, 3);
+
+  ASSERT_TRUE(serial.result.complete);
+  EXPECT_EQ(serial.event_trace, parallel.event_trace);
+}
+
+// Per-shard counters merge into the session totals: the by-kind map sums
+// to the scalar, and per-shard event counts sum to the processed total
+// minus the sequential (grid-mutating) steps.
+TEST(ShardedSession, PerShardCountersMergeIntoTotals) {
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun run = run_session(scenario, {}, 3, 2);
+
+  ASSERT_TRUE(run.result.complete);
+  EXPECT_EQ(run.result.shards, 3u);
+  ASSERT_EQ(run.result.shard_events.size(), 3u);
+
+  uint64_t by_kind = 0;
+  for (const auto& [kind, count] : run.result.messages_by_kind) {
+    by_kind += count;
+  }
+  EXPECT_EQ(by_kind, run.result.messages_sent);
+
+  const uint64_t shard_sum =
+      std::accumulate(run.result.shard_events.begin(),
+                      run.result.shard_events.end(), uint64_t{0});
+  EXPECT_GT(shard_sum, 0u);
+  EXPECT_LT(shard_sum, run.result.events_processed);
+  // The sequential stream holds exactly the remaining (motion) events.
+  const SessionRun retrace = run_session(scenario, {}, 3, 1);
+  ASSERT_EQ(retrace.event_trace.size(), 4u);
+  EXPECT_EQ(retrace.event_trace.back().size(),
+            retrace.result.events_processed - shard_sum);
+}
+
+// Metrics that the paper reasons about must not depend on the engine: the
+// sharded schedule may reorder same-tick events, but with fixed latency the
+// tower election is tie-free and lands the same hop sequence.
+TEST(ShardedSession, FixedLatencyMetricsMatchClassic) {
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun classic = run_session(scenario, {}, 1, 1);
+  const SessionRun sharded = run_session(scenario, {}, 4, 2);
+
+  ASSERT_TRUE(classic.result.complete);
+  ASSERT_TRUE(sharded.result.complete);
+  EXPECT_EQ(sharded.move_trace, classic.move_trace);
+  EXPECT_EQ(sharded.result.hops, classic.result.hops);
+  EXPECT_EQ(sharded.result.distance_computations,
+            classic.result.distance_computations);
+  EXPECT_EQ(sharded.result.messages_sent, classic.result.messages_sent);
+}
+
+// Re-running the same sharded configuration reproduces byte-identically
+// (fresh simulator, same seed).
+TEST(ShardedDeterminism, RerunReproducesByteIdentically) {
+  const lat::Scenario scenario = lat::make_fig10_scenario();
+  const SessionRun first = run_session(scenario, jittery_config(), 2, 2);
+  const SessionRun second = run_session(scenario, jittery_config(), 2, 2);
+  EXPECT_EQ(first.event_trace, second.event_trace);
+  EXPECT_EQ(first.move_trace, second.move_trace);
+}
+
+// ---------------------------------------------------------------------------
+// ShardWorkerPool
+// ---------------------------------------------------------------------------
+
+TEST(ShardWorkerPool, RunsEveryJobExactlyOnce) {
+  sim::ShardWorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run(64, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ShardWorkerPool, ReusableAcrossRounds) {
+  sim::ShardWorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run(5, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 250);
+}
+
+TEST(ShardWorkerPool, SingleThreadRunsInline) {
+  sim::ShardWorkerPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  int calls = 0;
+  pool.run(7, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 7);
+}
+
+}  // namespace
+}  // namespace sb

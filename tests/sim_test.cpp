@@ -111,6 +111,152 @@ INSTANTIATE_TEST_SUITE_P(AllQueues, QueueKindsTest,
                          });
 
 // ---------------------------------------------------------------------------
+// Calendar-queue ring horizon
+//
+// The bucket queue keeps a kRingSize-tick ring for the near future and
+// spills later timestamps into an ordered overflow map. The boundary —
+// events landing exactly on cursor + kRingSize — is where a push must
+// spill, and where overflow buckets must migrate back as the cursor
+// advances. Pop order must match the binary heap bit for bit either way.
+// ---------------------------------------------------------------------------
+
+TEST(BucketMapRing, PushExactlyOnHorizonSpillsAndPopsInOrder) {
+  constexpr SimTime kHorizon = BucketMapEventQueue::kRingSize;  // cursor = 0
+  BucketMapEventQueue queue;
+  std::vector<int> sink;
+  queue.push(probe(kHorizon, 2, &sink));      // first tick beyond the ring
+  queue.push(probe(kHorizon - 1, 1, &sink));  // last in-ring tick
+  queue.push(probe(kHorizon + 1, 3, &sink));  // deeper overflow
+  queue.push(probe(0, 0, &sink));
+  ASSERT_EQ(queue.size(), 4u);
+  EXPECT_EQ(label_of(queue.pop()), 0);
+  EXPECT_EQ(label_of(queue.pop()), 1);
+  // Popping t = kHorizon - 1 moved the cursor; the horizon events migrate
+  // into the ring and pop in (time, seq) order.
+  EXPECT_EQ(label_of(queue.pop()), 2);
+  EXPECT_EQ(label_of(queue.pop()), 3);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BucketMapRing, SameTickSplitAcrossRingAndOverflowKeepsSeqOrder) {
+  constexpr SimTime kHorizon = BucketMapEventQueue::kRingSize;
+  BucketMapEventQueue queue;
+  std::vector<int> sink;
+  // Same future timestamp, pushed while it is beyond the horizon...
+  queue.push(probe(kHorizon, 0, &sink));
+  queue.push(probe(kHorizon, 1, &sink));
+  // ...then the cursor advances (pop at t=1) so kHorizon enters the ring
+  // window, and two more records for the same tick land in the ring.
+  queue.push(probe(1, 99, &sink));
+  EXPECT_EQ(label_of(queue.pop()), 99);
+  queue.push(probe(kHorizon, 2, &sink));
+  queue.push(probe(kHorizon, 3, &sink));
+  for (int expected = 0; expected < 4; ++expected) {
+    const EventRecord record = queue.pop();
+    EXPECT_EQ(record.time, kHorizon);
+    EXPECT_EQ(label_of(record), expected) << "seq order broken at horizon";
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BucketMapRing, MatchesBinaryHeapAcrossHorizonBoundary) {
+  // Randomized cross-check hammering timestamps around multiples of the
+  // ring span: both queues must pop the identical (time, label) sequence.
+  constexpr SimTime kHorizon = BucketMapEventQueue::kRingSize;
+  BinaryHeapEventQueue heap;
+  BucketMapEventQueue calendar;
+  std::vector<int> sink;
+  Rng rng(0xCA1E17DA);
+  int label = 0;
+  SimTime base = 0;
+  for (int burst = 0; burst < 64; ++burst) {
+    const int pushes = static_cast<int>(rng.next_below(6)) + 1;
+    for (int i = 0; i < pushes; ++i) {
+      // Cluster around the horizon: offsets in [kHorizon - 2, kHorizon + 2].
+      const SimTime offset =
+          kHorizon - 2 + static_cast<SimTime>(rng.next_below(5));
+      heap.push(probe(base + offset, label, &sink));
+      calendar.push(probe(base + offset, label, &sink));
+      ++label;
+    }
+    const int pops = static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < pops && !heap.empty(); ++i) {
+      const EventRecord a = heap.pop();
+      const EventRecord b = calendar.pop();
+      ASSERT_EQ(a.time, b.time);
+      ASSERT_EQ(label_of(a), label_of(b));
+      base = a.time;  // simulated time advances with the pops
+    }
+  }
+  while (!heap.empty()) {
+    const EventRecord a = heap.pop();
+    const EventRecord b = calendar.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(label_of(a), label_of(b));
+  }
+  EXPECT_TRUE(calendar.empty());
+}
+
+struct ExtractProbeMsg final : msg::Message {
+  [[nodiscard]] std::string_view kind() const override { return "Extract"; }
+  [[nodiscard]] msg::MessagePtr clone() const override {
+    return std::make_unique<ExtractProbeMsg>(*this);
+  }
+};
+
+TEST_P(QueueKindsTest, ExtractForPullsTargetedEventsInOrder) {
+  auto queue = make_event_queue(GetParam());
+  const lat::BlockId mover{7};
+  const lat::BlockId other{9};
+  queue->push(EventRecord::timer(12, mover, 1));
+  queue->push(EventRecord::timer(5, other, 2));
+  queue->push(EventRecord::start(3, mover));
+  queue->push(EventRecord::delivery(
+      9, other, mover, std::make_unique<ExtractProbeMsg>(), 0));
+  queue->push(EventRecord::delivery(
+      6, mover, other, std::make_unique<ExtractProbeMsg>(),
+      0));  // mover is sender
+  // Beyond the bucket queue's ring horizon, so extraction sweeps overflow.
+  queue->push(
+      EventRecord::timer(BucketMapEventQueue::kRingSize + 40, mover, 3));
+
+  std::vector<EventRecord> extracted;
+  queue->extract_for(mover, extracted);
+  ASSERT_EQ(extracted.size(), 4u);
+  EXPECT_EQ(extracted[0].kind, EventKind::kStart);
+  EXPECT_EQ(extracted[1].time, 9u);  // delivery addressed *to* the mover
+  EXPECT_EQ(extracted[2].time, 12u);
+  EXPECT_EQ(extracted[3].time, BucketMapEventQueue::kRingSize + 40);
+
+  // Survivors: other's timer, the delivery mover sent to other.
+  EXPECT_EQ(queue->size(), 2u);
+  EXPECT_EQ(queue->pop().time, 5u);
+  EXPECT_EQ(queue->pop().time, 6u);
+  EXPECT_TRUE(queue->empty());
+}
+
+TEST_P(QueueKindsTest, ExtractForDropsEmptiedOverflowBuckets) {
+  // Regression: extracting the only record of a beyond-horizon bucket left
+  // a drained bucket behind, and the bucket queue's pop() fall-through —
+  // which trusts the earliest overflow bucket to hold a live record —
+  // migrated it into the ring and read past its end.
+  auto queue = make_event_queue(GetParam());
+  const SimTime far = BucketMapEventQueue::kRingSize + 50;
+  queue->push(EventRecord::timer(far, lat::BlockId{7}, 1));
+  queue->push(EventRecord::timer(far + 3, lat::BlockId{9}, 2));
+
+  std::vector<EventRecord> extracted;
+  queue->extract_for(lat::BlockId{7}, extracted);
+  ASSERT_EQ(extracted.size(), 1u);
+  EXPECT_EQ(extracted[0].time, far);
+
+  ASSERT_EQ(queue->peek() != nullptr, true);
+  EXPECT_EQ(queue->peek()->time, far + 3);
+  EXPECT_EQ(queue->pop().time, far + 3);
+  EXPECT_TRUE(queue->empty());
+}
+
+// ---------------------------------------------------------------------------
 // Test module
 // ---------------------------------------------------------------------------
 

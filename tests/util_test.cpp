@@ -434,6 +434,76 @@ TEST(FlatCounts, CopiesIndependently) {
   EXPECT_TRUE(counts == counts);
 }
 
+TEST(FlatCounts, MergeSumsOverlappingAndUnionsDisjointKeys) {
+  util::FlatCounts a;
+  a["Ack"] = 3;
+  a["MoveDone"] = 1;
+  util::FlatCounts b;
+  b["Ack"] = 4;
+  b["Select"] = 9;
+  a.merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.at("Ack"), 7u);
+  EXPECT_EQ(a.at("MoveDone"), 1u);
+  EXPECT_EQ(a.at("Select"), 9u);
+  // The source is untouched.
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.at("Ack"), 4u);
+  // Iteration order stays sorted after the merge inserts.
+  std::vector<std::string_view> keys;
+  for (const auto& [kind, value] : a) keys.push_back(kind);
+  EXPECT_EQ(keys,
+            (std::vector<std::string_view>{"Ack", "MoveDone", "Select"}));
+}
+
+TEST(FlatCounts, MergeWithEmptyEitherWay) {
+  util::FlatCounts counts;
+  counts["Ack"] = 2;
+  util::FlatCounts empty;
+  counts.merge(empty);  // no-op
+  EXPECT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.at("Ack"), 2u);
+  empty.merge(counts);  // adopt everything
+  EXPECT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty.at("Ack"), 2u);
+  EXPECT_TRUE(empty == counts);
+}
+
+TEST(FlatCounts, MergeMatchesKeysByContentAcrossStorage) {
+  // Per-shard maps may intern the same tag at different addresses (one
+  // literal per translation unit); merging must still land on one counter.
+  const std::string heap_key = "Activate";
+  util::FlatCounts a;
+  a[std::string_view(heap_key)] = 5;
+  util::FlatCounts b;
+  b["Activate"] = 6;
+  a.merge(b);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.at("Activate"), 11u);
+}
+
+TEST(FlatCounts, SelfMergeDoublesEveryCounter) {
+  util::FlatCounts counts;
+  counts["Ack"] = 3;
+  counts["Select"] = 5;
+  counts.merge(counts);
+  EXPECT_EQ(counts.at("Ack"), 6u);
+  EXPECT_EQ(counts.at("Select"), 10u);
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(FlatCounts, RepeatedMergeAccumulates) {
+  // The sharded simulator folds shard maps into the totals once per run();
+  // the fold must be a plain sum under repetition.
+  util::FlatCounts total;
+  for (uint64_t round = 1; round <= 4; ++round) {
+    util::FlatCounts shard;
+    shard["Ack"] = round;
+    total.merge(shard);
+  }
+  EXPECT_EQ(total.at("Ack"), 10u);
+}
+
 TEST(Pool, RecyclesFreedNodesOfTheSameClass) {
   // Under sanitizers the pool is compiled out; recycling is unobservable.
   const util::PoolCounters before = util::pool_counters();

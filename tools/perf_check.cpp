@@ -87,9 +87,9 @@ int main(int argc, char** argv) {
   }
 
   bool failed = false;
-  std::printf("%-16s %-12s %14s %14s %8s %10s  %s\n", "scenario", "ruleset",
-              "baseline ev/s", "current ev/s", "ratio", "conn fast",
-              "verdict");
+  std::printf("%-16s %-12s %6s %14s %14s %8s %10s  %s\n", "scenario",
+              "ruleset", "shards", "baseline ev/s", "current ev/s", "ratio",
+              "conn fast", "verdict");
   for (const JsonValue& group : summary->as_array()) {
     const JsonValue* scenario_v = group.find("scenario");
     const JsonValue* ruleset_v = group.find("ruleset");
@@ -110,10 +110,18 @@ int main(int argc, char** argv) {
         current_group == nullptr
             ? nullptr
             : current_group->find_path({"events_per_sec", "mean"});
+    // Shard-scaling groups (docs/BENCHMARKS.md): the shard count rides in
+    // the summary so the gate output shows which engine configuration a
+    // group measured (absent in pre-sharding reports).
+    const JsonValue* shards_v = group.find("shards");
+    char shards[8] = "-";
+    if (shards_v != nullptr) {
+      std::snprintf(shards, sizeof(shards), "%.0f", shards_v->as_number());
+    }
     if (cur_mean_v == nullptr) {
-      std::printf("%-16s %-12s %14.0f %14s %8s %10s  MISSING\n",
-                  scenario.c_str(), ruleset.c_str(), base_mean, "-", "-",
-                  "-");
+      std::printf("%-16s %-12s %6s %14.0f %14s %8s %10s  MISSING\n",
+                  scenario.c_str(), ruleset.c_str(), shards, base_mean, "-",
+                  "-", "-");
       failed = true;
       continue;
     }
@@ -128,9 +136,9 @@ int main(int argc, char** argv) {
     if (fast_v != nullptr) {
       std::snprintf(fast, sizeof(fast), "%.4f", fast_v->as_number());
     }
-    std::printf("%-16s %-12s %14.0f %14.0f %8.2f %10s  %s\n",
-                scenario.c_str(), ruleset.c_str(), base_mean, cur_mean,
-                ratio, fast, ok ? "ok" : "REGRESSED");
+    std::printf("%-16s %-12s %6s %14.0f %14.0f %8.2f %10s  %s\n",
+                scenario.c_str(), ruleset.c_str(), shards, base_mean,
+                cur_mean, ratio, fast, ok ? "ok" : "REGRESSED");
     failed |= !ok;
   }
   if (failed) {

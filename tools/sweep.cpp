@@ -4,13 +4,17 @@
 //   $ ./sweep --scenario tower16 --seeds 8 --threads 4
 //   $ ./sweep data/scenarios/fig10.surf --seeds 4 --json out.json
 //   $ ./sweep --scenario tower16,tower64 --latency uniform --json -
+//   $ ./sweep --scenario blob100000 --shards 8 --shard-threads 8 \
+//         --max-events 2000000
 //
-// Scenario names: tower<N> (the Lemma-1 tower with N blocks), fig10, or a
-// path to a .surf scenario file.
+// Scenario names are resolved by lat::resolve_scenario: tower<N>, blob<N>,
+// rect<N>, fig10, or a path to a .surf scenario file. --shards splits each
+// world into column stripes with per-stripe event queues; --shard-threads
+// drains stripe windows in parallel (traces stay byte-identical at any
+// thread count).
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -38,47 +42,6 @@ std::vector<std::string> split_csv(const std::string& text) {
     start = comma + 1;
   }
   return out;
-}
-
-/// Parses "<prefix><digits>" and returns the number, or -1 on mismatch.
-long parse_sized_name(const std::string& name, const char* prefix) {
-  const size_t len = std::strlen(prefix);
-  if (name.rfind(prefix, 0) != 0 || name.size() <= len ||
-      name.find_first_not_of("0123456789", len) != std::string::npos) {
-    return -1;
-  }
-  return std::strtol(name.c_str() + len, nullptr, 10);
-}
-
-/// Resolves a scenario name (tower<N>, blob<N>, rect<N>, fig10, or a .surf
-/// path). blob<N>/rect<N> are the giant validation-path workloads
-/// (docs/BENCHMARKS.md): up to 10^6 blocks; cap their runs with
-/// --max-events, a full reconfiguration at that scale is O(N^2) hops.
-lat::Scenario resolve_scenario(const std::string& name, uint64_t master_seed) {
-  if (const long blocks = parse_sized_name(name, "tower"); blocks >= 0) {
-    if (blocks >= 4 && blocks <= 1'000'000 && blocks % 2 == 0) {
-      return lat::make_tower_scenario(static_cast<int32_t>(blocks / 2));
-    }
-    throw std::runtime_error("tower<N> needs an even N >= 4, got '" + name +
-                             "'");
-  }
-  if (const long blocks = parse_sized_name(name, "blob"); blocks >= 0) {
-    if (blocks >= 64 && blocks <= 1'000'000) {
-      return lat::make_giant_blob_scenario(static_cast<int32_t>(blocks),
-                                           master_seed);
-    }
-    throw std::runtime_error("blob<N> needs 64 <= N <= 1000000, got '" +
-                             name + "'");
-  }
-  if (const long blocks = parse_sized_name(name, "rect"); blocks >= 0) {
-    if (blocks >= 64 && blocks <= 1'000'000) {
-      return lat::make_giant_rect_scenario(static_cast<int32_t>(blocks));
-    }
-    throw std::runtime_error("rect<N> needs 64 <= N <= 1000000, got '" +
-                             name + "'");
-  }
-  if (name == "fig10") return lat::make_fig10_scenario();
-  return lat::load_scenario(name);  // throws with a message on a bad path
 }
 
 }  // namespace
@@ -109,6 +72,11 @@ int run_sweep(int argc, char** argv) {
   cli.add_int("max-events", 0,
               "event budget per run (0 = default; giant blob/rect runs "
               "need a cap — completion is O(N^2) hops)");
+  cli.add_int("shards", 1,
+              "column-stripe shards per world (1 = classic event loop)");
+  cli.add_int("shard-threads", 1,
+              "threads draining shard windows per world (0 = hardware "
+              "concurrency; multiplies with --threads)");
   cli.add_string("json", "", "write BENCH_sim.json here ('-' = stdout)");
   cli.add_bool("trace", false, "capture per-run move traces (printed count)");
   if (!cli.parse(argc, argv)) return 1;
@@ -124,7 +92,7 @@ int run_sweep(int argc, char** argv) {
       throw std::runtime_error("empty scenario name in --scenario list");
     }
     grid.scenarios.push_back(
-        {name, resolve_scenario(name, grid.master_seed)});
+        {name, lat::resolve_scenario(name, grid.master_seed)});
   }
 
   core::SessionConfig config;
@@ -132,6 +100,17 @@ int run_sweep(int argc, char** argv) {
   if (max_events > 0) {
     config.max_events = static_cast<uint64_t>(max_events);
   }
+  const int shards = cli.get_int("shards");
+  if (shards < 1) throw std::runtime_error("--shards must be >= 1");
+  config.sim.shards = static_cast<size_t>(shards);
+  // Written onto the config directly (not via Options::shard_threads,
+  // whose 0 means "leave the spec's value") so that --shard-threads 0
+  // really selects hardware concurrency.
+  const int shard_threads = cli.get_int("shard-threads");
+  if (shard_threads < 0) {
+    throw std::runtime_error("--shard-threads must be >= 0");
+  }
+  config.sim.shard_threads = static_cast<size_t>(shard_threads);
   const std::string latency = cli.get_string("latency");
   if (latency == "uniform") {
     config.sim.latency = msg::LatencyModel::uniform(1, 8);
@@ -155,14 +134,15 @@ int run_sweep(int argc, char** argv) {
               runner.effective_threads(specs.size()));
   const runner::SweepResult result = runner.run(specs);
 
-  std::printf("%-12s %-12s %6s %10s %14s %10s %10s %10s\n", "scenario",
-              "ruleset", "runs", "completed", "events/s mean", "hops mean",
-              "moves", "conn fast");
+  std::printf("%-12s %-12s %6s %6s %10s %14s %10s %10s %10s\n", "scenario",
+              "ruleset", "shards", "runs", "completed", "events/s mean",
+              "hops mean", "moves", "conn fast");
   for (const auto& group : result.report.summarize()) {
-    std::printf("%-12s %-12s %6zu %10zu %14.0f %10.1f %10.1f %10.4f\n",
-                group.scenario.c_str(), group.ruleset.c_str(), group.runs,
-                group.completed, group.events_per_sec.mean, group.hops.mean,
-                group.elementary_moves.mean, group.conn_fast_rate.mean);
+    std::printf("%-12s %-12s %6zu %6zu %10zu %14.0f %10.1f %10.1f %10.4f\n",
+                group.scenario.c_str(), group.ruleset.c_str(), group.shards,
+                group.runs, group.completed, group.events_per_sec.mean,
+                group.hops.mean, group.elementary_moves.mean,
+                group.conn_fast_rate.mean);
   }
   if (cli.get_bool("trace")) {
     size_t moves = 0;

@@ -10,16 +10,19 @@
 //
 //   $ ./large_scale --half-height 32 --seeds 8 --threads 4 [--json out.json]
 //
-// --scenario accepts the shared lat::resolve_scenario vocabulary (tower<N>,
-// blob<N>, rect<N>, fig10, or a .surf path) and overrides --half-height.
+// The grid flags (--scenario, --seeds, --shards, --latency, ...) are the
+// shared sweep vocabulary from runner/cli_options, identical to tools/sweep;
+// --scenario overrides --half-height.
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <stdexcept>
+#include <string>
 
 #include "core/reconfig.hpp"
 #include "lattice/scenario.hpp"
+#include "runner/cli_options.hpp"
 #include "runner/sweep.hpp"
 #include "util/cli.hpp"
 #include "viz/ascii.hpp"
@@ -51,20 +54,20 @@ int run_single(const sb::lat::Scenario& scenario,
 }
 
 int run_fleet(const sb::lat::Scenario& scenario,
-              const sb::core::SessionConfig& config, size_t seeds,
-              size_t threads, uint64_t master_seed,
+              const sb::runner::SweepCliOptions& options,
               const std::string& json_path) {
   sb::runner::SweepGrid grid;
   grid.scenarios.push_back({scenario.name, scenario});
-  grid.configs.push_back({"standard", config});
-  grid.seed_count = seeds;
-  grid.master_seed = master_seed;
+  grid.configs.push_back({sb::runner::ruleset_label(options),
+                          sb::runner::make_session_config(options)});
+  grid.seed_count = options.seed_count;
+  grid.master_seed = options.master_seed;
 
-  sb::runner::SweepRunner::Options options;
-  options.threads = threads;
-  options.master_seed = master_seed;
-  options.generator = "large_scale";
-  sb::runner::SweepRunner runner(options);
+  sb::runner::SweepRunner::Options ropts;
+  ropts.threads = options.threads;
+  ropts.master_seed = options.master_seed;
+  ropts.generator = "large_scale";
+  sb::runner::SweepRunner runner(ropts);
 
   const auto specs = sb::runner::expand(grid);
   std::printf("fleet: %zu runs of '%s' (N = %zu) on %zu threads\n",
@@ -89,66 +92,60 @@ int run_fleet(const sb::lat::Scenario& scenario,
   return completed == result.runs.size() ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_large_scale(int argc, char** argv) {
   sb::CliParser cli("large-surface reconfiguration");
+  // Shared sweep grid vocabulary (runner/cli_options), with this example's
+  // defaults: no scenario (--half-height builds a tower) and --seeds 0
+  // meaning single-run mode rather than a fleet.
+  sb::runner::SweepCliOptions defaults;
+  defaults.seed_count = 0;
+  sb::runner::add_sweep_flags(cli, defaults);
   cli.add_int("half-height", 32,
-              "tower half-height k (N = 2k blocks, path of 2k-1 cells)");
-  cli.add_string("scenario", "",
-                 "scenario name (tower<N>, blob<N>, rect<N>, fig10, or a "
-                 ".surf path); overrides --half-height");
-  cli.add_int("shards", 1,
-              "column-stripe shards per world (1 = classic event loop)");
-  cli.add_int("shard-threads", 1,
-              "threads draining shard windows (0 = hardware concurrency)");
-  cli.add_int("max-events", 0, "event budget (0 = session default)");
+              "tower half-height k (N = 2k blocks, path of 2k-1 cells); "
+              "--scenario overrides");
   cli.add_bool("quiet", false, "skip the final ASCII rendering");
-  cli.add_int("seeds", 0,
-              "fleet mode: run this many forked seeds on the sweep harness");
-  cli.add_int("threads", 0, "fleet mode: worker threads (0 = hardware)");
-  cli.add_string("master-seed", "0x5eed", "fleet mode: master seed");
   cli.add_string("json", "", "fleet mode: write BENCH_sim.json here");
   if (!cli.parse(argc, argv)) return 1;
 
-  uint64_t master_seed = 0;
-  try {
-    master_seed = sb::util::parse_u64(cli.get_string("master-seed"));
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "large_scale: bad --master-seed '%s'\n",
-                 cli.get_string("master-seed").c_str());
-    return 1;
-  }
+  // Shared parsing/validation; --seeds 0 selects single-run mode here
+  // (tools/sweep requires >= 1).
+  const sb::runner::SweepCliOptions options =
+      sb::runner::parse_sweep_flags(cli, /*min_seeds=*/0);
+  const bool fleet = options.seed_count != 0;
 
   sb::lat::Scenario scenario;
-  const std::string name = cli.get_string("scenario");
-  try {
-    scenario = name.empty()
-                   ? sb::lat::make_tower_scenario(
-                         static_cast<int32_t>(cli.get_int("half-height")))
-                   : sb::lat::resolve_scenario(name, master_seed);
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "large_scale: %s\n", error.what());
-    return 1;
+  if (options.scenarios.empty()) {
+    scenario = sb::lat::make_tower_scenario(
+        static_cast<int32_t>(cli.get_int("half-height")));
+  } else if (options.scenarios.size() > 1) {
+    // Refuse rather than silently run only the first one; multi-scenario
+    // grids are tools/sweep territory.
+    throw std::runtime_error(
+        "large_scale runs a single scenario; use tools/sweep for "
+        "multi-scenario grids");
+  } else {
+    scenario =
+        sb::lat::resolve_scenario(options.scenarios.front(),
+                                  options.master_seed);
   }
   std::printf("N = %zu blocks, shortest path of %d cells\n",
               scenario.block_count(),
               sb::lat::shortest_path_cells(scenario.input, scenario.output));
 
-  sb::core::SessionConfig config;
-  config.sim.shards =
-      static_cast<size_t>(std::max<int64_t>(1, cli.get_int("shards")));
-  config.sim.shard_threads =
-      static_cast<size_t>(std::max<int64_t>(0, cli.get_int("shard-threads")));
-  if (cli.get_int("max-events") > 0) {
-    config.max_events = static_cast<uint64_t>(cli.get_int("max-events"));
+  if (fleet) {
+    return run_fleet(scenario, options, cli.get_string("json"));
   }
+  return run_single(scenario, sb::runner::make_session_config(options),
+                    cli.get_bool("quiet"));
+}
 
-  const auto seeds = static_cast<size_t>(cli.get_int("seeds"));
-  if (seeds > 0) {
-    return run_fleet(scenario, config, seeds,
-                     static_cast<size_t>(cli.get_int("threads")), master_seed,
-                     cli.get_string("json"));
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_large_scale(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "large_scale: %s\n", error.what());
+    return 1;
   }
-  return run_single(scenario, config, cli.get_bool("quiet"));
 }

@@ -1,0 +1,378 @@
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "dist/protocol.hpp"
+#include "dist/socket.hpp"
+#include "runner/merge.hpp"
+#include "runner/sweep.hpp"
+#include "util/fmt.hpp"
+
+namespace sb::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+struct Coordinator::Impl {
+  runner::SweepCliOptions grid_options;
+  Options options;
+  Listener listener;
+  size_t spec_count = 0;
+
+  // All coordination state lives under one mutex; handler threads are
+  // blocked either in recv (their own socket) or on this cv.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<WorkUnit> pending;
+  struct InFlight {
+    WorkUnit unit;
+    uint64_t conn_id = 0;
+    Clock::time_point deadline;
+  };
+  std::vector<InFlight> in_flight;
+  runner::ResultMerger merger{0};
+  bool done = false;
+  uint64_t next_conn_id = 1;
+
+  std::vector<std::thread> handlers;
+
+  Impl(runner::SweepCliOptions grid, Options opts)
+      : grid_options(std::move(grid)),
+        options(opts),
+        listener(opts.bind_address, opts.port) {}
+
+  void log(const std::string& line) const {
+    if (options.verbose) {
+      std::fprintf(stderr, "sweep dist: %s\n", line.c_str());
+    }
+  }
+
+  // --- state transitions (callers hold `mu`) ------------------------------
+
+  /// The unit the coordinator's own partition assigns to `id` (units are
+  /// contiguous unit_size slices; the last one is short).
+  [[nodiscard]] WorkUnit partition_unit(size_t id) const {
+    const size_t unit_size = std::max<size_t>(1, options.unit_size);
+    const size_t begin = id * unit_size;
+    return {id, begin, std::min(spec_count, begin + unit_size)};
+  }
+
+  /// Puts a unit back up for grabs unless its rows already merged. Only
+  /// units of the coordinator's own partition qualify — a unit echoed back
+  /// by a confused worker must not be able to poison the pending queue.
+  void requeue_locked(const WorkUnit& unit, const char* why) {
+    if (unit.begin >= spec_count || unit != partition_unit(unit.id)) {
+      log(fmt("dropped bogus unit {} [{}, {}) instead of requeueing ({})",
+              unit.id, unit.begin, unit.end, why));
+      return;
+    }
+    if (merger.has(unit.begin)) return;
+    pending.push_back(unit);
+    log(fmt("unit {} [{}, {}) requeued ({})", unit.id, unit.begin, unit.end,
+            why));
+  }
+
+  /// Drops every in-flight entry owned by `conn_id`, requeueing the units.
+  void abandon_connection_locked(uint64_t conn_id, const char* why) {
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      if (it->conn_id == conn_id) {
+        requeue_locked(it->unit, why);
+        it = in_flight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    cv.notify_all();
+  }
+
+  void merge_result_locked(const Message& message, uint64_t conn_id) {
+    const WorkUnit& unit = message.unit;
+    using Accept = runner::ResultMerger::Accept;
+    Accept accept = Accept::kInvalid;
+    if (message.rows.size() == unit.size()) {
+      accept = merger.accept(unit.begin, message.rows);
+    }
+    // Whatever the verdict, this connection no longer owns the unit; a
+    // merged or duplicate unit must also leave the pending queue (it can
+    // sit there when a slow original reports after a timeout requeue).
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      if (it->unit.id == unit.id && it->conn_id == conn_id) {
+        it = in_flight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (accept == Accept::kInvalid) {
+      log(fmt("dropped malformed result for unit {} from connection {}",
+              unit.id, conn_id));
+      requeue_locked(unit, "malformed result");
+    } else if (accept == Accept::kDuplicate) {
+      log(fmt("dropped duplicate result for unit {} from connection {}",
+              unit.id, conn_id));
+    }
+    if (merger.complete()) done = true;
+    cv.notify_all();
+  }
+
+  // --- threads ------------------------------------------------------------
+
+  void handle_connection(Socket socket, uint64_t conn_id) {
+    try {
+      serve_connection(socket, conn_id);
+    } catch (const std::exception& error) {
+      log(fmt("connection {} failed: {}", conn_id, error.what()));
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    abandon_connection_locked(conn_id, "worker died");
+    cv.notify_all();
+  }
+
+  void serve_connection(Socket& socket, uint64_t conn_id) {
+    // Handshake: hello (version-checked by decode), then the job.
+    const RecvResult hello = socket.recv_frame(options.worker_silence_ms);
+    if (hello.status != RecvStatus::kFrame ||
+        decode(hello.payload).type != MsgType::kHello) {
+      throw std::runtime_error("worker did not say hello");
+    }
+    socket.send_frame(
+        encode(Message::job(grid_options, spec_count)));
+
+    bool sent_stop = false;
+    // Once the sweep finishes, the connection gets stop plus an absolute
+    // wind-down deadline — absolute so that a straggler still heartbeating
+    // (or streaming stale duplicate results) cannot keep run() hostage.
+    std::optional<Clock::time_point> linger_deadline;
+    for (;;) {
+      const bool finished = [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        return done;
+      }();
+      if (finished && !sent_stop) {
+        // Proactive stop: a worker grinding a stale (already reassigned
+        // and merged) unit reads it right after reporting, instead of
+        // pulling into a dead sweep.
+        socket.send_frame(encode(Message::stop()));
+        sent_stop = true;
+        linger_deadline =
+            Clock::now() + std::chrono::milliseconds(options.stop_linger_ms);
+      }
+      int timeout_ms = options.worker_silence_ms;
+      if (linger_deadline.has_value()) {
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(*linger_deadline - Clock::now());
+        if (remaining.count() <= 0) return;  // cut the straggler off
+        timeout_ms = static_cast<int>(remaining.count()) + 1;
+      }
+      // Worker silence beyond the budget means dead (a healthy worker
+      // heartbeats far more often than this, even while executing).
+      const RecvResult frame = socket.recv_frame(timeout_ms);
+      if (frame.status == RecvStatus::kTimeout) {
+        if (linger_deadline.has_value()) return;  // linger expired
+        throw std::runtime_error("worker went silent");
+      }
+      if (frame.status == RecvStatus::kClosed) return;  // orderly exit
+      const Message message = decode(frame.payload);
+      switch (message.type) {
+        case MsgType::kHeartbeat:
+          break;  // liveness only — the recv timeout just reset
+        case MsgType::kResult: {
+          std::lock_guard<std::mutex> lock(mu);
+          merge_result_locked(message, conn_id);
+          break;
+        }
+        case MsgType::kPull: {
+          const std::optional<WorkUnit> unit = claim_unit(conn_id);
+          if (!unit.has_value()) {
+            // Sweep finished while this worker waited; tell it to stop
+            // (unless the proactive stop above already did) and keep
+            // looping — the next recv sees its close within the linger.
+            if (!sent_stop) {
+              socket.send_frame(encode(Message::stop()));
+              sent_stop = true;
+            }
+            break;
+          }
+          try {
+            socket.send_frame(encode(Message::make_unit(*unit)));
+          } catch (...) {
+            // The worker died between pulling and receiving; hand the
+            // unit on.
+            std::lock_guard<std::mutex> lock(mu);
+            abandon_connection_locked(conn_id, "send failed");
+            throw;
+          }
+          break;
+        }
+        default:
+          throw std::runtime_error(fmt("unexpected '{}' message",
+                                       to_string(message.type)));
+      }
+    }
+  }
+
+  /// Claims the next unit for one pull: blocks until a unit frees up, or
+  /// returns nullopt once the sweep is done.
+  std::optional<WorkUnit> claim_unit(uint64_t conn_id) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      // Skip pending copies whose rows arrived while they waited.
+      while (!pending.empty() && merger.has(pending.front().begin)) {
+        pending.pop_front();
+      }
+      if (done || !pending.empty()) break;
+      cv.wait(lock);
+    }
+    if (done) return std::nullopt;
+    const WorkUnit unit = pending.front();
+    pending.pop_front();
+    in_flight.push_back(
+        {unit, conn_id,
+         Clock::now() + std::chrono::milliseconds(options.unit_timeout_ms)});
+    return unit;
+  }
+
+  void accept_loop() {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (done) return;
+      }
+      std::optional<Socket> socket;
+      try {
+        socket = listener.accept(options.tick_ms);
+      } catch (const std::exception& error) {
+        // Transient accept failures (EMFILE under a huge fleet, ...) must
+        // degrade to a refused connection, not a dead coordinator.
+        log(fmt("accept failed, retrying: {}", error.what()));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.tick_ms));
+        continue;
+      }
+      if (!socket.has_value()) continue;
+      std::lock_guard<std::mutex> lock(mu);
+      const uint64_t conn_id = next_conn_id++;
+      log(fmt("worker connected (connection {})", conn_id));
+      handlers.emplace_back(
+          [this, conn_id, sock = std::move(*socket)]() mutable {
+            handle_connection(std::move(sock), conn_id);
+          });
+    }
+  }
+
+  void monitor_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!done) {
+      cv.wait_for(lock, std::chrono::milliseconds(options.tick_ms));
+      if (done) return;
+      const Clock::time_point now = Clock::now();
+      for (auto it = in_flight.begin(); it != in_flight.end();) {
+        if (it->deadline <= now) {
+          requeue_locked(it->unit, "unit timeout");
+          it = in_flight.erase(it);
+          cv.notify_all();
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  std::vector<runner::RunRow> run() {
+    {
+      // Partition the grid into contiguous units.
+      std::lock_guard<std::mutex> lock(mu);
+      merger = runner::ResultMerger(spec_count);
+      pending.clear();
+      const size_t unit_size = std::max<size_t>(1, options.unit_size);
+      for (size_t id = 0; id * unit_size < spec_count; ++id) {
+        pending.push_back(partition_unit(id));
+      }
+      done = merger.complete();  // degenerate empty grid
+    }
+
+    std::thread acceptor([this] { accept_loop(); });
+    std::thread monitor([this] { monitor_loop(); });
+
+    const bool bounded = options.total_timeout_ms > 0;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(options.total_timeout_ms);
+    bool expired = false;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      while (!done) {
+        if (bounded) {
+          if (cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+              !done) {
+            expired = true;
+            done = true;  // unblock every thread; workers get stop
+            break;
+          }
+        } else {
+          cv.wait(lock);
+        }
+      }
+      cv.notify_all();
+    }
+
+    acceptor.join();
+    monitor.join();
+    // Handler threads wind down once their worker closes (stop was or will
+    // be sent on its next pull) or goes silent past the unit timeout.
+    for (;;) {
+      std::vector<std::thread> batch;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        batch.swap(handlers);
+      }
+      if (batch.empty()) break;
+      for (std::thread& handler : batch) handler.join();
+    }
+
+    if (expired) {
+      std::lock_guard<std::mutex> lock(mu);
+      throw std::runtime_error(
+          fmt("distributed sweep timed out after {} ms with {}/{} runs "
+              "merged",
+              options.total_timeout_ms, merger.merged(), merger.total()));
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    return merger.take_rows();
+  }
+};
+
+Coordinator::Coordinator(runner::SweepCliOptions grid_options,
+                         Options options)
+    : impl_(std::make_unique<Impl>(std::move(grid_options), options)) {
+  // Resolving the grid here (not in run) validates it before any worker is
+  // spawned and pins the spec count announced in job messages. The count is
+  // computed from the grid dimensions rather than a full expand(): the
+  // coordinator never executes a run, and expand() would copy each scenario
+  // (up to 10^6 blocks) into every one of its specs just to be counted.
+  const runner::SweepGrid grid =
+      runner::make_sweep_grid(impl_->grid_options);
+  const size_t seeds =
+      grid.seeds.empty() ? grid.seed_count : grid.seeds.size();
+  impl_->spec_count = grid.scenarios.size() *
+                      std::max<size_t>(1, grid.configs.size()) * seeds;
+}
+
+Coordinator::~Coordinator() = default;
+
+uint16_t Coordinator::port() const { return impl_->listener.port(); }
+
+size_t Coordinator::spec_count() const { return impl_->spec_count; }
+
+std::vector<runner::RunRow> Coordinator::run() { return impl_->run(); }
+
+}  // namespace sb::dist

@@ -1,0 +1,81 @@
+#pragma once
+// Distributed sweep coordinator: partitions the expanded spec list into
+// contiguous work units and serves them to a fleet of workers over the
+// dist protocol, merging RunRow batches at most once per unit.
+//
+// Dispatch is pull-based — a worker that finishes early simply pulls the
+// next unit, so fast workers steal more of the grid with no static
+// partition. Fault model: a worker can die (connection drop) or stall
+// (heartbeats stop) at any time; its in-flight units are requeued and
+// reassigned. Because run execution is deterministic, a unit executed twice
+// yields byte-identical rows and the first merged batch wins, so the merged
+// report is independent of worker count, arrival order, deaths, and
+// reassignments (see docs/ARCHITECTURE.md "Distributed sweep backend").
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/cli_options.hpp"
+#include "runner/report.hpp"
+
+namespace sb::dist {
+
+class Coordinator {
+ public:
+  struct Options {
+    /// Listener address; keep the loopback default unless remote workers
+    /// need to reach the coordinator (then bind 0.0.0.0).
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port (read it back via port()).
+    uint16_t port = 0;
+    /// Specs per work unit. 1 maximizes stealing granularity; raise it to
+    /// amortize protocol overhead on grids of tiny runs.
+    size_t unit_size = 1;
+    /// Hard per-unit deadline, measured from assignment and deliberately
+    /// NOT refreshed by heartbeats: a live worker stuck on a unit is
+    /// indistinguishable from a slow one, so after this long the unit is
+    /// handed to another worker as well (the at-most-once merge makes the
+    /// duplicate execution harmless). Set it above the worst-case runtime
+    /// of one unit.
+    int unit_timeout_ms = 600000;
+    /// A connection that sends nothing (heartbeats included) for this long
+    /// is declared dead and its in-flight units are requeued immediately.
+    /// Workers heartbeat every second by default, so this is generous.
+    int worker_silence_ms = 15000;
+    /// Accept-loop and timeout-monitor poll granularity.
+    int tick_ms = 100;
+    /// Once every spec is merged, connections get a stop message and this
+    /// long to wind down; a worker still grinding a stale (reassigned and
+    /// already-merged) unit is then cut off so run() returns promptly.
+    int stop_linger_ms = 2000;
+    /// Hard deadline for the whole sweep; 0 = none. Guards CI against a
+    /// wedged fleet — run() throws when it expires.
+    int total_timeout_ms = 0;
+    /// Progress chatter (worker arrivals, deaths, reassignments) on stderr.
+    bool verbose = false;
+  };
+
+  /// Binds the listener immediately (so port() is valid and workers may
+  /// start connecting) but serves only once run() is called. `options`
+  /// describes the grid; the coordinator expands it itself and announces
+  /// the spec count to workers as a cross-check.
+  Coordinator(runner::SweepCliOptions grid_options, Options options);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  [[nodiscard]] uint16_t port() const;
+  [[nodiscard]] size_t spec_count() const;
+
+  /// Serves workers until every spec is merged; returns the rows in spec
+  /// order. Throws std::runtime_error if total_timeout_ms expires first.
+  [[nodiscard]] std::vector<runner::RunRow> run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sb::dist

@@ -1,0 +1,87 @@
+#pragma once
+// Wire protocol of the distributed sweep backend.
+//
+// Coordinator and workers exchange JSON messages inside the length-prefixed
+// frames of dist/socket.hpp. The conversation is pull-based:
+//
+//   worker                         coordinator
+//   ------                         -----------
+//   hello{version}          ->
+//                           <-     job{options, spec_count}
+//   pull{}                  ->
+//                           <-     unit{id, begin, end}   (spec range)
+//   heartbeat{}             ->                            (while executing)
+//   result{id, begin, rows} ->
+//   pull{}                  ->
+//                           <-     ...more units... | stop{}
+//
+// The job message carries the runner::SweepCliOptions grid description; the
+// worker re-materializes the identical RunSpec list locally (seed forking is
+// index-keyed), so only option structs and result rows ever cross the wire —
+// never scenarios or traces. Unknown message types and version mismatches
+// are protocol errors (encode/decode throw std::runtime_error).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/cli_options.hpp"
+#include "runner/report.hpp"
+
+namespace sb::dist {
+
+/// Bumped on any incompatible message or semantics change; hello carries it
+/// and the coordinator refuses mismatched workers.
+inline constexpr int kProtocolVersion = 1;
+
+enum class MsgType { kHello, kJob, kPull, kUnit, kResult, kHeartbeat, kStop };
+
+[[nodiscard]] std::string_view to_string(MsgType type);
+
+/// One contiguous slice [begin, end) of the expanded spec list. `id` is the
+/// unit's index in the coordinator's partition — the key of the at-most-once
+/// result merge.
+struct WorkUnit {
+  size_t id = 0;
+  size_t begin = 0;
+  size_t end = 0;
+
+  [[nodiscard]] size_t size() const { return end - begin; }
+  bool operator==(const WorkUnit&) const = default;
+};
+
+/// A decoded protocol message (tagged union kept flat for simplicity; only
+/// the fields of the active `type` are meaningful).
+struct Message {
+  MsgType type = MsgType::kPull;
+  // kHello
+  int version = kProtocolVersion;
+  uint64_t worker_pid = 0;
+  // kJob
+  runner::SweepCliOptions options;
+  size_t spec_count = 0;
+  // kUnit / kResult
+  WorkUnit unit;
+  // kResult
+  std::vector<runner::RunRow> rows;
+
+  [[nodiscard]] static Message hello(uint64_t pid);
+  [[nodiscard]] static Message job(runner::SweepCliOptions options,
+                                   size_t spec_count);
+  [[nodiscard]] static Message pull();
+  [[nodiscard]] static Message make_unit(WorkUnit unit);
+  [[nodiscard]] static Message result(WorkUnit unit,
+                                      std::vector<runner::RunRow> rows);
+  [[nodiscard]] static Message heartbeat();
+  [[nodiscard]] static Message stop();
+};
+
+/// Serializes to the JSON frame payload.
+[[nodiscard]] std::string encode(const Message& message);
+
+/// Parses a frame payload. Throws std::runtime_error on malformed JSON,
+/// unknown types, missing fields, or a version other than kProtocolVersion
+/// in a hello.
+[[nodiscard]] Message decode(const std::string& payload);
+
+}  // namespace sb::dist

@@ -1,0 +1,238 @@
+#include "dist/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/fmt.hpp"
+
+namespace sb::dist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Blocks until the fd is readable; false on timeout (timeout_ms >= 0).
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+/// A peer may die (or be SIGSTOP'd) between the bytes of one frame; a frame
+/// that started must finish within this long per chunk or the connection is
+/// declared dead — otherwise a mid-frame stall would block the receiving
+/// thread forever, invisible to the silence-based death detection.
+constexpr int kMidFrameTimeoutMs = 30000;
+
+/// Reads exactly `len` bytes; false on orderly EOF or connection error
+/// before the first byte, throws if the stream dies or stalls mid-object.
+bool read_exact(int fd, void* data, size_t len, bool throw_on_eof) {
+  auto* bytes = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    if (!wait_readable(fd, kMidFrameTimeoutMs)) {
+      throw std::runtime_error("connection stalled mid-frame");
+    }
+    const ssize_t n = ::recv(fd, bytes + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // n == 0 is orderly EOF, n < 0 a connection error.
+    if (got == 0 && !throw_on_eof) return false;
+    throw std::runtime_error("connection died mid-frame");
+  }
+  return true;
+}
+
+uint32_t load_le32(const unsigned char* b) {
+  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 |
+         static_cast<uint32_t>(b[3]) << 24;
+}
+
+void store_le32(unsigned char* b, uint32_t v) {
+  b[0] = static_cast<unsigned char>(v);
+  b[1] = static_cast<unsigned char>(v >> 8);
+  b[2] = static_cast<unsigned char>(v >> 16);
+  b[3] = static_cast<unsigned char>(v >> 24);
+}
+
+sockaddr_in resolve(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return addr;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &info);
+  if (rc != 0 || info == nullptr) {
+    throw std::runtime_error("cannot resolve host '" + host +
+                             "': " + ::gai_strerror(rc));
+  }
+  addr.sin_addr =
+      reinterpret_cast<const sockaddr_in*>(info->ai_addr)->sin_addr;
+  ::freeaddrinfo(info);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_to(const std::string& host, uint16_t port,
+                          int timeout_ms, int retry_ms) {
+  const sockaddr_in addr = resolve(host, port);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    // CLOEXEC everywhere: the sweep front end fork/execs worker fleets,
+    // which must not inherit coordinator fds (an orphaned worker holding a
+    // duplicate of the listener would pin the port in LISTEN forever).
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    const int saved_errno = errno;
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      errno = saved_errno;
+      throw_errno(fmt("cannot connect to {}:{}", host, port));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+  }
+}
+
+void Socket::send_frame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::runtime_error(
+        fmt("frame payload of {} bytes exceeds the {} byte cap",
+            payload.size(), kMaxFramePayload));
+  }
+  unsigned char prefix[4];
+  store_le32(prefix, static_cast<uint32_t>(payload.size()));
+  std::string wire(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  wire.append(payload);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+RecvResult Socket::recv_frame(int timeout_ms) {
+  // The idle wait before a frame starts honors the caller's timeout
+  // (negative = forever, e.g. a worker waiting for its next unit); once the
+  // first byte is in, read_exact's mid-frame timeout takes over.
+  if (!wait_readable(fd_, timeout_ms)) {
+    return {RecvStatus::kTimeout, {}};
+  }
+  unsigned char prefix[4];
+  if (!read_exact(fd_, prefix, sizeof(prefix), /*throw_on_eof=*/false)) {
+    return {RecvStatus::kClosed, {}};
+  }
+  const uint32_t len = load_le32(prefix);
+  if (len > kMaxFramePayload) {
+    throw std::runtime_error(
+        fmt("corrupt frame: {} byte payload exceeds the {} byte cap", len,
+            kMaxFramePayload));
+  }
+  RecvResult result{RecvStatus::kFrame, std::string(len, '\0')};
+  if (len > 0) read_exact(fd_, result.payload.data(), len, true);
+  return result;
+}
+
+Listener::Listener(const std::string& bind_address, uint16_t port,
+                   int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = resolve(bind_address, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string what =
+        fmt("cannot bind {}:{}", bind_address, port);
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno(what);
+  }
+  if (::listen(fd_, backlog) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  if (!wait_readable(fd_, timeout_ms)) return std::nullopt;
+  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
+    throw_errno("accept");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+}  // namespace sb::dist

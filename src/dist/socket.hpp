@@ -1,0 +1,95 @@
+#pragma once
+// Minimal TCP socket layer for the distributed sweep backend.
+//
+// The dist protocol exchanges length-prefixed frames (a 4-byte little-endian
+// payload length followed by that many payload bytes — JSON text in
+// practice, see dist/protocol.hpp). This header wraps the POSIX socket
+// calls in RAII types with poll-based timeouts; connection failures and
+// protocol-level corruption surface as std::runtime_error, while timeouts
+// and orderly shutdown are in-band results so callers can distinguish "slow"
+// from "dead".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sb::dist {
+
+/// Frames larger than this abort the connection — no legitimate dist
+/// message approaches it, so a corrupt length prefix fails fast instead of
+/// provoking a giant allocation.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Outcome of a receive attempt.
+enum class RecvStatus {
+  kFrame,    ///< a complete frame arrived
+  kTimeout,  ///< nothing arrived within the deadline; socket still healthy
+  kClosed,   ///< orderly EOF or connection error; socket is dead
+};
+
+struct RecvResult {
+  RecvStatus status = RecvStatus::kClosed;
+  std::string payload;  ///< valid when status == kFrame
+};
+
+/// A connected stream socket (movable, closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port, retrying on refusal every `retry_ms` until
+  /// `timeout_ms` elapses (workers often start before the coordinator's
+  /// listener is up). Throws std::runtime_error when the deadline passes.
+  [[nodiscard]] static Socket connect_to(const std::string& host,
+                                         uint16_t port, int timeout_ms = 5000,
+                                         int retry_ms = 50);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Writes one length-prefixed frame; blocks until fully sent. Throws
+  /// std::runtime_error if the peer is gone (never raises SIGPIPE). Not
+  /// thread-safe — callers with concurrent senders (the worker's heartbeat
+  /// thread) serialize with their own mutex.
+  void send_frame(std::string_view payload);
+
+  /// Reads one frame, waiting up to `timeout_ms` (< 0 = forever) for data.
+  /// The timeout guards the idle gap before a frame starts; once a length
+  /// prefix arrives the body is read to completion. Corrupt prefixes throw.
+  [[nodiscard]] RecvResult recv_frame(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to `bind_address`:`port` (port 0 picks an
+/// ephemeral port, reported by port()).
+class Listener {
+ public:
+  Listener(const std::string& bind_address, uint16_t port, int backlog = 64);
+  ~Listener() { close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+  void close();
+
+  /// Accepts one connection, waiting up to `timeout_ms`; nullopt on
+  /// timeout. Accept loops poll with a finite timeout and check their own
+  /// stop flag between calls (no cross-thread close — fds are owned by one
+  /// thread).
+  [[nodiscard]] std::optional<Socket> accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace sb::dist

@@ -1,0 +1,97 @@
+#include "dist/spawn.hpp"
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace sb::dist {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace
+
+std::string default_worker_binary() {
+  if (const char* override_path = std::getenv("SB_SWEEP_WORKER_BIN")) {
+    if (file_exists(override_path)) return override_path;
+    throw std::runtime_error(fmt(
+        "SB_SWEEP_WORKER_BIN points at '{}', which does not exist",
+        override_path));
+  }
+  char self[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (len > 0) {
+    self[len] = '\0';
+    std::string dir(self);
+    const size_t slash = dir.rfind('/');
+    dir.resize(slash == std::string::npos ? 0 : slash + 1);
+    const std::string candidate = dir + "sweep_worker";
+    if (file_exists(candidate)) return candidate;
+  }
+  throw std::runtime_error(
+      "cannot locate the sweep_worker binary next to this executable "
+      "(set SB_SWEEP_WORKER_BIN)");
+}
+
+std::vector<WorkerProcess> spawn_worker_fleet(
+    const std::string& worker_binary, const std::string& host, uint16_t port,
+    size_t count, long fault_after_units, bool verbose) {
+  if (!file_exists(worker_binary)) {
+    throw std::runtime_error(
+        fmt("worker binary '{}' does not exist", worker_binary));
+  }
+  const std::string connect = fmt("{}:{}", host, port);
+  std::vector<WorkerProcess> fleet;
+  fleet.reserve(count);
+  for (size_t index = 0; index < count; ++index) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw std::runtime_error(fmt("fork failed after {} workers: {}",
+                                   fleet.size(), std::strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child. Only async-signal-safe-ish work until exec; the parent is
+      // still single-threaded here so setenv is fine.
+      if (index == 0 && fault_after_units >= 0) {
+        ::setenv(kWorkerFaultEnv, std::to_string(fault_after_units).c_str(),
+                 1);
+      }
+      const char* argv[] = {worker_binary.c_str(), "--connect",
+                            connect.c_str(),
+                            verbose ? "--verbose" : nullptr, nullptr};
+      ::execv(worker_binary.c_str(), const_cast<char* const*>(argv));
+      std::fprintf(stderr, "exec '%s' failed: %s\n", worker_binary.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    fleet.push_back({pid});
+  }
+  return fleet;
+}
+
+int reap_worker(const WorkerProcess& worker) {
+  int status = 0;
+  for (;;) {
+    const pid_t rc = ::waitpid(worker.pid, &status, 0);
+    if (rc == worker.pid) break;
+    if (rc < 0 && errno == EINTR) continue;
+    return 127;
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 127;
+}
+
+}  // namespace sb::dist

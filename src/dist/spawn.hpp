@@ -1,0 +1,50 @@
+#pragma once
+// Subprocess worker fleets for `sweep --backend dist --workers N`.
+//
+// The front end forks/execs N copies of the sweep_worker binary pointed at
+// the coordinator's port, then reaps them after the sweep. Spawning happens
+// while the process is still single-threaded (before Coordinator::run
+// starts its service threads) — fork in a threaded process is a minefield.
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sb::dist {
+
+/// Environment variable read by sweep_worker: after completing this many
+/// units, abandon the next one and drop the connection (Worker::Options::
+/// abandon_after_units). The CI dist-smoke job sets it on one worker of the
+/// fleet to prove unit reassignment.
+inline constexpr char kWorkerFaultEnv[] = "SB_SWEEP_WORKER_FAULT_AFTER";
+
+/// Environment variable read by the sweep front end: when set (to a unit
+/// count), worker 0 of the auto-spawned fleet is launched with
+/// kWorkerFaultEnv so it dies mid-sweep.
+inline constexpr char kFleetFaultEnv[] = "SB_SWEEP_FAULT_WORKER_AFTER";
+
+struct WorkerProcess {
+  pid_t pid = -1;
+};
+
+/// Path of the sweep_worker binary expected to sit next to the running
+/// executable (overridable via SB_SWEEP_WORKER_BIN for tests). Throws when
+/// neither resolves to an existing file.
+[[nodiscard]] std::string default_worker_binary();
+
+/// Forks/execs `count` workers connecting to host:port. When
+/// `fault_after_units` >= 0, worker 0 gets kWorkerFaultEnv=<value> and will
+/// die mid-sweep. Throws on fork failure (already-spawned workers are left
+/// running; they exit once the coordinator stops serving).
+[[nodiscard]] std::vector<WorkerProcess> spawn_worker_fleet(
+    const std::string& worker_binary, const std::string& host, uint16_t port,
+    size_t count, long fault_after_units = -1, bool verbose = false);
+
+/// Blocks until the worker exits; returns its exit code (or 128+signal when
+/// killed). Worker::kExitFault marks an intentional fault-injection death.
+[[nodiscard]] int reap_worker(const WorkerProcess& worker);
+
+}  // namespace sb::dist

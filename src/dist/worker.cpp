@@ -1,0 +1,168 @@
+#include "dist/worker.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "dist/socket.hpp"
+#include "runner/sweep.hpp"
+#include "util/fmt.hpp"
+
+namespace sb::dist {
+
+namespace {
+
+/// Serializes sends from the main loop and the heartbeat thread onto one
+/// socket. Heartbeat failures are swallowed — the main loop will hit the
+/// dead socket itself and report properly.
+class SharedSender {
+ public:
+  explicit SharedSender(Socket& socket) : socket_(socket) {}
+
+  void send(const Message& message) {
+    const std::string payload = encode(message);
+    std::lock_guard<std::mutex> lock(mu_);
+    socket_.send_frame(payload);
+  }
+
+  bool try_send(const Message& message) {
+    try {
+      send(message);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+ private:
+  Socket& socket_;
+  std::mutex mu_;
+};
+
+}  // namespace
+
+Worker::Worker(Options options) : options_(std::move(options)) {}
+
+int Worker::run() {
+  const auto log = [&](const std::string& line) {
+    if (options_.verbose) {
+      std::fprintf(stderr, "sweep_worker[%d]: %s\n",
+                   static_cast<int>(::getpid()), line.c_str());
+    }
+  };
+
+  Socket socket = Socket::connect_to(options_.host, options_.port,
+                                     options_.connect_timeout_ms);
+  SharedSender sender(socket);
+  sender.send(Message::hello(static_cast<uint64_t>(::getpid())));
+
+  const RecvResult job_frame = socket.recv_frame(options_.connect_timeout_ms);
+  if (job_frame.status != RecvStatus::kFrame) {
+    throw std::runtime_error("coordinator vanished before sending the job");
+  }
+  const Message job = decode(job_frame.payload);
+  if (job.type != MsgType::kJob) {
+    throw std::runtime_error(
+        fmt("expected a job message, got '{}'", to_string(job.type)));
+  }
+
+  // Re-materialize the grid locally; only the option struct crossed the
+  // wire. The spec count must agree with the coordinator's expansion or the
+  // two sides would silently disagree about what unit [begin, end) means
+  // (e.g. a .surf scenario file differing between machines).
+  const std::vector<runner::RunSpec> specs =
+      runner::expand(runner::make_sweep_grid(job.options));
+  if (specs.size() != job.spec_count) {
+    throw std::runtime_error(
+        fmt("grid expansion mismatch: coordinator announced {} specs, "
+            "local expansion has {}",
+            job.spec_count, specs.size()));
+  }
+  log(fmt("connected to {}:{}, grid has {} specs", options_.host,
+          options_.port, specs.size()));
+
+  // Liveness heartbeats, sent for the whole session so the coordinator can
+  // tell "still crunching a big unit" from "dead".
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat([&] {
+    std::unique_lock<std::mutex> lock(hb_mu);
+    while (!hb_cv.wait_for(lock, std::chrono::milliseconds(
+                                     options_.heartbeat_ms),
+                           [&] { return hb_stop; })) {
+      lock.unlock();
+      if (!sender.try_send(Message::heartbeat())) {
+        lock.lock();
+        break;
+      }
+      lock.lock();
+    }
+  });
+  const auto stop_heartbeat = [&] {
+    {
+      std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+  };
+
+  size_t units_completed = 0;
+  try {
+    for (;;) {
+      sender.send(Message::pull());
+      const RecvResult frame = socket.recv_frame(/*timeout_ms=*/-1);
+      if (frame.status != RecvStatus::kFrame) {
+        throw std::runtime_error("coordinator closed the connection");
+      }
+      const Message message = decode(frame.payload);
+      if (message.type == MsgType::kStop) {
+        log(fmt("stop received after {} units", units_completed));
+        break;
+      }
+      if (message.type != MsgType::kUnit) {
+        throw std::runtime_error(fmt("expected unit or stop, got '{}'",
+                                     to_string(message.type)));
+      }
+      const WorkUnit unit = message.unit;
+      if (unit.end > specs.size() || unit.begin >= unit.end) {
+        throw std::runtime_error(fmt("unit [{}, {}) outside the {}-spec grid",
+                                     unit.begin, unit.end, specs.size()));
+      }
+      if (units_completed >= options_.abandon_after_units) {
+        // Fault injection: die holding an assigned unit, mid-sweep, without
+        // a word — exactly what a crashed worker looks like from the
+        // coordinator's side.
+        log(fmt("fault injection: abandoning unit {} and dropping the "
+                "connection",
+                unit.id));
+        stop_heartbeat();
+        socket.close();
+        return kExitFault;
+      }
+      std::vector<runner::RunRow> rows;
+      rows.reserve(unit.size());
+      for (size_t index = unit.begin; index < unit.end; ++index) {
+        rows.push_back(
+            runner::execute_run(specs[index], /*capture_trace=*/false).row);
+      }
+      sender.send(Message::result(unit, std::move(rows)));
+      ++units_completed;
+    }
+  } catch (...) {
+    stop_heartbeat();
+    throw;
+  }
+  stop_heartbeat();
+  return kExitOk;
+}
+
+}  // namespace sb::dist

@@ -1,0 +1,53 @@
+#pragma once
+// Distributed sweep worker: connects to a coordinator, re-materializes the
+// sweep grid from the job description, and executes pulled work units via
+// runner::execute_run, streaming RunRow batches back.
+//
+// A worker is stateless between units — any unit can run on any worker in
+// any order, and a re-executed unit produces byte-identical rows (run
+// execution is deterministic and seed forking is index-keyed) — which is
+// what lets the coordinator reassign units from dead workers freely.
+//
+// Runs in-process (tests drive Worker::run on a thread) or as the
+// tools/sweep_worker binary (one per subprocess or remote machine).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sb::dist {
+
+class Worker {
+ public:
+  /// Worker::run exit codes (also the sweep_worker process exit codes).
+  static constexpr int kExitOk = 0;     ///< coordinator sent stop
+  static constexpr int kExitFault = 3;  ///< fault injection tripped
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Budget for the initial connect (covers a coordinator that is still
+    /// binding its listener; connect is retried until the deadline).
+    int connect_timeout_ms = 10000;
+    /// Liveness heartbeat period while executing or idle.
+    int heartbeat_ms = 1000;
+    /// Fault injection for tests and the CI dist-smoke job: after
+    /// completing this many units the worker drops its connection without
+    /// reporting the next unit — an abrupt mid-sweep death as seen by the
+    /// coordinator. SIZE_MAX disables.
+    size_t abandon_after_units = SIZE_MAX;
+    /// Chatter to stderr (connect, units executed, fault trip).
+    bool verbose = false;
+  };
+
+  explicit Worker(Options options);
+
+  /// Connects, serves until the coordinator says stop, and returns an exit
+  /// code. Throws std::runtime_error on connection or protocol failure.
+  [[nodiscard]] int run();
+
+ private:
+  Options options_;
+};
+
+}  // namespace sb::dist

@@ -1,0 +1,39 @@
+#include "runner/merge.hpp"
+
+#include "util/assert.hpp"
+
+namespace sb::runner {
+
+ResultMerger::ResultMerger(size_t total) : rows_(total), filled_(total) {}
+
+ResultMerger::Accept ResultMerger::accept(size_t begin,
+                                          std::vector<RunRow> rows) {
+  if (rows.empty() || begin >= filled_.size() ||
+      rows.size() > filled_.size() - begin) {
+    return Accept::kInvalid;
+  }
+  size_t already = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (filled_[begin + i]) ++already;
+  }
+  if (already == rows.size()) return Accept::kDuplicate;
+  // Units have fixed boundaries, so a batch is either fresh or an exact
+  // duplicate; covering merged and unmerged indices at once is malformed.
+  if (already != 0) return Accept::kInvalid;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows_[begin + i] = std::move(rows[i]);
+    filled_[begin + i] = true;
+  }
+  merged_ += rows.size();
+  return Accept::kMerged;
+}
+
+std::vector<RunRow> ResultMerger::take_rows() {
+  SB_EXPECTS(complete(), "ResultMerger::take_rows before all ",
+             filled_.size(), " specs merged (have ", merged_, ")");
+  filled_.assign(filled_.size(), false);
+  merged_ = 0;
+  return std::move(rows_);
+}
+
+}  // namespace sb::runner

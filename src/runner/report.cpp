@@ -1,6 +1,7 @@
 #include "runner/report.hpp"
 
 #include <fstream>
+#include <stdexcept>
 
 #include "util/assert.hpp"
 #include "util/stats.hpp"
@@ -29,6 +30,7 @@ RunRow make_row(const std::string& scenario, const std::string& ruleset,
   row.shards = result.shards;
   row.conn_fast_hits = result.conn_fast_hits;
   row.conn_slow_floods = result.conn_slow_floods;
+  row.stop_reason = result.stop_reason;
   return row;
 }
 
@@ -156,11 +158,23 @@ util::JsonValue BenchReport::to_json() const {
   return root;
 }
 
+void BenchReport::scrub_timing() {
+  for (RunRow& row : rows_) {
+    row.wall_seconds = 0.0;
+    row.events_per_sec = 0.0;
+  }
+}
+
 void BenchReport::write_file(const std::string& path) const {
   std::ofstream out(path);
-  SB_EXPECTS(out.good(), "cannot open '", path, "' for writing");
+  if (!out.good()) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
   out << to_json_text();
-  SB_EXPECTS(out.good(), "failed writing report to '", path, "'");
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("failed writing report to '" + path + "'");
+  }
 }
 
 }  // namespace sb::runner

@@ -37,6 +37,10 @@ struct RunRow {
   /// by the O(1) local rule vs. full floods (docs/BENCHMARKS.md).
   uint64_t conn_fast_hits = 0;
   uint64_t conn_slow_floods = 0;
+  /// Why the run stopped. Travels over the dist wire (runner/serialize) so
+  /// remote front ends can apply the same exit-code policy as local ones;
+  /// not part of the BENCH_sim.json schema.
+  sim::StopReason stop_reason = sim::StopReason::kQueueEmpty;
 
   [[nodiscard]] double conn_fast_rate() const {
     return lat::ConnectivityStats{conn_fast_hits, conn_slow_floods}
@@ -86,6 +90,12 @@ class BenchReport {
 
   [[nodiscard]] const std::vector<RunRow>& rows() const { return rows_; }
 
+  /// Zeroes the wall-clock-derived fields (wall_seconds, events_per_sec) of
+  /// every row, making to_json_text() a pure function of the grid. The
+  /// dist-vs-local byte-identity checks compare reports scrubbed on both
+  /// sides (docs/BENCHMARKS.md).
+  void scrub_timing();
+
   /// Aggregates rows into per-(scenario, ruleset) groups, in first-seen
   /// order (deterministic for a fixed row order).
   [[nodiscard]] std::vector<GroupSummary> summarize() const;
@@ -98,7 +108,9 @@ class BenchReport {
     return to_json().dump(2);
   }
 
-  /// Writes to_json_text() to a file; aborts on I/O failure.
+  /// Writes to_json_text() to a file; throws std::runtime_error on I/O
+  /// failure (unwritable path, full disk) so CLIs can report it and exit
+  /// nonzero instead of aborting.
   void write_file(const std::string& path) const;
 
  private:

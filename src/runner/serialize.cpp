@@ -1,0 +1,131 @@
+#include "runner/serialize.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sb::runner {
+
+namespace {
+
+using util::JsonValue;
+
+// Field accessors that throw on absence or kind mismatch (the JsonValue
+// accessors abort, which would let a malformed frame kill the coordinator).
+const JsonValue& require(const JsonValue& json, std::string_view key,
+                         JsonValue::Kind kind) {
+  const JsonValue* value = json.find(key);
+  if (value == nullptr || value->kind() != kind) {
+    throw std::runtime_error("wire message missing or mistyped field '" +
+                             std::string(key) + "'");
+  }
+  return *value;
+}
+
+const std::string& get_string(const JsonValue& json, std::string_view key) {
+  return require(json, key, JsonValue::Kind::kString).as_string();
+}
+
+bool get_bool(const JsonValue& json, std::string_view key) {
+  return require(json, key, JsonValue::Kind::kBool).as_bool();
+}
+
+uint64_t get_u64(const JsonValue& json, std::string_view key) {
+  return util::parse_u64(get_string(json, key));
+}
+
+double get_number(const JsonValue& json, std::string_view key) {
+  return require(json, key, JsonValue::Kind::kNumber).as_number();
+}
+
+size_t get_size(const JsonValue& json, std::string_view key) {
+  return static_cast<size_t>(get_number(json, key));
+}
+
+}  // namespace
+
+JsonValue row_to_json(const RunRow& row) {
+  JsonValue out = JsonValue::object();
+  out["scenario"] = JsonValue(row.scenario);
+  out["ruleset"] = JsonValue(row.ruleset);
+  // 64-bit counters go as hex strings: seeds routinely use all 64 bits, and
+  // giant sweeps can push event counts past double's 2^53 exact range.
+  out["seed"] = JsonValue(util::hex_u64(row.seed));
+  out["complete"] = JsonValue(row.complete);
+  out["events"] = JsonValue(util::hex_u64(row.events));
+  out["events_per_sec"] = JsonValue(row.events_per_sec);
+  out["wall_seconds"] = JsonValue(row.wall_seconds);
+  out["hops"] = JsonValue(util::hex_u64(row.hops));
+  out["elementary_moves"] = JsonValue(util::hex_u64(row.elementary_moves));
+  out["messages_sent"] = JsonValue(util::hex_u64(row.messages_sent));
+  out["iterations"] = JsonValue(row.iterations);
+  out["sim_ticks"] = JsonValue(util::hex_u64(row.sim_ticks));
+  out["block_count"] = JsonValue(row.block_count);
+  out["shards"] = JsonValue(row.shards);
+  out["conn_fast_hits"] = JsonValue(util::hex_u64(row.conn_fast_hits));
+  out["conn_slow_floods"] = JsonValue(util::hex_u64(row.conn_slow_floods));
+  out["stop_reason"] = JsonValue(static_cast<int>(row.stop_reason));
+  return out;
+}
+
+RunRow row_from_json(const JsonValue& json) {
+  RunRow row;
+  row.scenario = get_string(json, "scenario");
+  row.ruleset = get_string(json, "ruleset");
+  row.seed = get_u64(json, "seed");
+  row.complete = get_bool(json, "complete");
+  row.events = get_u64(json, "events");
+  row.events_per_sec = get_number(json, "events_per_sec");
+  row.wall_seconds = get_number(json, "wall_seconds");
+  row.hops = get_u64(json, "hops");
+  row.elementary_moves = get_u64(json, "elementary_moves");
+  row.messages_sent = get_u64(json, "messages_sent");
+  row.iterations = static_cast<uint32_t>(get_number(json, "iterations"));
+  row.sim_ticks = get_u64(json, "sim_ticks");
+  row.block_count = get_size(json, "block_count");
+  row.shards = get_size(json, "shards");
+  row.conn_fast_hits = get_u64(json, "conn_fast_hits");
+  row.conn_slow_floods = get_u64(json, "conn_slow_floods");
+  const int reason = static_cast<int>(get_number(json, "stop_reason"));
+  if (reason < static_cast<int>(sim::StopReason::kQueueEmpty) ||
+      reason > static_cast<int>(sim::StopReason::kHalted)) {
+    throw std::runtime_error("wire RunRow has invalid stop_reason");
+  }
+  row.stop_reason = static_cast<sim::StopReason>(reason);
+  return row;
+}
+
+JsonValue options_to_json(const SweepCliOptions& options) {
+  JsonValue out = JsonValue::object();
+  JsonValue scenarios = JsonValue::array();
+  for (const std::string& name : options.scenarios) {
+    scenarios.push_back(JsonValue(name));
+  }
+  out["scenarios"] = std::move(scenarios);
+  out["seed_count"] = JsonValue(options.seed_count);
+  out["master_seed"] = JsonValue(util::hex_u64(options.master_seed));
+  out["latency"] = JsonValue(options.latency);
+  out["max_events"] = JsonValue(util::hex_u64(options.max_events));
+  out["shards"] = JsonValue(options.shards);
+  out["shard_threads"] = JsonValue(options.shard_threads);
+  return out;
+}
+
+SweepCliOptions options_from_json(const JsonValue& json) {
+  SweepCliOptions options;
+  for (const JsonValue& name :
+       require(json, "scenarios", JsonValue::Kind::kArray).as_array()) {
+    if (name.kind() != JsonValue::Kind::kString) {
+      throw std::runtime_error("wire scenario list entries must be strings");
+    }
+    options.scenarios.push_back(name.as_string());
+  }
+  options.seed_count = get_size(json, "seed_count");
+  options.master_seed = get_u64(json, "master_seed");
+  options.latency = get_string(json, "latency");
+  options.max_events = get_u64(json, "max_events");
+  options.shards = get_size(json, "shards");
+  options.shard_threads = get_size(json, "shard_threads");
+  return options;
+}
+
+}  // namespace sb::runner

@@ -61,10 +61,8 @@ size_t SweepRunner::effective_threads(size_t jobs) const {
   return std::max<size_t>(1, std::min(threads, jobs));
 }
 
-namespace {
-
-SweepRun execute(const RunSpec& spec, bool capture_trace,
-                 size_t shard_threads) {
+SweepRun execute_run(const RunSpec& spec, bool capture_trace,
+                     size_t shard_threads) {
   core::SessionConfig config = spec.config;
   config.sim.seed = spec.seed;
   if (shard_threads != 0) config.sim.shard_threads = shard_threads;
@@ -84,17 +82,14 @@ SweepRun execute(const RunSpec& spec, bool capture_trace,
   return out;
 }
 
-}  // namespace
-
 SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
   SweepResult result;
   result.runs.resize(specs.size());
-  result.report = BenchReport(options_.generator);
-  result.report.set_master_seed(options_.master_seed);
-
   const size_t threads = effective_threads(specs.size());
-  result.report.set_threads(threads);
-  if (specs.empty()) return result;
+  if (specs.empty()) {
+    result.report = assemble_report(options_, {});
+    return result;
+  }
 
   // Work-stealing by atomic index: which thread runs which spec varies, but
   // each run is self-contained and lands at its spec index, so the result
@@ -105,8 +100,8 @@ SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
     for (;;) {
       const size_t index = next.fetch_add(1);
       if (index >= specs.size()) return;
-      result.runs[index] = execute(specs[index], options_.capture_traces,
-                                   options_.shard_threads);
+      result.runs[index] = execute_run(specs[index], options_.capture_traces,
+                                       options_.shard_threads);
       const size_t done = finished.fetch_add(1) + 1;
       if (options_.on_progress) options_.on_progress(done, specs.size());
     }
@@ -121,12 +116,24 @@ SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
     for (std::thread& t : pool) t.join();
   }
 
-  for (const SweepRun& run : result.runs) result.report.add_row(run.row);
+  std::vector<RunRow> rows;
+  rows.reserve(result.runs.size());
+  for (const SweepRun& run : result.runs) rows.push_back(run.row);
+  result.report = assemble_report(options_, rows);
   return result;
 }
 
 SweepResult SweepRunner::run_grid(const SweepGrid& grid) const {
   return run(expand(grid));
+}
+
+BenchReport assemble_report(const SweepRunner::Options& options,
+                            const std::vector<RunRow>& rows) {
+  BenchReport report(options.generator);
+  report.set_master_seed(options.master_seed);
+  report.set_threads(SweepRunner(options).effective_threads(rows.size()));
+  for (const RunRow& row : rows) report.add_row(row);
+  return report;
 }
 
 }  // namespace sb::runner

@@ -70,6 +70,14 @@ struct SweepResult {
   BenchReport report{"sweep"};
 };
 
+/// Executes one spec wholly on the calling thread — the single-run kernel
+/// shared by the thread-pool runner and the distributed workers (dist/).
+/// `shard_threads` != 0 overrides config.sim.shard_threads (see
+/// SweepRunner::Options); the row is independent of both knobs.
+[[nodiscard]] SweepRun execute_run(const RunSpec& spec,
+                                   bool capture_trace = false,
+                                   size_t shard_threads = 0);
+
 class SweepRunner {
  public:
   struct Options {
@@ -107,5 +115,13 @@ class SweepRunner {
  private:
   Options options_;
 };
+
+/// Builds the report exactly as SweepRunner::run does (generator and master
+/// seed from `options`, threads = effective_threads(rows.size()), rows in
+/// order). The distributed coordinator assembles its merged report through
+/// this same function, which is what makes a dist BENCH_sim.json
+/// byte-identical to a local one for the same grid.
+[[nodiscard]] BenchReport assemble_report(const SweepRunner::Options& options,
+                                          const std::vector<RunRow>& rows);
 
 }  // namespace sb::runner

@@ -1,0 +1,133 @@
+// Tests for the shared sweep CLI vocabulary (runner/cli_options): flag
+// registration/parsing shared by tools/sweep, tools/sweep_worker, and
+// examples/large_scale, and the loud-failure validation paths (the flags
+// used to fail silently or abort — see ISSUE 5's satellite list).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/cli_options.hpp"
+#include "runner/sweep.hpp"
+
+namespace sb::runner {
+namespace {
+
+SweepCliOptions parse(std::vector<std::string> args,
+                      size_t min_seeds = 1,
+                      SweepCliOptions defaults = [] {
+                        SweepCliOptions d;
+                        d.scenarios = {"tower16"};
+                        return d;
+                      }()) {
+  CliParser cli("test");
+  add_sweep_flags(cli, defaults);
+  std::vector<const char*> argv = {"test"};
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    throw std::runtime_error("flag-level parse failure");
+  }
+  return parse_sweep_flags(cli, min_seeds);
+}
+
+TEST(SweepCli, DefaultsRoundTrip) {
+  const SweepCliOptions options = parse({});
+  EXPECT_EQ(options.scenarios, std::vector<std::string>{"tower16"});
+  EXPECT_EQ(options.seed_count, 4u);
+  EXPECT_EQ(options.master_seed, 0x5eedULL);
+  EXPECT_EQ(options.latency, "fixed");
+  EXPECT_EQ(options.shards, 1u);
+  EXPECT_EQ(ruleset_label(options), "standard");
+}
+
+TEST(SweepCli, ParsesTheFullVocabulary) {
+  const SweepCliOptions options =
+      parse({"--scenario", "tower16,tower64", "--seeds", "8", "--master-seed",
+             "0xabc", "--latency", "uniform", "--max-events", "1000",
+             "--shards", "4", "--shard-threads", "2", "--threads", "3",
+             "extra.surf"});
+  EXPECT_EQ(options.scenarios,
+            (std::vector<std::string>{"tower16", "tower64", "extra.surf"}));
+  EXPECT_EQ(options.seed_count, 8u);
+  EXPECT_EQ(options.master_seed, 0xabcULL);
+  EXPECT_EQ(options.latency, "uniform");
+  EXPECT_EQ(ruleset_label(options), "uniform");
+  EXPECT_EQ(options.max_events, 1000u);
+  EXPECT_EQ(options.shards, 4u);
+  EXPECT_EQ(options.shard_threads, 2u);
+  EXPECT_EQ(options.threads, 3u);
+
+  const core::SessionConfig config = make_session_config(options);
+  EXPECT_EQ(config.max_events, 1000u);
+  EXPECT_EQ(config.sim.shards, 4u);
+  EXPECT_EQ(config.sim.shard_threads, 2u);
+}
+
+TEST(SweepCli, RejectsOutOfRangeCounts) {
+  EXPECT_THROW(parse({"--seeds", "0"}), std::runtime_error);
+  EXPECT_THROW(parse({"--seeds", "-3"}), std::runtime_error);
+  EXPECT_THROW(parse({"--shards", "0"}), std::runtime_error);
+  EXPECT_THROW(parse({"--shard-threads", "-1"}), std::runtime_error);
+  EXPECT_THROW(parse({"--threads", "-1"}), std::runtime_error);
+  EXPECT_THROW(parse({"--max-events", "-5"}), std::runtime_error);
+  // large_scale's single-run mode admits --seeds 0 but not negatives.
+  EXPECT_EQ(parse({"--seeds", "0"}, /*min_seeds=*/0).seed_count, 0u);
+  EXPECT_THROW(parse({"--seeds", "-1"}, /*min_seeds=*/0),
+               std::runtime_error);
+}
+
+TEST(SweepCli, RejectsNonNumericFlagsAtTheParserLevel) {
+  // CliParser itself refuses non-numeric values for int flags — parse()
+  // maps that to a throw here; the tools print the message and exit 1.
+  EXPECT_THROW(parse({"--shards", "abc"}), std::runtime_error);
+  EXPECT_THROW(parse({"--shard-threads", "2x"}), std::runtime_error);
+  EXPECT_THROW(parse({"--seeds", "4.5"}), std::runtime_error);
+}
+
+TEST(SweepCli, RejectsBadMasterSeedAndLatency) {
+  EXPECT_THROW(parse({"--master-seed", "not-a-seed"}), std::runtime_error);
+  EXPECT_THROW(parse({"--latency", "warp"}), std::runtime_error);
+  EXPECT_THROW(parse({"--scenario", "tower16,,tower64"}),
+               std::runtime_error);
+}
+
+TEST(SweepCli, GridResolutionFailsLoudlyWithAHint) {
+  SweepCliOptions options;
+  options.scenarios = {"towerX"};
+  try {
+    (void)make_sweep_grid(options);
+    FAIL() << "expected make_sweep_grid to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("--list-scenarios"),
+              std::string::npos);
+  }
+  SweepCliOptions empty;
+  EXPECT_THROW((void)make_sweep_grid(empty), std::runtime_error);
+}
+
+TEST(SweepCli, GridMatchesTheGridTheSweepToolBuilds) {
+  const SweepCliOptions options =
+      parse({"--scenario", "tower16", "--seeds", "2", "--latency",
+             "uniform"});
+  const SweepGrid grid = make_sweep_grid(options);
+  ASSERT_EQ(grid.scenarios.size(), 1u);
+  EXPECT_EQ(grid.scenarios[0].first, "tower16");
+  ASSERT_EQ(grid.configs.size(), 1u);
+  EXPECT_EQ(grid.configs[0].first, "uniform");
+  const std::vector<RunSpec> specs = expand(grid);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].seed, derive_run_seed(options.master_seed, 0));
+  EXPECT_EQ(specs[1].seed, derive_run_seed(options.master_seed, 1));
+}
+
+TEST(SweepCli, VocabularyMentionsEveryFamily) {
+  const std::string vocabulary = scenario_vocabulary();
+  for (const char* family : {"tower<N>", "blob<N>", "rect<N>", "fig10"}) {
+    EXPECT_NE(vocabulary.find(family), std::string::npos) << family;
+  }
+}
+
+}  // namespace
+}  // namespace sb::runner

@@ -1,172 +1,228 @@
-// Parallel multi-run sweep driver: scenario x seed x rule-set grids on the
-// thread-pool SweepRunner, with machine-readable BENCH_sim.json output.
+// Multi-run sweep driver: scenario x seed x rule-set grids with
+// machine-readable BENCH_sim.json output, on either the in-process
+// thread-pool backend or a multi-process coordinator/worker fleet.
 //
 //   $ ./sweep --scenario tower16 --seeds 8 --threads 4
 //   $ ./sweep data/scenarios/fig10.surf --seeds 4 --json out.json
-//   $ ./sweep --scenario tower16,tower64 --latency uniform --json -
-//   $ ./sweep --scenario blob100000 --shards 8 --shard-threads 8 \
-//         --max-events 2000000
+//   $ ./sweep --scenario blob100000 --shards 8 --max-events 2000000
+//   $ ./sweep --scenario tower16,tower64 --backend dist --workers 3
+//   $ ./sweep --backend dist --workers 0 --bind 0.0.0.0 --port 7777
+//         # then on other machines: ./sweep_worker --connect <host>:7777
 //
-// Scenario names are resolved by lat::resolve_scenario: tower<N>, blob<N>,
-// rect<N>, fig10, or a path to a .surf scenario file. --shards splits each
-// world into column stripes with per-stripe event queues; --shard-threads
-// drains stripe windows in parallel (traces stay byte-identical at any
-// thread count).
+// Scenario names are resolved by lat::resolve_scenario (--list-scenarios
+// prints the vocabulary). The two backends produce byte-identical
+// BENCH_sim.json for the same grid modulo the wall-clock fields; pass
+// --scrub-timing to zero those and make the file a pure function of the
+// grid (the CI dist-smoke job diffs the backends this way).
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "lattice/scenario.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/spawn.hpp"
+#include "dist/worker.hpp"
+#include "runner/cli_options.hpp"
 #include "runner/sweep.hpp"
-#include "util/cli.hpp"
 #include "util/fmt.hpp"
+#include "util/string_util.hpp"
 
 namespace {
 
 using namespace sb;
 
-/// Splits "a,b,c" into parts; empty input gives an empty list.
-std::vector<std::string> split_csv(const std::string& text) {
-  std::vector<std::string> out;
-  size_t start = 0;
-  while (start <= text.size() && !text.empty()) {
-    const size_t comma = text.find(',', start);
-    if (comma == std::string::npos) {
-      out.push_back(text.substr(start));
-      break;
+/// Runs the grid on the coordinator/worker fleet; returns rows in spec
+/// order (byte-identical to what the local backend computes).
+std::vector<runner::RunRow> run_dist(const runner::SweepCliOptions& options,
+                                     const CliParser& cli) {
+  dist::Coordinator::Options copts;
+  copts.bind_address = cli.get_string("bind");
+  const int64_t port = cli.get_int("port");
+  if (port < 0 || port > 65535) {
+    throw std::runtime_error(fmt("--port must be in [0, 65535], got {}",
+                                 port));
+  }
+  copts.port = static_cast<uint16_t>(port);
+  const int64_t unit_size = cli.get_int("unit-size");
+  if (unit_size < 1) {
+    throw std::runtime_error(fmt("--unit-size must be >= 1, got {}",
+                                 unit_size));
+  }
+  copts.unit_size = static_cast<size_t>(unit_size);
+  copts.unit_timeout_ms = runner::parse_ms_flag(cli, "unit-timeout-ms", 1);
+  copts.verbose = cli.get_bool("verbose");
+
+  const int64_t workers = cli.get_int("workers");
+  if (workers < 0) {
+    throw std::runtime_error(
+        fmt("--workers must be >= 0 (0 = serve external sweep_worker "
+            "processes only), got {}",
+            workers));
+  }
+
+  dist::Coordinator coordinator(options, copts);
+  std::printf("sweep: %zu runs on %lld dist workers (port %u)\n",
+              coordinator.spec_count(), static_cast<long long>(workers),
+              coordinator.port());
+
+  // Spawn the local fleet before run() starts service threads (fork in a
+  // threaded process is not survivable). Workers connect and are queued by
+  // the listener backlog until the coordinator starts accepting.
+  std::vector<dist::WorkerProcess> fleet;
+  if (workers > 0) {
+    long fault_after = -1;
+    if (const char* fault = std::getenv(dist::kFleetFaultEnv)) {
+      const auto parsed = parse_int(fault);
+      if (!parsed.has_value() || *parsed < 0) {
+        throw std::runtime_error(
+            fmt("{} must be a non-negative unit count, got '{}'",
+                dist::kFleetFaultEnv, fault));
+      }
+      fault_after = static_cast<long>(*parsed);
+      std::printf("sweep: fault injection armed — worker 0 dies after %ld "
+                  "units\n",
+                  fault_after);
     }
-    out.push_back(text.substr(start, comma - start));
-    start = comma + 1;
+    fleet = dist::spawn_worker_fleet(dist::default_worker_binary(),
+                                     "127.0.0.1", coordinator.port(),
+                                     static_cast<size_t>(workers),
+                                     fault_after, copts.verbose);
   }
-  return out;
-}
 
-}  // namespace
+  std::vector<runner::RunRow> rows = coordinator.run();
 
-int run_sweep(int argc, char** argv);
-
-int main(int argc, char** argv) {
-  // CLI mistakes (typo'd scenario names, bad seeds, missing files) surface
-  // as exceptions; report them as usage errors instead of aborting.
-  try {
-    return run_sweep(argc, argv);
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "sweep: %s\n", error.what());
-    return 1;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    const int code = dist::reap_worker(fleet[i]);
+    if (code == dist::Worker::kExitFault) {
+      std::printf("sweep: worker %zu died by fault injection (reassignment "
+                  "covered its units)\n",
+                  i);
+    } else if (code != 0) {
+      std::fprintf(stderr, "sweep: worker %zu exited with code %d\n", i,
+                   code);
+    }
   }
+  return rows;
 }
 
 int run_sweep(int argc, char** argv) {
   CliParser cli("parallel scenario/seed/rule-set sweep harness");
-  cli.add_string("scenario", "tower16",
-                 "comma-separated scenario names (tower<N>, blob<N>, "
-                 "rect<N>, fig10) — .surf paths go as positional arguments");
-  cli.add_int("seeds", 4, "number of seeds forked from --master-seed");
-  cli.add_string("master-seed", "0x5eed", "master seed for RNG forking");
-  cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
-  cli.add_string("latency", "fixed",
-                 "link latency model: fixed | uniform | exponential");
-  cli.add_int("max-events", 0,
-              "event budget per run (0 = default; giant blob/rect runs "
-              "need a cap — completion is O(N^2) hops)");
-  cli.add_int("shards", 1,
-              "column-stripe shards per world (1 = classic event loop)");
-  cli.add_int("shard-threads", 1,
-              "threads draining shard windows per world (0 = hardware "
-              "concurrency; multiplies with --threads)");
+  runner::SweepCliOptions defaults;
+  defaults.scenarios = {"tower16"};
+  runner::add_sweep_flags(cli, defaults);
   cli.add_string("json", "", "write BENCH_sim.json here ('-' = stdout)");
-  cli.add_bool("trace", false, "capture per-run move traces (printed count)");
+  cli.add_bool("trace", false,
+               "capture per-run move traces (printed count; local backend "
+               "only)");
+  cli.add_bool("list-scenarios", false,
+               "print the scenario vocabulary and exit");
+  cli.add_bool("scrub-timing", false,
+               "zero wall-clock fields in the report so the JSON is a pure "
+               "function of the grid (backend-independent byte-for-byte)");
+  cli.add_string("backend", "local",
+                 "execution backend: local (in-process thread pool) | dist "
+                 "(coordinator + worker fleet)");
+  cli.add_int("workers", 3,
+              "dist: subprocess workers to spawn (0 = only serve external "
+              "sweep_worker connections)");
+  cli.add_string("bind", "127.0.0.1",
+                 "dist: coordinator listen address (0.0.0.0 for remote "
+                 "workers)");
+  cli.add_int("port", 0, "dist: coordinator listen port (0 = ephemeral)");
+  cli.add_int("unit-size", 1, "dist: specs per work unit");
+  cli.add_int("unit-timeout-ms", 600000,
+              "dist: hard per-unit deadline before an in-flight unit is "
+              "also handed to another worker (set above the worst-case "
+              "runtime of one unit)");
+  cli.add_bool("verbose", false, "dist: fleet chatter on stderr");
   if (!cli.parse(argc, argv)) return 1;
 
-  runner::SweepGrid grid;
-  grid.master_seed = util::parse_u64(cli.get_string("master-seed"));
-  grid.seed_count = static_cast<size_t>(cli.get_int("seeds"));
-
-  std::vector<std::string> names = split_csv(cli.get_string("scenario"));
-  for (const std::string& path : cli.positionals()) names.push_back(path);
-  for (const std::string& name : names) {
-    if (name.empty()) {
-      throw std::runtime_error("empty scenario name in --scenario list");
-    }
-    grid.scenarios.push_back(
-        {name, lat::resolve_scenario(name, grid.master_seed)});
+  if (cli.get_bool("list-scenarios")) {
+    std::printf("%s", runner::scenario_vocabulary().c_str());
+    return 0;
   }
 
-  core::SessionConfig config;
-  const int max_events = cli.get_int("max-events");
-  if (max_events > 0) {
-    config.max_events = static_cast<uint64_t>(max_events);
+  const runner::SweepCliOptions options = runner::parse_sweep_flags(cli);
+  const std::string backend = cli.get_string("backend");
+  if (backend != "local" && backend != "dist") {
+    throw std::runtime_error("unknown --backend '" + backend +
+                             "' (local | dist)");
   }
-  const int shards = cli.get_int("shards");
-  if (shards < 1) throw std::runtime_error("--shards must be >= 1");
-  config.sim.shards = static_cast<size_t>(shards);
-  // Written onto the config directly (not via Options::shard_threads,
-  // whose 0 means "leave the spec's value") so that --shard-threads 0
-  // really selects hardware concurrency.
-  const int shard_threads = cli.get_int("shard-threads");
-  if (shard_threads < 0) {
-    throw std::runtime_error("--shard-threads must be >= 0");
-  }
-  config.sim.shard_threads = static_cast<size_t>(shard_threads);
-  const std::string latency = cli.get_string("latency");
-  if (latency == "uniform") {
-    config.sim.latency = msg::LatencyModel::uniform(1, 8);
-  } else if (latency == "exponential") {
-    config.sim.latency = msg::LatencyModel::exponential(3.0);
-  } else if (latency != "fixed") {
-    throw std::runtime_error("unknown --latency '" + latency +
-                             "' (fixed | uniform | exponential)");
-  }
-  grid.configs.push_back({latency == "fixed" ? "standard" : latency, config});
 
-  runner::SweepRunner::Options options;
-  options.threads = static_cast<size_t>(cli.get_int("threads"));
-  options.master_seed = grid.master_seed;
-  options.capture_traces = cli.get_bool("trace");
-  options.generator = "sweep";
-  runner::SweepRunner runner(options);
+  runner::SweepRunner::Options ropts;
+  ropts.threads = options.threads;
+  ropts.master_seed = options.master_seed;
+  ropts.capture_traces = backend == "local" && cli.get_bool("trace");
+  ropts.generator = "sweep";
 
-  const std::vector<runner::RunSpec> specs = runner::expand(grid);
-  std::printf("sweep: %zu runs on %zu threads\n", specs.size(),
-              runner.effective_threads(specs.size()));
-  const runner::SweepResult result = runner.run(specs);
+  // Both branches leave the report built by the same construction path:
+  // SweepRunner::run assembles through assemble_report internally.
+  runner::BenchReport report{"sweep"};
+  std::vector<runner::SweepRun> runs;  // local backend only (traces)
+  if (backend == "dist") {
+    report = runner::assemble_report(ropts, run_dist(options, cli));
+  } else {
+    const runner::SweepGrid grid = runner::make_sweep_grid(options);
+    const runner::SweepRunner runner(ropts);
+    const std::vector<runner::RunSpec> specs = runner::expand(grid);
+    std::printf("sweep: %zu runs on %zu threads\n", specs.size(),
+                runner.effective_threads(specs.size()));
+    runner::SweepResult result = runner.run(specs);
+    report = std::move(result.report);
+    runs = std::move(result.runs);
+  }
+  if (cli.get_bool("scrub-timing")) report.scrub_timing();
 
   std::printf("%-12s %-12s %6s %6s %10s %14s %10s %10s %10s\n", "scenario",
               "ruleset", "shards", "runs", "completed", "events/s mean",
               "hops mean", "moves", "conn fast");
-  for (const auto& group : result.report.summarize()) {
+  for (const auto& group : report.summarize()) {
     std::printf("%-12s %-12s %6zu %6zu %10zu %14.0f %10.1f %10.1f %10.4f\n",
                 group.scenario.c_str(), group.ruleset.c_str(), group.shards,
                 group.runs, group.completed, group.events_per_sec.mean,
                 group.hops.mean, group.elementary_moves.mean,
                 group.conn_fast_rate.mean);
   }
-  if (cli.get_bool("trace")) {
+  if (ropts.capture_traces) {
     size_t moves = 0;
-    for (const auto& run : result.runs) moves += run.move_trace.size();
+    for (const auto& run : runs) moves += run.move_trace.size();
     std::printf("captured %zu move-trace lines\n", moves);
   }
 
   const std::string json_path = cli.get_string("json");
   if (json_path == "-") {
-    std::printf("%s", result.report.to_json_text().c_str());
+    std::printf("%s", report.to_json_text().c_str());
   } else if (!json_path.empty()) {
-    result.report.write_file(json_path);
+    report.write_file(json_path);  // throws a clear error when unwritable
     std::printf("wrote %s\n", json_path.c_str());
   }
 
   // Exit non-zero when any run failed to complete, so scripted sweeps fail
   // loudly. Runs stopped by an explicit --max-events budget are expected to
   // be incomplete (the giant throughput workloads) and do not fail.
-  for (const auto& run : result.runs) {
-    if (!run.row.complete &&
-        !(max_events > 0 &&
-          run.session.stop_reason == sim::StopReason::kEventLimit)) {
+  for (const runner::RunRow& row : report.rows()) {
+    if (!row.complete &&
+        !(options.max_events > 0 &&
+          row.stop_reason == sim::StopReason::kEventLimit)) {
       return 2;
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // CLI mistakes (typo'd scenario names, bad seeds, unwritable --json
+  // paths, missing files) surface as exceptions; report them as usage
+  // errors instead of aborting.
+  try {
+    return run_sweep(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sweep: %s\n", error.what());
+    return 1;
+  }
 }

@@ -1,0 +1,67 @@
+// Distributed sweep worker process (see docs/ARCHITECTURE.md "Distributed
+// sweep backend"). Normally spawned by `sweep --backend dist --workers N`,
+// but can also be pointed at a remote coordinator by hand:
+//
+//   $ ./sweep_worker --connect 192.168.1.10:7777
+//
+// The worker re-materializes the sweep grid from the coordinator's job
+// message, pulls work units until told to stop, and exits 0. Exit code 3
+// means the SB_SWEEP_WORKER_FAULT_AFTER fault injection tripped (CI uses it
+// to prove unit reassignment); any other nonzero exit is a real failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "dist/spawn.hpp"
+#include "dist/worker.hpp"
+#include "runner/cli_options.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  sb::CliParser cli("distributed sweep worker");
+  cli.add_string("connect", "",
+                 "coordinator address as host:port (required)");
+  cli.add_int("connect-timeout-ms", 10000,
+              "how long to keep retrying the initial connect");
+  cli.add_int("heartbeat-ms", 1000, "liveness heartbeat period");
+  cli.add_bool("verbose", false, "progress chatter on stderr");
+  if (!cli.parse(argc, argv)) return 1;
+
+  try {
+    const std::string connect = cli.get_string("connect");
+    const size_t colon = connect.rfind(':');
+    if (connect.empty() || colon == std::string::npos) {
+      throw std::runtime_error(
+          "--connect expects host:port, e.g. --connect 127.0.0.1:7777");
+    }
+    const auto port = sb::parse_int(connect.substr(colon + 1));
+    if (!port.has_value() || *port < 1 || *port > 65535) {
+      throw std::runtime_error("--connect port must be in [1, 65535], got '" +
+                               connect.substr(colon + 1) + "'");
+    }
+
+    sb::dist::Worker::Options options;
+    options.host = connect.substr(0, colon);
+    options.port = static_cast<uint16_t>(*port);
+    options.connect_timeout_ms =
+        sb::runner::parse_ms_flag(cli, "connect-timeout-ms", 1);
+    options.heartbeat_ms = sb::runner::parse_ms_flag(cli, "heartbeat-ms", 1);
+    options.verbose = cli.get_bool("verbose");
+    if (const char* fault = std::getenv(sb::dist::kWorkerFaultEnv)) {
+      const auto after = sb::parse_int(fault);
+      if (!after.has_value() || *after < 0) {
+        throw std::runtime_error(std::string(sb::dist::kWorkerFaultEnv) +
+                                 " must be a non-negative unit count");
+      }
+      options.abandon_after_units = static_cast<size_t>(*after);
+    }
+    return sb::dist::Worker(options).run();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sweep_worker: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,181 @@
+#include "check/minimize.hpp"
+
+#include <algorithm>
+
+namespace sb::check {
+
+namespace {
+
+class Minimizer {
+ public:
+  Minimizer(FuzzCase seed, const std::function<bool(const FuzzCase&)>& fails,
+            const MinimizeOptions& options)
+      : current_(std::move(seed)), fails_(fails), options_(options) {}
+
+  MinimizeResult run() {
+    MinimizeResult result;
+    result.blocks_before = current_.scenario.block_count();
+    bool progress = true;
+    while (progress && !exhausted()) {
+      progress = false;
+      progress |= prune_churn();
+      progress |= ddmin_blocks();
+      progress |= trim_surface();
+      progress |= simplify_knobs();
+    }
+    result.minimized = std::move(current_);
+    result.evals = evals_;
+    result.blocks_after = result.minimized.scenario.block_count();
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool exhausted() const { return evals_ >= options_.max_evals; }
+
+  /// True (and commits) when the candidate is valid and still failing.
+  bool accept(const FuzzCase& candidate) {
+    if (exhausted()) return false;
+    if (!lat::validate(candidate.scenario).empty()) return false;
+    ++evals_;
+    if (!fails_(candidate)) return false;
+    current_ = candidate;
+    return true;
+  }
+
+  bool prune_churn() {
+    bool progress = false;
+    if (!current_.churn.empty()) {
+      FuzzCase candidate = current_;
+      candidate.churn.clear();
+      progress |= accept(candidate);
+    }
+    for (size_t i = 0; i < current_.churn.size() && !exhausted();) {
+      FuzzCase candidate = current_;
+      candidate.churn.erase(candidate.churn.begin() +
+                            static_cast<ptrdiff_t>(i));
+      if (accept(candidate)) {
+        progress = true;  // current_ shrank; same index is the next op
+      } else {
+        ++i;
+      }
+    }
+    return progress;
+  }
+
+  /// Classic ddmin over the block list: try removing chunks, halving the
+  /// chunk size until single blocks. The root (block on I) is never removed
+  /// — validate() would reject the candidate anyway; skipping it saves the
+  /// wasted evaluations.
+  bool ddmin_blocks() {
+    bool progress = false;
+    size_t chunk = std::max<size_t>(1, current_.scenario.block_count() / 2);
+    while (chunk >= 1 && !exhausted()) {
+      bool removed_any = false;
+      for (size_t start = 0;
+           start < current_.scenario.block_count() && !exhausted();) {
+        FuzzCase candidate = current_;
+        auto& blocks = candidate.scenario.blocks;
+        const size_t end = std::min(start + chunk, blocks.size());
+        const lat::Vec2 input = candidate.scenario.input;
+        std::vector<std::pair<lat::BlockId, lat::Vec2>> kept;
+        kept.reserve(blocks.size());
+        for (size_t i = 0; i < blocks.size(); ++i) {
+          const bool in_chunk = i >= start && i < end;
+          if (in_chunk && blocks[i].second != input) continue;
+          kept.push_back(blocks[i]);
+        }
+        blocks = std::move(kept);
+        if (blocks.size() < current_.scenario.blocks.size() &&
+            accept(candidate)) {
+          progress = true;
+          removed_any = true;  // retry same start against the shrunk list
+        } else {
+          start += chunk;
+        }
+      }
+      if (!removed_any || chunk == 1) {
+        if (chunk == 1) break;
+        chunk = std::max<size_t>(1, chunk / 2);
+      }
+    }
+    return progress;
+  }
+
+  /// Shrinks the surface to the bounding box of blocks + I + O with a
+  /// 1-cell margin, shifting every coordinate accordingly.
+  bool trim_surface() {
+    const lat::Scenario& s = current_.scenario;
+    int32_t min_x = std::min(s.input.x, s.output.x);
+    int32_t max_x = std::max(s.input.x, s.output.x);
+    int32_t min_y = std::min(s.input.y, s.output.y);
+    int32_t max_y = std::max(s.input.y, s.output.y);
+    for (const auto& [id, pos] : s.blocks) {
+      min_x = std::min(min_x, pos.x);
+      max_x = std::max(max_x, pos.x);
+      min_y = std::min(min_y, pos.y);
+      max_y = std::max(max_y, pos.y);
+    }
+    const int32_t shift_x = std::max(0, min_x - 1);
+    const int32_t shift_y = std::max(0, min_y - 1);
+    const int32_t new_w = max_x - shift_x + 2;
+    const int32_t new_h = max_y - shift_y + 2;
+    if (shift_x == 0 && shift_y == 0 && new_w >= s.width && new_h >= s.height) {
+      return false;  // nothing to trim
+    }
+    FuzzCase candidate = current_;
+    candidate.scenario.width = std::min(s.width, new_w);
+    candidate.scenario.height = std::min(s.height, new_h);
+    const auto shift = [&](lat::Vec2 p) {
+      return lat::Vec2{p.x - shift_x, p.y - shift_y};
+    };
+    candidate.scenario.input = shift(s.input);
+    candidate.scenario.output = shift(s.output);
+    for (auto& [id, pos] : candidate.scenario.blocks) pos = shift(pos);
+    return accept(candidate);
+  }
+
+  bool simplify_knobs() {
+    bool progress = false;
+    const bool any_kill =
+        std::any_of(current_.churn.begin(), current_.churn.end(),
+                    [](const ChurnOp& op) {
+                      return op.kind == ChurnOp::Kind::kKill;
+                    });
+    if (current_.ack_timeout != 0 && !any_kill) {
+      FuzzCase candidate = current_;
+      candidate.ack_timeout = 0;
+      progress |= accept(candidate);
+    }
+    if (current_.latency_kind != "fixed" || current_.latency_lo != 1) {
+      FuzzCase candidate = current_;
+      candidate.latency_kind = "fixed";
+      candidate.latency_lo = 1;
+      candidate.latency_hi = 1;
+      progress |= accept(candidate);
+    }
+    if (current_.motion_duration != 10) {
+      FuzzCase candidate = current_;
+      candidate.motion_duration = 10;
+      progress |= accept(candidate);
+    }
+    return progress;
+  }
+
+  FuzzCase current_;
+  const std::function<bool(const FuzzCase&)>& fails_;
+  MinimizeOptions options_;
+  uint64_t evals_ = 0;
+};
+
+}  // namespace
+
+MinimizeResult minimize_case(
+    const FuzzCase& failing,
+    const std::function<bool(const FuzzCase&)>& still_fails,
+    const MinimizeOptions& options) {
+  FuzzCase seed = failing;
+  seed.name = failing.name + "-min";
+  return Minimizer(std::move(seed), still_fails, options).run();
+}
+
+}  // namespace sb::check

@@ -1,0 +1,50 @@
+#pragma once
+// Delta-debugging minimizer for failing fuzz cases.
+//
+// minimize_case() shrinks a case while a caller-supplied predicate keeps
+// failing (ddmin over the block set, plus structural simplifications), so a
+// corpus entry reproduces its bug with the fewest moving parts:
+//
+//   1. churn pruning      drop the whole plan, then each op individually;
+//   2. block ddmin        remove chunks of blocks, halving the chunk size
+//                         down to single blocks; every candidate must still
+//                         satisfy lat::validate() (root kept, connectivity
+//                         and path-coverage preserved);
+//   3. bounding-box trim  shrink the surface to the blocks' bounding box
+//                         (plus a 1-cell margin and the I/O cells);
+//   4. knob simplification ack_timeout -> 0 when no kills remain,
+//                         latency -> fixed(1), motion_duration -> 10.
+//
+// Steps repeat until a full pass removes nothing ("1-minimal" in
+// delta-debugging terms) or the evaluation budget runs out. The predicate
+// re-runs the differential harness, so minimization cost is bounded by
+// `max_evals` harness executions.
+
+#include <cstdint>
+#include <functional>
+
+#include "check/fuzz_case.hpp"
+
+namespace sb::check {
+
+struct MinimizeOptions {
+  /// Budget of predicate evaluations (each typically a full run_case()).
+  uint64_t max_evals = 250;
+};
+
+struct MinimizeResult {
+  FuzzCase minimized;
+  uint64_t evals = 0;       ///< predicate evaluations spent
+  size_t blocks_before = 0;
+  size_t blocks_after = 0;
+};
+
+/// Shrinks `failing` while `still_fails` returns true for the candidate.
+/// `still_fails(failing)` is assumed true and is not re-checked; every
+/// returned case satisfies lat::validate().
+[[nodiscard]] MinimizeResult minimize_case(
+    const FuzzCase& failing,
+    const std::function<bool(const FuzzCase&)>& still_fails,
+    const MinimizeOptions& options = {});
+
+}  // namespace sb::check

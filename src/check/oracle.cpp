@@ -1,0 +1,153 @@
+#include "check/oracle.hpp"
+
+#include <unordered_set>
+
+#include "lattice/connectivity.hpp"
+#include "util/fmt.hpp"
+
+namespace sb::check {
+
+InvariantOracle::InvariantOracle(OracleOptions options)
+    : options_(options), rng_(options.seed) {
+  SB_EXPECTS(options_.check_every > 0, "check_every must be >= 1");
+}
+
+void InvariantOracle::attach(
+    core::ReconfigurationSession& session,
+    std::function<void(core::Epoch, lat::BlockId,
+                       const motion::RuleApplication&)>
+        chain) {
+  SB_EXPECTS(!attached_, "oracle already attached to a session");
+  attached_ = true;
+  expected_blocks_ = session.simulator().world().grid().block_count();
+  session.simulator().set_mutation_observer(
+      [this](sim::Simulator& sim) { on_mutation(sim); });
+  session.set_move_listener(
+      [this, chain = std::move(chain)](core::Epoch epoch, lat::BlockId mover,
+                                       const motion::RuleApplication& app) {
+        on_move(epoch, mover);
+        if (chain) chain(epoch, mover, app);
+      });
+}
+
+void InvariantOracle::on_mutation(sim::Simulator& sim) {
+  ++mutations_seen_;
+  if ((mutations_seen_ - 1) % options_.check_every != 0) return;
+  check_now(sim);
+}
+
+void InvariantOracle::check_now(sim::Simulator& sim) {
+  ++checks_run_;
+  check_occupancy(sim);
+  check_connectivity(sim);
+  check_conservation(sim);
+}
+
+void InvariantOracle::on_move(core::Epoch epoch, lat::BlockId mover) {
+  if (epoch < last_epoch_ && violations_.size() < options_.max_violations) {
+    violations_.push_back(fmt(
+        "epoch regression: move by block {} carries epoch {} after epoch {}",
+        mover.value, epoch, last_epoch_));
+  }
+  if (epoch > last_epoch_) last_epoch_ = epoch;
+}
+
+void InvariantOracle::record(sim::Simulator& sim, std::string what) {
+  if (violations_.size() >= options_.max_violations) {
+    ++suppressed_;
+    return;
+  }
+  violations_.push_back(fmt("t={}: {}", sim.now(), what));
+}
+
+void InvariantOracle::check_occupancy(sim::Simulator& sim) {
+  const lat::Grid& grid = sim.world().grid();
+  std::unordered_set<uint32_t> seen;
+  std::vector<size_t> rows(static_cast<size_t>(grid.height()), 0);
+  std::vector<size_t> cols(static_cast<size_t>(grid.width()), 0);
+  size_t counted = 0;
+  for (int32_t y = 0; y < grid.height(); ++y) {
+    for (int32_t x = 0; x < grid.width(); ++x) {
+      const lat::Vec2 p{x, y};
+      const lat::BlockId id = grid.at(p);
+      if (!id.valid()) continue;
+      ++counted;
+      ++rows[static_cast<size_t>(y)];
+      ++cols[static_cast<size_t>(x)];
+      if (!seen.insert(id.value).second) {
+        record(sim, fmt("block {} occupies more than one cell (second at {})",
+                        id.value, p));
+        continue;
+      }
+      if (!grid.contains(id)) {
+        record(sim,
+               fmt("cell {} holds block {} but the id index disowns it", p,
+                   id.value));
+      } else if (grid.position_of(id) != p) {
+        record(sim, fmt("block {} indexed at {} but cell {} holds it",
+                        id.value, grid.position_of(id), p));
+      }
+    }
+  }
+  if (counted != grid.block_count()) {
+    record(sim, fmt("block_count says {} but {} cells are occupied",
+                    grid.block_count(), counted));
+  }
+  for (int32_t y = 0; y < grid.height(); ++y) {
+    if (grid.blocks_in_row(y) != rows[static_cast<size_t>(y)]) {
+      record(sim, fmt("row {} count cache says {} but {} cells are occupied",
+                      y, grid.blocks_in_row(y),
+                      rows[static_cast<size_t>(y)]));
+    }
+  }
+  for (int32_t x = 0; x < grid.width(); ++x) {
+    if (grid.blocks_in_column(x) != cols[static_cast<size_t>(x)]) {
+      record(sim,
+             fmt("column {} count cache says {} but {} cells are occupied", x,
+                 grid.blocks_in_column(x), cols[static_cast<size_t>(x)]));
+    }
+  }
+}
+
+void InvariantOracle::check_connectivity(sim::Simulator& sim) {
+  const lat::Grid& grid = sim.world().grid();
+  const bool connected = lat::is_connected_ground_truth(grid);
+  const lat::ConnectivityHint hint = grid.own_connectivity_hint();
+  if (!connected) {
+    record(sim, fmt("surface disconnected: {} blocks no longer form one "
+                    "component (Remark 1 violated)",
+                    grid.block_count()));
+    if (hint == lat::ConnectivityHint::kConnected) {
+      record(sim,
+             "cached connectivity verdict says connected but the "
+             "ground-truth flood says disconnected");
+    }
+    return;
+  }
+  if (hint == lat::ConnectivityHint::kUnknown) return;
+  if (!rng_.next_bool(options_.hint_probe_rate)) return;
+  ++hint_probes_;
+  if (hint == lat::ConnectivityHint::kDisconnected) {
+    record(sim,
+           "cached connectivity verdict says disconnected but the "
+           "ground-truth flood says connected");
+  }
+}
+
+void InvariantOracle::check_conservation(sim::Simulator& sim) {
+  const lat::Grid& grid = sim.world().grid();
+  if (grid.block_count() != expected_blocks_) {
+    record(sim, fmt("module conservation broken: {} blocks on the surface, "
+                    "expected {} (initial + hot-joins; deaths keep their "
+                    "block in place)",
+                    grid.block_count(), expected_blocks_));
+    // Resync so one lost block doesn't re-report on every later mutation.
+    expected_blocks_ = grid.block_count();
+  }
+  if (sim.module_count() > grid.block_count()) {
+    record(sim, fmt("{} modules registered for {} blocks",
+                    sim.module_count(), grid.block_count()));
+  }
+}
+
+}  // namespace sb::check

@@ -376,6 +376,21 @@ void SmartBlockCode::on_motion_complete() {
   broadcast(done);
 }
 
+void SmartBlockCode::on_motion_rejected() {
+  // The elected move went stale: between this block's candidacy (where the
+  // move was sensed as legal) and its election, external churn docked a
+  // block into a cell the move needs. The block stays put; close the epoch
+  // exactly as a landed move would — the MoveDone flood lets the Root
+  // advance and re-elect against the fresh world. No hop is counted and no
+  // move listener fires, because no block moved.
+  MoveDoneMsg done;
+  done.epoch = epoch_;
+  done.mover = id();
+  done.reached_output = false;
+  move_done_seen_ = epoch_;
+  broadcast(done);
+}
+
 void SmartBlockCode::handle_move_done(lat::Direction from_side,
                                       const MoveDoneMsg& m) {
   if (m.epoch <= move_done_seen_) return;  // duplicate or stale

@@ -101,6 +101,7 @@ class SmartBlockCode final : public sim::Module {
   void on_message(lat::Direction from_side, const msg::Message& m) override;
   void on_timer(uint64_t tag) override;
   void on_motion_complete() override;
+  void on_motion_rejected() override;
 
  private:
   enum class Phase { kIdle, kEngaged, kDone };

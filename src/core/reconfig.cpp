@@ -63,24 +63,41 @@ ReconfigurationSession::ReconfigurationSession(const lat::Scenario& scenario,
                                            planner_config,
                                            simulator_->shard_count());
 
-  AlgorithmConfig algorithm;
-  algorithm.input = scenario_.input;
-  algorithm.output = scenario_.output;
-  algorithm.election_tie = config_.election_tie;
-  algorithm.paper_eq6_init = config_.paper_eq6_init;
-  algorithm.ack_timeout = config_.ack_timeout;
-  algorithm.tabu_capacity = config_.tabu_capacity;
-  algorithm.tabu_horizon = config_.tabu_horizon;
+  algorithm_.input = scenario_.input;
+  algorithm_.output = scenario_.output;
+  algorithm_.election_tie = config_.election_tie;
+  algorithm_.paper_eq6_init = config_.paper_eq6_init;
+  algorithm_.ack_timeout = config_.ack_timeout;
+  algorithm_.tabu_capacity = config_.tabu_capacity;
+  algorithm_.tabu_horizon = config_.tabu_horizon;
   const auto n = static_cast<uint32_t>(scenario_.block_count());
-  algorithm.max_iterations =
+  algorithm_.max_iterations =
       config_.max_iterations != 0 ? config_.max_iterations
                                   : 20 * n * n + 500;
 
   for (const auto& [id, pos] : scenario_.blocks) {
     const bool is_root = pos == scenario_.input;
     simulator_->add_module(std::make_unique<SmartBlockCode>(
-        id, is_root, planners_.get(), algorithm, &shared_));
+        id, is_root, planners_.get(), algorithm_, &shared_));
   }
+}
+
+sim::Module& ReconfigurationSession::hot_join(lat::BlockId id, lat::Vec2 pos) {
+  lat::Grid& grid = simulator_->world().grid();
+  SB_EXPECTS(grid.in_bounds(pos) && !grid.occupied(pos),
+             "hot_join needs a free in-bounds cell, got ", pos);
+  SB_EXPECTS(grid.occupied_neighbor_count(pos) > 0,
+             "hot_join at ", pos, " would land a detached block");
+  SB_EXPECTS(!simulator_->cell_in_motion(pos), "hot_join at ", pos,
+             " would collide with an in-flight motion");
+  SB_EXPECTS(!grid.contains(id), "hot_join id ", id, " already placed");
+  grid.place(id, pos);
+  simulator_->notify_cells_changed({pos});
+  sim::Module& module =
+      simulator_->add_module(std::make_unique<SmartBlockCode>(
+          id, /*is_root=*/false, planners_.get(), algorithm_, &shared_));
+  simulator_->start_module(id);
+  return module;
 }
 
 void ReconfigurationSession::start_if_needed() {

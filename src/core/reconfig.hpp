@@ -130,6 +130,14 @@ class ReconfigurationSession {
   /// Runs the distributed algorithm to termination (or a limit).
   [[nodiscard]] SessionResult run();
 
+  /// Mid-run churn: places a fresh block at `pos` (must be a free cell
+  /// 4-adjacent to an occupied one, so connectivity is preserved), registers
+  /// a SmartBlockCode for it, and schedules its start at the current time.
+  /// In sharded mode call only from a sequential context — an external
+  /// event or between run()/step_events() calls. The scenario itself is not
+  /// modified; SessionResult::block_count keeps reporting the initial count.
+  sim::Module& hot_join(lat::BlockId id, lat::Vec2 pos);
+
   /// Starts the modules (idempotent) and processes at most `max_events`
   /// events. Useful to pause mid-run, e.g. for fault injection:
   ///   session.step_events(2000);
@@ -146,6 +154,8 @@ class ReconfigurationSession {
 
   lat::Scenario scenario_;
   SessionConfig config_;
+  /// Per-block algorithm parameters, kept for hot_join'ed modules.
+  AlgorithmConfig algorithm_;
   SessionShared shared_;
   std::unique_ptr<sim::Simulator> simulator_;
   /// One planner memo per simulator shard (size 1 in classic mode).

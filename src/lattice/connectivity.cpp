@@ -210,6 +210,13 @@ bool is_connected(const Grid& grid) {
   return connected;
 }
 
+bool is_connected_ground_truth(const Grid& grid) {
+  if (grid.block_count() <= 1) return true;
+  FloodScratch& scratch = flood_scratch(grid.cell_count());
+  return flood_fill(grid, scratch, grid.first_block_position(), nullptr, 0,
+                    nullptr, 0) == grid.block_count();
+}
+
 NetMoveEffect net_move_effect(const std::pair<Vec2, Vec2>* moves,
                               size_t count, Vec2* vacated_out,
                               Vec2* landed_out) {

@@ -36,6 +36,13 @@ namespace sb::lat {
 /// grid mutation.
 [[nodiscard]] bool is_connected(const Grid& grid);
 
+/// Hint-free ground truth: always floods, never reads, writes, or counts
+/// against the grid's connectivity cache. The invariant oracle
+/// (src/check/oracle.hpp) uses this to cross-check cached verdicts — the
+/// check is only meaningful because this path shares nothing with the
+/// cache it audits.
+[[nodiscard]] bool is_connected_ground_truth(const Grid& grid);
+
 /// True when the configuration would remain connected after atomically
 /// applying `moves` (pairs of from -> to). Does not mutate the grid.
 /// The pointer overload lets hot callers pass a reused scratch buffer.

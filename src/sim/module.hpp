@@ -51,6 +51,12 @@ class Module {
   /// A motion this module requested has completed; position() is updated.
   virtual void on_motion_complete() {}
 
+  /// A motion this module requested was refused because it is no longer
+  /// physically possible (another block docked into a cell the move needs —
+  /// only reachable under external churn). The block has not moved; the
+  /// module must recover at the protocol level or the run deadlocks.
+  virtual void on_motion_rejected() {}
+
   /// The block attached on `side` changed (kInvalidBlock = detached).
   virtual void on_neighbor_change(lat::Direction side, lat::BlockId now) {
     (void)side;

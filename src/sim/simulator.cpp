@@ -106,6 +106,13 @@ void Simulator::kill_module(lat::BlockId id) {
   log_debug("block {} killed at t={}", id.value, now_);
 }
 
+void Simulator::start_module(lat::BlockId id) {
+  SB_EXPECTS(find_module(id) != nullptr, "cannot start unknown block ", id);
+  SB_EXPECTS(tls_exec_ == nullptr,
+             "start_module must run in a sequential context");
+  schedule_record(EventRecord::start(now_, id));
+}
+
 void Simulator::schedule_record(EventRecord record) {
   if (!sharded_) {
     SB_EXPECTS(record.time >= now_, "cannot schedule into the past (t=",
@@ -195,9 +202,11 @@ void Simulator::dispatch(EventRecord& record) {
       return;
     case EventKind::kMotionComplete:
       complete_motion(record.a, record.app);
+      if (mutation_observer_) mutation_observer_(*this);
       return;
     case EventKind::kExternal:
       record.external->execute(*this);
+      if (mutation_observer_) mutation_observer_(*this);
       return;
   }
   SB_UNREACHABLE();
@@ -287,16 +296,47 @@ void Simulator::start_motion_for(Module& subject,
                  world_.grid().position_of(subject.id()),
              "block ", subject.id(), " is not the subject of ",
              app.describe());
-  SB_EXPECTS(world_.can_apply(app), "physically invalid motion requested: ",
-             app.describe());
+  if (!world_.can_apply(app)) {
+    // The world changed between the block's decision and this request — a
+    // hot-joined block docked into a cell the move needs (unreachable
+    // without external churn: the algorithm moves one block at a time).
+    // The mover stays put; the module recovers at the protocol level.
+    log_warn("block {}: motion {} no longer physically possible; rejected",
+             subject.id(), app.describe());
+    ++active_stats().motions_rejected;
+    subject.on_motion_rejected();
+    return;
+  }
   ++active_stats().motions_started;
   const SimTime lands = now() + config_.motion_duration;
+  // Sequential contexts register the flight here; requests made inside a
+  // shard window buffer through pending_global and register at the barrier
+  // flush, so the registry is never touched concurrently.
+  if (tls_exec_ == nullptr) inflight_motions_.emplace_back(subject.id(), app);
   schedule_record(EventRecord::motion_complete(lands, subject.id(), app));
+}
+
+bool Simulator::cell_in_motion(lat::Vec2 pos) const {
+  for (const auto& [subject, app] : inflight_motions_) {
+    for (const auto& [from, to] : app.world_moves()) {
+      if (from == pos || to == pos) return true;
+    }
+  }
+  return false;
 }
 
 void Simulator::complete_motion(lat::BlockId subject,
                                 const motion::RuleApplication& app) {
+  for (auto it = inflight_motions_.begin(); it != inflight_motions_.end();
+       ++it) {
+    if (it->first == subject) {
+      inflight_motions_.erase(it);
+      break;
+    }
+  }
   // Physics may have changed since the request was validated; re-check.
+  // External stimuli are required to respect cell_in_motion(), so this can
+  // only fire on an engine bug, not on legal churn.
   SB_ASSERT(world_.can_apply(app),
             "motion became invalid while executing: ", app.describe(),
             " (concurrent motions are not supported)");

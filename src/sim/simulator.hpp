@@ -6,6 +6,7 @@
 // only through messages with randomized link latency. Executions are
 // deterministic for a fixed seed.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -135,6 +136,35 @@ class Simulator {
   /// on the grid as an inert obstacle (paper §VI future work).
   void kill_module(lat::BlockId id);
 
+  /// Schedules on_start() for one module at the current time (hot-join
+  /// churn: a module registered mid-run). In sharded mode, call only from a
+  /// sequential context (an external event or between run() calls).
+  void start_module(lat::BlockId id);
+
+  /// Recomputes neighbor tables around externally mutated cells and fires
+  /// on_neighbor_change where contacts changed — the grid-side half of a
+  /// hot-join (core::ReconfigurationSession::hot_join). Like start_module,
+  /// sequential contexts only.
+  void notify_cells_changed(const std::vector<lat::Vec2>& cells) {
+    refresh_neighbors_around(cells);
+  }
+
+  /// True when an in-flight motion touches `pos` (source or destination of
+  /// any pending elementary move). External stimuli must not place blocks
+  /// on such cells: the mover sweeps through them before its landing event
+  /// executes. Sequential contexts only (the registry is updated at window
+  /// barriers in sharded mode).
+  [[nodiscard]] bool cell_in_motion(lat::Vec2 pos) const;
+
+  /// Observer invoked after every grid-affecting event (motion completion
+  /// or external event), always from the sequential context — in sharded
+  /// mode these events run between windows on the coordinating thread. The
+  /// invariant oracle (src/check/oracle.hpp) hooks here to audit the world
+  /// after each mutation.
+  void set_mutation_observer(std::function<void(Simulator&)> observer) {
+    mutation_observer_ = std::move(observer);
+  }
+
   // -- event loop -----------------------------------------------------------
 
   /// Schedules a user-defined event (tests, benches, fault injection). The
@@ -238,8 +268,16 @@ class Simulator {
   std::vector<std::unique_ptr<Module>> modules_;
   size_t module_count_ = 0;
   SimStats stats_;
+  /// Motions requested but not yet landed, keyed by subject. Classic mode
+  /// registers at request time; sharded mode at the barrier flush (requests
+  /// made inside windows buffer through pending_global), so the registry is
+  /// only ever touched from sequential contexts.
+  std::vector<std::pair<lat::BlockId, motion::RuleApplication>>
+      inflight_motions_;
 
   // -- sharded mode ---------------------------------------------------------
+
+  std::function<void(Simulator&)> mutation_observer_;
 
   bool sharded_ = false;
   Ticks lookahead_ = 1;
@@ -251,6 +289,13 @@ class Simulator {
   std::unique_ptr<ShardWorkerPool> pool_;
   bool trace_events_ = false;
   std::vector<std::vector<std::string>> trace_streams_;
+  /// Deliberate-bug injection for the differential fuzzer's self-test
+  /// (tools/fuzz_sim, tests/check_test): when the SB_SIM_FAULT_DROP_FLUSH
+  /// env var holds N >= 0, the N-th barrier flush silently discards its
+  /// cross-shard outboxes — a lost-message bug that only the sharded
+  /// engine exhibits, so the differential harness must catch it. -1 = off.
+  int64_t fault_drop_flush_ = -1;
+  int64_t flush_count_ = 0;
   /// The shard whose window the current thread is draining (null outside
   /// parallel phases); routes now()/halt()/scheduling to shard state.
   static thread_local ShardState* tls_exec_;

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 
 #include "sim/simulator.hpp"
@@ -67,6 +68,11 @@ void Simulator::init_shards() {
   }
   threads = std::min(threads, shards_.size());
   if (threads > 1) pool_ = std::make_unique<ShardWorkerPool>(threads);
+
+  // Deliberate-bug injection for the fuzzer self-test (simulator.hpp).
+  if (const char* fault = std::getenv("SB_SIM_FAULT_DROP_FLUSH")) {
+    fault_drop_flush_ = std::strtoll(fault, nullptr, 10);
+  }
 }
 
 std::vector<uint64_t> Simulator::shard_event_counts() const {
@@ -196,12 +202,23 @@ void Simulator::drain_shard_window(ShardState& shard, SimTime window_end) {
 
 void Simulator::flush_shard_buffers() {
   const lat::Grid& grid = world_.grid();
+  // Injected bug (SB_SIM_FAULT_DROP_FLUSH, see simulator.hpp): drop this
+  // flush's cross-shard deliveries on the floor. Never enabled outside the
+  // fuzzer's detection self-test.
+  const bool drop_outboxes = flush_count_++ == fault_drop_flush_;
   for (const auto& shard : shards_) {
-    for (auto& [dest, record] : shard->outbox) {
-      shards_[dest]->queue->push(std::move(record));
+    if (!drop_outboxes) {
+      for (auto& [dest, record] : shard->outbox) {
+        shards_[dest]->queue->push(std::move(record));
+      }
     }
     shard->outbox.clear();
     for (auto& record : shard->pending_global) {
+      // Motions requested inside the window become visible here: register
+      // the flight so sequential churn can respect cell_in_motion().
+      if (record.kind == EventKind::kMotionComplete) {
+        inflight_motions_.emplace_back(record.a, record.app);
+      }
       global_queue_->push(std::move(record));
     }
     shard->pending_global.clear();

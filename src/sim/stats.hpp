@@ -15,6 +15,11 @@ struct SimStats {
   uint64_t messages_dropped = 0;
   uint64_t motions_started = 0;
   uint64_t motions_completed = 0;
+  /// Motion requests that were physically invalid by the time they arrived
+  /// (the world changed between a block's decision and its election — only
+  /// possible under external churn). The mover stays put and recovers at
+  /// the protocol level (Module::on_motion_rejected).
+  uint64_t motions_rejected = 0;
   /// Per message kind (Activate, Ack, ...); keys are static string tags.
   /// Flat sorted vectors: bumped once per event/message and copied per
   /// sweep run, where a node-based map is measurable overhead.
@@ -31,6 +36,7 @@ struct SimStats {
     messages_dropped += other.messages_dropped;
     motions_started += other.motions_started;
     motions_completed += other.motions_completed;
+    motions_rejected += other.motions_rejected;
     messages_by_kind.merge(other.messages_by_kind);
     events_by_kind.merge(other.events_by_kind);
   }

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/oracle.hpp"
 #include "dist/coordinator.hpp"
 #include "dist/protocol.hpp"
 #include "dist/socket.hpp"
@@ -272,6 +273,30 @@ std::string dist_report_text(const runner::SweepCliOptions& options,
   runner::BenchReport report = runner::assemble_report(ropts, rows);
   report.scrub_timing();
   return report.to_json_text();
+}
+
+// The byte-identity tests above prove local and distributed reports agree;
+// this one proves the runs being reported on are themselves sound: every
+// RunSpec the fleet distributes, executed with the invariant oracle
+// attached, finishes without a single violation.
+TEST(DistSweep, DistributedWorkloadIsInvariantClean) {
+  const runner::SweepCliOptions grid = small_grid();
+  for (const runner::RunSpec& spec :
+       runner::expand(runner::make_sweep_grid(grid))) {
+    core::SessionConfig config = spec.config;
+    config.sim.seed = spec.seed;
+    core::ReconfigurationSession session(spec.scenario, config);
+    check::InvariantOracle oracle;
+    oracle.attach(session);
+    const core::SessionResult result = session.run();
+    oracle.check_now(session.simulator());
+    EXPECT_TRUE(result.complete || result.blocked)
+        << spec.scenario_label << " seed=" << spec.seed;
+    EXPECT_TRUE(oracle.clean())
+        << spec.scenario_label << " seed=" << spec.seed << ": "
+        << oracle.violations().front();
+    EXPECT_GT(oracle.checks_run(), 0u);
+  }
 }
 
 TEST(DistSweep, SingleWorkerMatchesLocalByteForByte) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/oracle.hpp"
 #include "core/reconfig.hpp"
 #include "lattice/scenario.hpp"
 
@@ -132,6 +133,69 @@ TEST(Fault, RestartCounterVisibleInResult) {
   // Whatever the terminal state, the counters must be consistent.
   EXPECT_EQ(result.election_restarts, session.metrics().election_restarts);
   EXPECT_GE(result.iterations, 1u);
+}
+
+/// First free in-bounds cell (row-major) attachable to the structure and
+/// distinct from the output — where a hot-joining block can land right now.
+Vec2 join_site(ReconfigurationSession& session) {
+  const lat::Grid& grid = session.simulator().world().grid();
+  for (int32_t y = 0; y < grid.height(); ++y) {
+    for (int32_t x = 0; x < grid.width(); ++x) {
+      const Vec2 pos{x, y};
+      if (grid.occupied(pos) || pos == session.scenario().output) continue;
+      if (grid.occupied_neighbor_count(pos) == 0) continue;
+      if (session.simulator().cell_in_motion(pos)) continue;
+      return pos;
+    }
+  }
+  return {-1, -1};
+}
+
+TEST(Fault, HotJoinDuringReconfigurationIsAdopted) {
+  // A block that docks onto the surface mid-run must be started, counted,
+  // and folded into the ongoing reconfiguration; the extra spare must not
+  // break completion.
+  const lat::Scenario scenario = lat::make_fig10_scenario();
+  ReconfigurationSession session(scenario, SessionConfig{});
+  check::InvariantOracle oracle;
+  oracle.attach(session);
+  session.step_events(200);
+  const size_t before = session.simulator().module_count();
+  const Vec2 site = join_site(session);
+  ASSERT_NE(site.x, -1);
+  session.hot_join(BlockId{99}, site);
+  oracle.expect_join();
+  EXPECT_EQ(session.simulator().module_count(), before + 1);
+  const SessionResult result = session.run();
+  EXPECT_TRUE(result.complete || result.blocked)
+      << to_string(result.stop_reason);
+  EXPECT_NE(result.stop_reason, sim::StopReason::kEventLimit);
+  EXPECT_TRUE(oracle.clean()) << oracle.violations().front();
+}
+
+TEST(Fault, DeathAndHotJoinChurnTogether) {
+  // The full churn gauntlet in one run: a lane block dies mid-election,
+  // then a replacement hot-joins while the timeout machinery is still
+  // routing around the corpse. The run must reach a clean terminal state
+  // with every invariant intact (the dead block stays on the surface, so
+  // conservation holds without adjustment; the join adds one).
+  const lat::Scenario scenario = slack_scenario();
+  ReconfigurationSession session(scenario, fault_config());
+  check::InvariantOracle oracle;
+  oracle.attach(session);
+  session.step_events(300);
+  session.simulator().kill_module(block_at(scenario, {2, 0}));
+  session.step_events(200);
+  const Vec2 site = join_site(session);
+  ASSERT_NE(site.x, -1);
+  session.hot_join(BlockId{99}, site);
+  oracle.expect_join();
+  const SessionResult result = session.run();
+  EXPECT_TRUE(result.complete || result.blocked)
+      << to_string(result.stop_reason);
+  EXPECT_NE(result.stop_reason, sim::StopReason::kEventLimit);
+  EXPECT_TRUE(oracle.clean()) << oracle.violations().front();
+  EXPECT_GT(oracle.checks_run(), 0u);
 }
 
 TEST(Fault, StepEventsIsIdempotentOnStart) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "check/oracle.hpp"
 #include "core/reconfig.hpp"
 #include "lattice/scenario.hpp"
 #include "lattice/shard.hpp"
@@ -79,6 +80,9 @@ struct SessionRun {
   core::SessionResult result;
   std::vector<std::string> move_trace;
   std::vector<std::vector<std::string>> event_trace;
+  /// Invariant-oracle verdict for the run (src/check/oracle.hpp): every
+  /// e2e session below must finish with an empty list.
+  std::vector<std::string> violations;
 };
 
 SessionRun run_session(const lat::Scenario& scenario,
@@ -88,14 +92,25 @@ SessionRun run_session(const lat::Scenario& scenario,
   config.sim.shard_threads = shard_threads;
   core::ReconfigurationSession session(scenario, config);
   SessionRun run;
-  session.set_move_listener([&run](core::Epoch epoch, lat::BlockId block,
-                                   const motion::RuleApplication& app) {
+  check::InvariantOracle oracle;
+  oracle.attach(session, [&run](core::Epoch epoch, lat::BlockId block,
+                                const motion::RuleApplication& app) {
     run.move_trace.push_back(fmt("{} {} {}", epoch, block, app.describe()));
   });
   session.simulator().enable_event_trace();
   run.result = session.run();
   run.event_trace = session.simulator().event_trace();
+  oracle.check_now(session.simulator());
+  run.violations = oracle.violations();
   return run;
+}
+
+/// gtest-friendly wrapper: prints the first violation on failure.
+testing::AssertionResult oracle_clean(const SessionRun& run) {
+  if (run.violations.empty()) return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << run.violations.size() << " invariant violations, first: "
+         << run.violations.front();
 }
 
 core::SessionConfig jittery_config() {
@@ -114,6 +129,8 @@ TEST(ShardedDeterminism, TracesIdenticalAcrossThreadCountsTower16) {
 
   ASSERT_TRUE(serial.result.complete);
   ASSERT_FALSE(serial.move_trace.empty());
+  EXPECT_TRUE(oracle_clean(serial));
+  EXPECT_TRUE(oracle_clean(parallel));
   EXPECT_EQ(serial.event_trace, parallel.event_trace);
   EXPECT_EQ(serial.event_trace, two.event_trace);
   EXPECT_EQ(serial.move_trace, parallel.move_trace);
@@ -188,6 +205,7 @@ TEST(ShardedSession, MaximallyShardedTowerCompletes) {
       run_session(scenario, {}, static_cast<size_t>(scenario.width), 2);
 
   ASSERT_TRUE(sharded.result.complete);
+  EXPECT_TRUE(oracle_clean(sharded));
   EXPECT_GT(sharded.result.shards, 2u);
   // The distributed algorithm's outcome metrics are schedule-independent.
   EXPECT_EQ(sharded.result.hops, classic.result.hops);
@@ -205,6 +223,8 @@ TEST(ShardedSession, FaultModeTimersStayDeterministic) {
   const SessionRun parallel = run_session(scenario, config, 3, 3);
 
   ASSERT_TRUE(serial.result.complete);
+  EXPECT_TRUE(oracle_clean(serial));
+  EXPECT_TRUE(oracle_clean(parallel));
   EXPECT_EQ(serial.event_trace, parallel.event_trace);
 }
 
@@ -247,6 +267,8 @@ TEST(ShardedSession, FixedLatencyMetricsMatchClassic) {
 
   ASSERT_TRUE(classic.result.complete);
   ASSERT_TRUE(sharded.result.complete);
+  EXPECT_TRUE(oracle_clean(classic));
+  EXPECT_TRUE(oracle_clean(sharded));
   EXPECT_EQ(sharded.move_trace, classic.move_trace);
   EXPECT_EQ(sharded.result.hops, classic.result.hops);
   EXPECT_EQ(sharded.result.distance_computations,

@@ -510,12 +510,18 @@ TEST(Simulator, MotionCompletesAndNotifies) {
   EXPECT_EQ(mover.neighbor_table().neighbor(Direction::kSouth), BlockId{3});
 }
 
-TEST(SimulatorDeath, InvalidMotionAborts) {
+TEST(Simulator, InvalidMotionIsRejectedNotStarted) {
+  // A physically impossible request is rejected gracefully (the world can
+  // change between sensing and election under external churn), not aborted:
+  // the mover stays put and the rejection is counted.
   Simulator sim(make_world({{1, 1}, {2, 1}}));
   auto& mover = sim.add_module(std::make_unique<RecorderModule>(BlockId{1}));
   const motion::MotionRule* rule = sim.world().rules().find("slide_ES");
   motion::RuleApplication app{rule, {1, 1}, 0};  // no supports -> invalid
-  EXPECT_DEATH(sim.start_motion_for(mover, app), "invalid motion");
+  sim.start_motion_for(mover, app);
+  EXPECT_EQ(sim.stats().motions_started, 0u);
+  EXPECT_EQ(sim.stats().motions_rejected, 1u);
+  EXPECT_TRUE(sim.world().grid().occupied({1, 1}));  // did not move
 }
 
 TEST(Simulator, KilledModuleReceivesNothing) {

@@ -28,14 +28,14 @@ int run() {
   session.set_move_listener(trace.recorder());
 
   std::printf("initial configuration:\n%s",
-              viz::render_ascii(session.simulator().world().grid(),
+              viz::render_ascii(session.simulator().world().view(),
                                 scenario.input, scenario.output)
                   .c_str());
 
   const core::SessionResult result = session.run();
 
   std::printf("final configuration:\n%s",
-              viz::render_ascii(session.simulator().world().grid(),
+              viz::render_ascii(session.simulator().world().view(),
                                 scenario.input, scenario.output)
                   .c_str());
 

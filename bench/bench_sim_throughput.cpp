@@ -165,10 +165,12 @@ void report_table() {
 ///
 ///   - tower16/tower64: the full distributed algorithm (run to completion)
 ///     through the sweep harness;
-///   - blob10000/blob100000: giant random blobs driving the validation hot
-///     path at scale, capped at kGiantEventBudget events per run (a full
-///     reconfiguration at 10^5 blocks is O(N^2) hops — the bench measures
-///     event throughput, not completion);
+///   - blob10000/blob100000/blob1000000: giant random blobs driving the
+///     validation hot path at scale, capped at kGiantEventBudget events per
+///     run (a full reconfiguration at these sizes is O(N^2) hops — the
+///     bench measures event throughput, not completion). The 10^6 group is
+///     the paper's §V.E scale on the batched row oracle: throughput must
+///     hold flat across the 10^4 -> 10^6 decades;
 ///   - blob100000 / shards<S> (S in 1,2,4,8): the shard-count scaling
 ///     group — the same giant blob on the sharded engine with S column
 ///     stripes and min(S, hardware) shard threads (docs/BENCHMARKS.md
@@ -199,7 +201,7 @@ int report_json(const std::string& path, int repeat) {
   runner::SweepGrid giant;
   giant.master_seed = kMasterSeed;
   giant.seed_count = static_cast<size_t>(repeat);
-  for (const int32_t blocks : {10'000, 100'000}) {
+  for (const int32_t blocks : {10'000, 100'000, 1'000'000}) {
     giant.scenarios.push_back(
         {fmt("blob{}", blocks),
          lat::make_giant_blob_scenario(blocks, kMasterSeed)});

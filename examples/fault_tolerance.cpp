@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   const sb::core::SessionResult result = session.run();
 
   std::printf("\nfinal state:\n%s",
-              sb::viz::render_ascii(session.simulator().world().grid(),
+              sb::viz::render_ascii(session.simulator().world().view(),
                                     scenario.input, scenario.output)
                   .c_str());
   std::printf("\n%s", result.summary().c_str());

@@ -38,25 +38,26 @@ int main(int argc, char** argv) {
         if (animate) {
           std::printf("-- step %u: block #%u %s\n%s", epoch, mover.value,
                       app.describe().c_str(),
-                      sb::viz::render_ascii(grid, scenario.input,
+                      sb::viz::render_ascii(sb::lat::WorldView(grid), scenario.input,
                                             scenario.output)
                           .c_str());
         }
       });
 
   std::printf("initial state (cf. paper Fig 10):\n%s",
-              sb::viz::render_ascii(grid, scenario.input, scenario.output)
+              sb::viz::render_ascii(sb::lat::WorldView(grid), scenario.input, scenario.output)
                   .c_str());
   const std::string svg_prefix = cli.get_string("svg-prefix");
   if (!svg_prefix.empty()) {
-    sb::viz::save_svg(svg_prefix + "_initial.svg", grid, scenario.input,
+    sb::viz::save_svg(svg_prefix + "_initial.svg",
+                      sb::lat::WorldView(grid), scenario.input,
                       scenario.output);
   }
 
   const sb::core::SessionResult result = session.run();
 
   std::printf("final state (cf. paper Fig 11):\n%s",
-              sb::viz::render_ascii(grid, scenario.input, scenario.output)
+              sb::viz::render_ascii(sb::lat::WorldView(grid), scenario.input, scenario.output)
                   .c_str());
   std::printf("\n%s", result.summary().c_str());
   std::printf("\nthe paper reports 55 elementary moves for its example; "
@@ -64,7 +65,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.elementary_moves));
 
   if (!svg_prefix.empty()) {
-    sb::viz::save_svg(svg_prefix + "_final.svg", grid, scenario.input,
+    sb::viz::save_svg(svg_prefix + "_final.svg",
+                      sb::lat::WorldView(grid), scenario.input,
                       scenario.output);
     std::printf("SVG snapshots written to %s_{initial,final}.svg\n",
                 svg_prefix.c_str());

@@ -46,7 +46,7 @@ int run_single(const sb::lat::Scenario& scenario,
     sb::viz::AsciiOptions options;
     options.show_ids = false;
     std::printf("%s", sb::viz::render_ascii(
-                          session.simulator().world().grid(),
+                          session.simulator().world().view(),
                           scenario.input, scenario.output, options)
                           .c_str());
   }

@@ -37,14 +37,14 @@ int main(int argc, char** argv) {
               scenario.output.y, scenario.block_count(),
               sb::lat::shortest_path_cells(scenario.input, scenario.output));
   std::printf("initial:\n%s",
-              sb::viz::render_ascii(session.simulator().world().grid(),
+              sb::viz::render_ascii(session.simulator().world().view(),
                                     scenario.input, scenario.output)
                   .c_str());
 
   const sb::core::SessionResult result = session.run();
 
   std::printf("final:\n%s",
-              sb::viz::render_ascii(session.simulator().world().grid(),
+              sb::viz::render_ascii(session.simulator().world().view(),
                                     scenario.input, scenario.output)
                   .c_str());
   std::printf("\n%s", result.summary().c_str());

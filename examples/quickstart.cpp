@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   // Inspect the outcome.
   std::printf("\n%s\n", result.summary().c_str());
   std::printf("final surface:\n%s",
-              sb::viz::render_ascii(session.simulator().world().grid(),
+              sb::viz::render_ascii(session.simulator().world().view(),
                                     scenario.input, scenario.output)
                   .c_str());
   return result.complete ? 0 : 1;

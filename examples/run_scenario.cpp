@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
                                   const sb::motion::RuleApplication& app) {
       std::printf("step %u: #%u %s\n%s", epoch, id.value,
                   app.describe().c_str(),
-                  sb::viz::render_ascii(grid, scenario.input,
+                  sb::viz::render_ascii(sb::lat::WorldView(grid), scenario.input,
                                         scenario.output)
                       .c_str());
     });
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   const sb::core::SessionResult result = session.run();
   std::printf("%s", result.summary().c_str());
   if (!cli.get_bool("animate")) {
-    std::printf("%s", sb::viz::render_ascii(grid, scenario.input,
+    std::printf("%s", sb::viz::render_ascii(sb::lat::WorldView(grid), scenario.input,
                                             scenario.output)
                           .c_str());
   }

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "baseline/free_motion.hpp"
+#include "lattice/world_view.hpp"
 #include "util/assert.hpp"
 
 namespace sb::baseline {
@@ -19,12 +20,13 @@ CentralizedResult plan_centralized(const lat::Scenario& scenario) {
   // Cells already holding a block stay as they are (Lemma 1(b): occupied
   // path positions never empty again); only the rest need assignees.
   const lat::Grid grid = scenario.to_grid();
+  const lat::WorldView view(grid);  // reads go through the facade
   std::vector<lat::Vec2> targets;
   for (const lat::Vec2 cell : path) {
-    if (!grid.occupied(cell)) targets.push_back(cell);
+    if (!view.occupied(cell)) targets.push_back(cell);
   }
   std::set<lat::BlockId> free_blocks;
-  for (const auto& [id, pos] : grid.blocks()) {
+  for (const auto& [id, pos] : view.blocks()) {
     const bool on_path =
         std::find(path.begin(), path.end(), pos) != path.end();
     if (!on_path) free_blocks.insert(id);
@@ -41,7 +43,7 @@ CentralizedResult plan_centralized(const lat::Scenario& scenario) {
     lat::BlockId best_block;
     size_t best_target = 0;
     for (const lat::BlockId id : free_blocks) {
-      const lat::Vec2 pos = grid.position_of(id);
+      const lat::Vec2 pos = view.position_of(id);
       for (size_t t = 0; t < remaining.size(); ++t) {
         const int32_t cost = manhattan(pos, remaining[t]);
         if (cost < best_cost ||
@@ -54,7 +56,7 @@ CentralizedResult plan_centralized(const lat::Scenario& scenario) {
     }
     Assignment assignment;
     assignment.block = best_block;
-    assignment.from = grid.position_of(best_block);
+    assignment.from = view.position_of(best_block);
     assignment.to = remaining[best_target];
     assignment.moves = best_cost;
     result.assignments.push_back(assignment);

@@ -7,6 +7,7 @@
 #include "core/distance.hpp"
 #include "lattice/connectivity.hpp"
 #include "lattice/region.hpp"
+#include "lattice/world_view.hpp"
 #include "util/assert.hpp"
 
 namespace sb::baseline {
@@ -32,7 +33,7 @@ namespace {
 
 /// BFS through empty cells from `from` to `to`; returns the hop count, or
 /// -1 when unreachable. Free motion: any empty in-bounds cell is passable.
-int64_t bfs_walk_length(const lat::Grid& grid, lat::Vec2 from, lat::Vec2 to) {
+int64_t bfs_walk_length(lat::WorldView view, lat::Vec2 from, lat::Vec2 to) {
   if (from == to) return 0;
   std::unordered_map<lat::Vec2, int64_t, lat::Vec2Hash> dist;
   std::queue<lat::Vec2> queue;
@@ -44,7 +45,7 @@ int64_t bfs_walk_length(const lat::Grid& grid, lat::Vec2 from, lat::Vec2 to) {
     for (lat::Direction d : lat::all_directions()) {
       const lat::Vec2 q = p + delta(d);
       if (q == to) return dist[p] + 1;
-      if (!grid.in_bounds(q) || grid.occupied(q) || dist.count(q)) continue;
+      if (!view.in_bounds(q) || view.occupied(q) || dist.count(q)) continue;
       dist[q] = dist[p] + 1;
       queue.push(q);
     }
@@ -62,6 +63,7 @@ FreeMotionResult run_free_motion(const lat::Scenario& scenario,
   FreeMotionResult result;
   result.path = canonical_path(scenario.input, scenario.output);
   lat::Grid grid = scenario.to_grid();
+  const lat::WorldView view(grid);  // reads go through the facade
 
   core::DistanceParams params;
   params.input = scenario.input;
@@ -75,7 +77,7 @@ FreeMotionResult run_free_motion(const lat::Scenario& scenario,
     // Next empty cell of the canonical path (filled from I towards O).
     const auto next_cell =
         std::find_if(result.path.begin(), result.path.end(),
-                     [&](lat::Vec2 cell) { return !grid.occupied(cell); });
+                     [&](lat::Vec2 cell) { return !view.occupied(cell); });
     if (next_cell == result.path.end()) {
       result.complete = true;
       return result;
@@ -88,7 +90,7 @@ FreeMotionResult run_free_motion(const lat::Scenario& scenario,
       lat::BlockId id;
     };
     std::vector<Candidate> candidates;
-    for (const auto& [id, pos] : grid.blocks()) {
+    for (const auto& [id, pos] : view.blocks()) {
       ++result.distance_computations;
       if (id == root) continue;  // the Root anchors I
       // Lemma 1(b): blocks that joined the path stay there. (Eq (8) covers
@@ -111,8 +113,8 @@ FreeMotionResult run_free_motion(const lat::Scenario& scenario,
     ++result.elections;
     bool moved = false;
     for (const Candidate& candidate : candidates) {
-      const lat::Vec2 from = grid.position_of(candidate.id);
-      const int64_t walk = bfs_walk_length(grid, from, *next_cell);
+      const lat::Vec2 from = view.position_of(candidate.id);
+      const int64_t walk = bfs_walk_length(view, from, *next_cell);
       if (walk < 0) continue;  // boxed in; try the next candidate
       grid.move(from, *next_cell);
       result.elementary_moves += static_cast<uint64_t>(walk);

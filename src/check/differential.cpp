@@ -11,6 +11,7 @@
 
 #include "dist/coordinator.hpp"
 #include "dist/worker.hpp"
+#include "lattice/world_view.hpp"
 #include "runner/cli_options.hpp"
 #include "runner/sweep.hpp"
 #include "sim/event.hpp"
@@ -61,17 +62,17 @@ class ChurnEvent : public sim::Event {
   }
 
   void execute_join(sim::Simulator& sim) {
-    const lat::Grid& grid = sim.world().grid();
+    const lat::WorldView view = sim.world().view();
     const lat::Vec2 output = state_->session->scenario().output;
-    const size_t cells = grid.cell_count();
+    const size_t cells = view.cell_count();
     const size_t offset = op_.ordinal % cells;
     for (size_t i = 0; i < cells; ++i) {
       const size_t index = (offset + i) % cells;
       const lat::Vec2 pos{
-          static_cast<int32_t>(index % static_cast<size_t>(grid.width())),
-          static_cast<int32_t>(index / static_cast<size_t>(grid.width()))};
-      if (grid.occupied(pos) || pos == output) continue;
-      if (grid.occupied_neighbor_count(pos) == 0) continue;
+          static_cast<int32_t>(index % static_cast<size_t>(view.width())),
+          static_cast<int32_t>(index / static_cast<size_t>(view.width()))};
+      if (view.occupied(pos) || pos == output) continue;
+      if (view.occupied_neighbor_count(pos) == 0) continue;
       // A cell an in-flight motion sweeps is not really free: the mover
       // lands there before this join's effects settle. Docking into it
       // would make the landing physically impossible.
@@ -87,9 +88,9 @@ class ChurnEvent : public sim::Event {
   ChurnState* state_;
 };
 
-std::string dump_final_blocks(const lat::Grid& grid) {
+std::string dump_final_blocks(lat::WorldView view) {
   std::ostringstream os;
-  for (const auto& [id, pos] : grid.blocks()) {
+  for (const auto& [id, pos] : view.blocks()) {
     os << id.value << '@' << pos.x << ',' << pos.y << '\n';
   }
   return os.str();
@@ -246,7 +247,7 @@ BackendRun run_backend(const FuzzCase& fuzz_case, std::string name,
 
   run.result = session.run();
   run.event_trace = session.simulator().event_trace();
-  run.final_blocks = dump_final_blocks(session.simulator().world().grid());
+  run.final_blocks = dump_final_blocks(session.simulator().world().view());
   oracle.check_now(session.simulator());
   run.violations = oracle.violations();
   run.oracle_checks = oracle.checks_run();

@@ -2,7 +2,8 @@
 
 #include <unordered_set>
 
-#include "lattice/connectivity.hpp"
+#include "core/block_code.hpp"
+#include "lattice/world_view.hpp"
 #include "util/fmt.hpp"
 
 namespace sb::check {
@@ -19,7 +20,7 @@ void InvariantOracle::attach(
         chain) {
   SB_EXPECTS(!attached_, "oracle already attached to a session");
   attached_ = true;
-  expected_blocks_ = session.simulator().world().grid().block_count();
+  expected_blocks_ = session.simulator().world().view().block_count();
   session.simulator().set_mutation_observer(
       [this](sim::Simulator& sim) { on_mutation(sim); });
   session.set_move_listener(
@@ -41,6 +42,7 @@ void InvariantOracle::check_now(sim::Simulator& sim) {
   check_occupancy(sim);
   check_connectivity(sim);
   check_conservation(sim);
+  check_columns(sim);
 }
 
 void InvariantOracle::on_move(core::Epoch epoch, lat::BlockId mover) {
@@ -61,15 +63,15 @@ void InvariantOracle::record(sim::Simulator& sim, std::string what) {
 }
 
 void InvariantOracle::check_occupancy(sim::Simulator& sim) {
-  const lat::Grid& grid = sim.world().grid();
+  const lat::WorldView view = sim.world().view();
   std::unordered_set<uint32_t> seen;
-  std::vector<size_t> rows(static_cast<size_t>(grid.height()), 0);
-  std::vector<size_t> cols(static_cast<size_t>(grid.width()), 0);
+  std::vector<size_t> rows(static_cast<size_t>(view.height()), 0);
+  std::vector<size_t> cols(static_cast<size_t>(view.width()), 0);
   size_t counted = 0;
-  for (int32_t y = 0; y < grid.height(); ++y) {
-    for (int32_t x = 0; x < grid.width(); ++x) {
+  for (int32_t y = 0; y < view.height(); ++y) {
+    for (int32_t x = 0; x < view.width(); ++x) {
       const lat::Vec2 p{x, y};
-      const lat::BlockId id = grid.at(p);
+      const lat::BlockId id = view.at(p);
       if (!id.valid()) continue;
       ++counted;
       ++rows[static_cast<size_t>(y)];
@@ -79,44 +81,44 @@ void InvariantOracle::check_occupancy(sim::Simulator& sim) {
                         id.value, p));
         continue;
       }
-      if (!grid.contains(id)) {
+      if (!view.contains(id)) {
         record(sim,
                fmt("cell {} holds block {} but the id index disowns it", p,
                    id.value));
-      } else if (grid.position_of(id) != p) {
+      } else if (view.position_of(id) != p) {
         record(sim, fmt("block {} indexed at {} but cell {} holds it",
-                        id.value, grid.position_of(id), p));
+                        id.value, view.position_of(id), p));
       }
     }
   }
-  if (counted != grid.block_count()) {
+  if (counted != view.block_count()) {
     record(sim, fmt("block_count says {} but {} cells are occupied",
-                    grid.block_count(), counted));
+                    view.block_count(), counted));
   }
-  for (int32_t y = 0; y < grid.height(); ++y) {
-    if (grid.blocks_in_row(y) != rows[static_cast<size_t>(y)]) {
+  for (int32_t y = 0; y < view.height(); ++y) {
+    if (view.blocks_in_row(y) != rows[static_cast<size_t>(y)]) {
       record(sim, fmt("row {} count cache says {} but {} cells are occupied",
-                      y, grid.blocks_in_row(y),
+                      y, view.blocks_in_row(y),
                       rows[static_cast<size_t>(y)]));
     }
   }
-  for (int32_t x = 0; x < grid.width(); ++x) {
-    if (grid.blocks_in_column(x) != cols[static_cast<size_t>(x)]) {
+  for (int32_t x = 0; x < view.width(); ++x) {
+    if (view.blocks_in_column(x) != cols[static_cast<size_t>(x)]) {
       record(sim,
              fmt("column {} count cache says {} but {} cells are occupied", x,
-                 grid.blocks_in_column(x), cols[static_cast<size_t>(x)]));
+                 view.blocks_in_column(x), cols[static_cast<size_t>(x)]));
     }
   }
 }
 
 void InvariantOracle::check_connectivity(sim::Simulator& sim) {
-  const lat::Grid& grid = sim.world().grid();
-  const bool connected = lat::is_connected_ground_truth(grid);
-  const lat::ConnectivityHint hint = grid.own_connectivity_hint();
+  const lat::WorldView view = sim.world().view();
+  const bool connected = view.connected_ground_truth();
+  const lat::ConnectivityHint hint = view.connectivity_hint();
   if (!connected) {
     record(sim, fmt("surface disconnected: {} blocks no longer form one "
                     "component (Remark 1 violated)",
-                    grid.block_count()));
+                    view.block_count()));
     if (hint == lat::ConnectivityHint::kConnected) {
       record(sim,
              "cached connectivity verdict says connected but the "
@@ -135,18 +137,69 @@ void InvariantOracle::check_connectivity(sim::Simulator& sim) {
 }
 
 void InvariantOracle::check_conservation(sim::Simulator& sim) {
-  const lat::Grid& grid = sim.world().grid();
-  if (grid.block_count() != expected_blocks_) {
+  const lat::WorldView view = sim.world().view();
+  if (view.block_count() != expected_blocks_) {
     record(sim, fmt("module conservation broken: {} blocks on the surface, "
                     "expected {} (initial + hot-joins; deaths keep their "
                     "block in place)",
-                    grid.block_count(), expected_blocks_));
+                    view.block_count(), expected_blocks_));
     // Resync so one lost block doesn't re-report on every later mutation.
-    expected_blocks_ = grid.block_count();
+    expected_blocks_ = view.block_count();
   }
-  if (sim.module_count() > grid.block_count()) {
+  if (sim.module_count() > view.block_count()) {
     record(sim, fmt("{} modules registered for {} blocks",
-                    sim.module_count(), grid.block_count()));
+                    sim.module_count(), view.block_count()));
+  }
+}
+
+void InvariantOracle::check_columns(sim::Simulator& sim) {
+  const lat::WorldView view = sim.world().view();
+  // Occupancy image vs cell array: the SoA byte image is a second store of
+  // the same truth, kept in lock-step by Grid's mutations.
+  for (int32_t y = 0; y < view.height(); ++y) {
+    const uint8_t* row = view.occupancy_row(y);
+    for (int32_t x = 0; x < view.width(); ++x) {
+      const bool image = row[x] != 0;
+      const bool cell = view.at({x, y}).valid();
+      if (image != cell) {
+        record(sim, fmt("occupancy image disagrees with the cell array at "
+                        "({},{}): image says {}, cells say {}",
+                        x, y, image ? "occupied" : "empty",
+                        cell ? "occupied" : "empty"));
+      }
+    }
+  }
+  // State tags and epochs vs the module table: registration stamps kAlive,
+  // kill_module stamps kDead, nothing else writes the tag column; the epoch
+  // column mirrors each program's own counter.
+  sim.for_each_module([&](sim::Module& module) {
+    if (view.tag(module.id()) == lat::ModuleTag::kUnregistered) {
+      record(sim, fmt("block {} has a registered module but its state tag "
+                      "says unregistered",
+                      module.id().value));
+    }
+    if (const auto* code = dynamic_cast<core::SmartBlockCode*>(&module)) {
+      if (view.epoch(module.id()) != code->epoch()) {
+        record(sim, fmt("epoch column says {} for block {} but its program "
+                        "is at epoch {}",
+                        view.epoch(module.id()), module.id().value,
+                        code->epoch()));
+      }
+    }
+  });
+  // Pending-move column vs the in-flight registry (bit-for-bit mirror).
+  if (view.pending_move_count() != sim.inflight_motion_count()) {
+    record(sim, fmt("pending-move column has {} bits set but {} motions are "
+                    "in flight",
+                    view.pending_move_count(), sim.inflight_motion_count()));
+  }
+  for (const lat::BlockId id : view.block_ids()) {
+    if (view.move_pending(id) != sim.motion_inflight(id)) {
+      record(sim, fmt("pending-move bit for block {} says {} but the "
+                      "in-flight registry says {}",
+                      id.value, view.move_pending(id),
+                      sim.motion_inflight(id)));
+    }
   }
 }
 

@@ -21,6 +21,11 @@
 //                back: grid.block_count() only grows through hot_join, and
 //                every block has a registered module (deaths keep the block
 //                on the surface as an inert obstacle);
+//   columns      the SoA columns (lat::WorldState) agree with their sources
+//                of truth: the occupancy image with the cell array, the
+//                state-tag column with module registration, the pending-move
+//                column with the simulator's in-flight registry, and the
+//                epoch column with each block program's own epoch;
 //   epochs       the elected-move epoch sequence is non-decreasing.
 //
 // Violations are collected as human-readable strings (capped) rather than
@@ -86,6 +91,7 @@ class InvariantOracle {
   void check_occupancy(sim::Simulator& sim);
   void check_connectivity(sim::Simulator& sim);
   void check_conservation(sim::Simulator& sim);
+  void check_columns(sim::Simulator& sim);
 
   OracleOptions options_;
   Rng rng_;

@@ -134,6 +134,9 @@ class SmartBlockCode final : public sim::Module {
   void become_elected();
   void root_maybe_advance();
   void reset_for_epoch(Epoch epoch);
+  /// The only writer of epoch_: keeps the world's epoch column (the
+  /// observers' read path) in lock-step with the program's counter.
+  void set_epoch(Epoch epoch);
 
   [[nodiscard]] ActivateMsg make_activate() const;
 

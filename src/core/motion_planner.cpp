@@ -52,8 +52,8 @@ bool leaves_path_gap(const motion::RuleApplication& app,
 
 std::vector<motion::RuleApplication> MotionPlanner::legal_moves(
     const sim::World& world, lat::Vec2 pos) const {
-  const lat::Grid& grid = world.grid();
-  SB_EXPECTS(grid.occupied(pos), "no block at ", pos);
+  const lat::WorldView view = world.view();
+  SB_EXPECTS(view.occupied(pos), "no block at ", pos);
   // Rule matching runs on the block's sensed window (local knowledge). The
   // window mirrors the grid exactly, so only the global Remark-1
   // constraints remain for the physics filter: no single line and no
@@ -65,11 +65,11 @@ std::vector<motion::RuleApplication> MotionPlanner::legal_moves(
   std::erase_if(candidates, [&](const motion::RuleApplication& app) {
     auto& moves = move_scratch();
     app.world_moves_into(moves);
-    if (motion::single_line_after_moves(grid, moves.data(), moves.size())) {
+    if (view.single_line_after_moves(moves.data(), moves.size())) {
       ++single_line_rejections_;
       return true;
     }
-    return !lat::connected_after_moves(grid, moves.data(), moves.size());
+    return !view.connected_after_moves(moves.data(), moves.size());
   });
   return candidates;
 }
@@ -95,13 +95,13 @@ std::optional<motion::RuleApplication> MotionPlanner::pick(
   SB_UNREACHABLE();
 }
 
-void MotionPlanner::invalidate_around(const lat::Grid& grid,
+void MotionPlanner::invalidate_around(lat::WorldView view,
                                       lat::Vec2 cell) const {
   const int32_t radius = dependence_radius_;
   for (int32_t dy = -radius; dy <= radius; ++dy) {
     for (int32_t dx = -radius; dx <= radius; ++dx) {
       const lat::Vec2 q{cell.x + dx, cell.y + dy};
-      const lat::BlockId id = grid.at(q);
+      const lat::BlockId id = view.at(q);
       if (id.valid() && id.value < cache_.size()) {
         cache_[id.value].stamp = 0;
       }
@@ -109,18 +109,18 @@ void MotionPlanner::invalidate_around(const lat::Grid& grid,
   }
 }
 
-void MotionPlanner::sync_cache(const lat::Grid& grid) const {
-  const uint64_t version = grid.version();
+void MotionPlanner::sync_cache(lat::WorldView view) const {
+  const uint64_t version = view.version();
   if (version == cache_grid_version_) return;
   // One elected hop per epoch is the common case: exactly one mutation,
   // whose touched cells the grid journaled. Anything else (setup bursts,
   // external surgery) flushes wholesale.
   const bool single_step = version == cache_grid_version_ + 1 &&
-                           grid.last_change_version() == version &&
-                           !grid.last_change_overflowed();
+                           view.last_change_version() == version &&
+                           !view.last_change_overflowed();
   if (single_step) {
-    for (size_t i = 0; i < grid.last_change_count(); ++i) {
-      invalidate_around(grid, grid.last_change_cells()[i]);
+    for (size_t i = 0; i < view.last_change_count(); ++i) {
+      invalidate_around(view, view.last_change_cells()[i]);
     }
   } else {
     if (++cache_stamp_ == 0) cache_stamp_ = 1;
@@ -134,12 +134,12 @@ MoveDecision MotionPlanner::evaluate(const sim::World& world, lat::Vec2 pos,
                                      Rng* rng) const {
   if (metrics != nullptr) ++metrics->distance_computations;
 
-  const lat::Grid& grid = world.grid();
+  const lat::WorldView view = world.view();
   const bool cache_enabled = config_.tie != MoveTie::kRandom;
   lat::BlockId id;
   if (cache_enabled) {
-    sync_cache(grid);
-    id = grid.at(pos);
+    sync_cache(view);
+    id = view.at(pos);
     if (id.valid() && id.value < cache_.size()) {
       CacheEntry& entry = cache_[id.value];
       if (entry.stamp == cache_stamp_ && entry.pos == pos) {
@@ -151,8 +151,7 @@ MoveDecision MotionPlanner::evaluate(const sim::World& world, lat::Vec2 pos,
         if (entry.decision.move.has_value()) {
           auto& moves = move_scratch();
           entry.decision.move->world_moves_into(moves);
-          fresh = !motion::single_line_after_moves(grid, moves.data(),
-                                                   moves.size());
+          fresh = !view.single_line_after_moves(moves.data(), moves.size());
         }
         if (fresh) {
           ++cache_hits_;
@@ -167,7 +166,8 @@ MoveDecision MotionPlanner::evaluate(const sim::World& world, lat::Vec2 pos,
   // Track whether this evaluation depended on anything beyond the block's
   // sensed window: a global connectivity flood, a single-line rejection, or
   // the (epoch-expiring) tabu list. Such decisions are not memoized.
-  const uint64_t floods_before = grid.connectivity_stats().slow_path_floods;
+  const uint64_t floods_before =
+      view.connectivity_stats().slow_path_floods;
   const uint64_t line_rejections_before = single_line_rejections_;
   bool tabu_dependent = false;
 
@@ -234,7 +234,7 @@ MoveDecision MotionPlanner::evaluate(const sim::World& world, lat::Vec2 pos,
   // (no move at all -> Eq (9): +inf)
 
   if (cache_enabled && id.valid() && !tabu_dependent &&
-      grid.connectivity_stats().slow_path_floods == floods_before &&
+      view.connectivity_stats().slow_path_floods == floods_before &&
       single_line_rejections_ == line_rejections_before) {
     if (id.value >= cache_.size()) cache_.resize(id.value + 1);
     cache_[id.value] = CacheEntry{cache_stamp_, pos, decision};

@@ -28,6 +28,7 @@
 #include "core/distance.hpp"
 #include "core/metrics.hpp"
 #include "core/tabu.hpp"
+#include "lattice/world_view.hpp"
 #include "motion/apply.hpp"
 #include "motion/rule_library.hpp"
 #include "sim/world.hpp"
@@ -133,11 +134,11 @@ class MotionPlanner {
   [[nodiscard]] std::optional<motion::RuleApplication> pick(
       std::vector<motion::RuleApplication>& candidates, Rng* rng) const;
 
-  /// Brings the cache up to date with the grid: no-op when unchanged,
+  /// Brings the cache up to date with the world: no-op when unchanged,
   /// targeted invalidation around the last move's cells when exactly one
   /// mutation happened, full flush otherwise.
-  void sync_cache(const lat::Grid& grid) const;
-  void invalidate_around(const lat::Grid& grid, lat::Vec2 cell) const;
+  void sync_cache(lat::WorldView view) const;
+  void invalidate_around(lat::WorldView view, lat::Vec2 cell) const;
 
   const motion::RuleLibrary* rules_;
   PlannerConfig config_;

@@ -83,15 +83,15 @@ ReconfigurationSession::ReconfigurationSession(const lat::Scenario& scenario,
 }
 
 sim::Module& ReconfigurationSession::hot_join(lat::BlockId id, lat::Vec2 pos) {
-  lat::Grid& grid = simulator_->world().grid();
-  SB_EXPECTS(grid.in_bounds(pos) && !grid.occupied(pos),
+  const lat::WorldView view = simulator_->world().view();
+  SB_EXPECTS(view.in_bounds(pos) && !view.occupied(pos),
              "hot_join needs a free in-bounds cell, got ", pos);
-  SB_EXPECTS(grid.occupied_neighbor_count(pos) > 0,
+  SB_EXPECTS(view.occupied_neighbor_count(pos) > 0,
              "hot_join at ", pos, " would land a detached block");
   SB_EXPECTS(!simulator_->cell_in_motion(pos), "hot_join at ", pos,
              " would collide with an in-flight motion");
-  SB_EXPECTS(!grid.contains(id), "hot_join id ", id, " already placed");
-  grid.place(id, pos);
+  SB_EXPECTS(!view.contains(id), "hot_join id ", id, " already placed");
+  simulator_->world().grid().place(id, pos);
   simulator_->notify_cells_changed({pos});
   sim::Module& module =
       simulator_->add_module(std::make_unique<SmartBlockCode>(
@@ -140,7 +140,7 @@ SessionResult ReconfigurationSession::run() {
   result.messages_dropped = stats.messages_dropped;
   result.messages_by_kind = stats.messages_by_kind;
   const lat::ConnectivityStats& conn =
-      simulator_->world().grid().connectivity_stats();
+      simulator_->world().view().connectivity_stats();
   result.conn_fast_hits = conn.fast_path_hits;
   result.conn_slow_floods = conn.slow_path_floods;
   result.events_processed = stats.events_processed;

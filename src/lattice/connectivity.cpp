@@ -1,6 +1,7 @@
 #include "lattice/connectivity.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/assert.hpp"
 
@@ -146,9 +147,89 @@ uint32_t ring_mask(const Grid& grid, Vec2 center) {
   return mask;
 }
 
+// ---------------------------------------------------------------------------
+// Batched mask sweeps
+//
+// Whole rows of removal verdicts are computed from three padded occupancy
+// rows of the SoA byte image — eight byte loads, shifts, and one table
+// lookup per cell, with no bounds branches (the padding ring reads 0). The
+// verdict bytes live in WorldState's per-row cache, stamped with the grid
+// version they were computed against.
+// ---------------------------------------------------------------------------
+
+bool batch_enabled_from_env() {
+#ifdef SB_SCALAR_ORACLE
+  return false;  // dual-build CI job: force the per-candidate path
+#else
+  const char* env = std::getenv("SB_CONN_BATCH");
+  if (env == nullptr) return true;
+  return !(env[0] == '0' && env[1] == '\0');
+#endif
+}
+
+/// One cache-linear sweep over row `y`. The bit positions follow kRing
+/// exactly, so kRemovalSafe answers are identical to the scalar ring_mask
+/// path by construction.
+void compute_removal_row(const Grid& grid, int32_t y, uint8_t* out) {
+  const WorldState& state = grid.state();
+  const uint8_t* up = state.occupancy_row(y + 1);
+  const uint8_t* mid = state.occupancy_row(y);
+  const uint8_t* dn = state.occupancy_row(y - 1);
+  const int32_t width = grid.width();
+  for (int32_t x = 0; x < width; ++x) {
+    const uint32_t mask = (static_cast<uint32_t>(up[x]) << 0) |
+                          (static_cast<uint32_t>(up[x + 1]) << 1) |
+                          (static_cast<uint32_t>(mid[x + 1]) << 2) |
+                          (static_cast<uint32_t>(dn[x + 1]) << 3) |
+                          (static_cast<uint32_t>(dn[x]) << 4) |
+                          (static_cast<uint32_t>(dn[x - 1]) << 5) |
+                          (static_cast<uint32_t>(mid[x - 1]) << 6) |
+                          (static_cast<uint32_t>(up[x - 1]) << 7);
+    out[x] = kRemovalSafe[mask] ? 1 : 0;
+  }
+}
+
 }  // namespace
 
+bool connectivity_batch_enabled() {
+  static const bool enabled = batch_enabled_from_env();
+  return enabled;
+}
+
+const uint8_t* removal_verdict_row(const Grid& grid, int32_t y) {
+  const WorldState& state = grid.state();
+  uint8_t* row = state.removal_verdict_row(y);
+  if (state.removal_row_version(y) != grid.version()) {
+    compute_removal_row(grid, y, row);
+    state.set_removal_row_version(y, grid.version());
+  }
+  return row;
+}
+
+void batch_removal_verdicts(const Grid& grid, const Vec2* cells, size_t count,
+                            uint8_t* out) {
+  if (!connectivity_batch_enabled() || Grid::thread_has_connectivity_view()) {
+    // Scalar fallback: per-candidate table lookups, no shared row cache.
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = kRemovalSafe[ring_mask(grid, cells[i])] ? 1 : 0;
+    }
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = removal_verdict_row(grid, cells[i].y)[cells[i].x];
+  }
+}
+
 LocalVerdict local_removal_check(const Grid& grid, Vec2 from) {
+  // Sequential probes are served from the batched verdict rows; probes made
+  // under an installed scratch view (parallel shard windows) or with the
+  // batch disabled take the per-candidate lookup. Same table, same
+  // occupancy bytes — identical verdicts either way.
+  if (connectivity_batch_enabled() && !Grid::thread_has_connectivity_view()) {
+    return removal_verdict_row(grid, from.y)[from.x] != 0
+               ? LocalVerdict::kPreservesConnectivity
+               : LocalVerdict::kInconclusive;
+  }
   return kRemovalSafe[ring_mask(grid, from)]
              ? LocalVerdict::kPreservesConnectivity
              : LocalVerdict::kInconclusive;
@@ -404,6 +485,46 @@ bool is_single_line(const Grid& grid) {
     if (grid.blocks_in_column(x) == n) return true;
   }
   return false;
+}
+
+bool single_line_after_moves(const Grid& grid,
+                             const std::pair<Vec2, Vec2>* moves,
+                             size_t move_count) {
+  for (size_t i = 0; i < move_count; ++i) {
+    SB_EXPECTS(grid.in_bounds(moves[i].first) &&
+                   grid.in_bounds(moves[i].second),
+               "hypothetical move ", moves[i].first, " -> ", moves[i].second,
+               " leaves the surface");
+  }
+  const size_t n = grid.block_count();
+  if (n <= 1) return true;
+  if (move_count == 0) return is_single_line(grid);
+  // Every mover ends on a destination cell, so a single-line outcome can
+  // only be the destinations' shared column (or row). Adjust that line's
+  // block count by the moves crossing it; each source decrements, each
+  // destination increments, so handover chains net out.
+  const Vec2 reference = moves[0].second;
+  bool same_column = true;
+  bool same_row = true;
+  int64_t column_blocks =
+      static_cast<int64_t>(grid.blocks_in_column(reference.x));
+  int64_t row_blocks = static_cast<int64_t>(grid.blocks_in_row(reference.y));
+  for (size_t i = 0; i < move_count; ++i) {
+    const auto& [from, to] = moves[i];
+    same_column &= to.x == reference.x;
+    same_row &= to.y == reference.y;
+    if (from.x == reference.x) --column_blocks;
+    if (to.x == reference.x) ++column_blocks;
+    if (from.y == reference.y) --row_blocks;
+    if (to.y == reference.y) ++row_blocks;
+  }
+  return (same_column && column_blocks == static_cast<int64_t>(n)) ||
+         (same_row && row_blocks == static_cast<int64_t>(n));
+}
+
+bool single_line_after_moves(const Grid& grid,
+                             const std::vector<std::pair<Vec2, Vec2>>& moves) {
+  return single_line_after_moves(grid, moves.data(), moves.size());
 }
 
 int component_count(const Grid& grid) {

@@ -100,6 +100,43 @@ enum class LocalVerdict : uint8_t {
 /// support any motion). O(W + H) via the grid's row/column counts.
 [[nodiscard]] bool is_single_line(const Grid& grid);
 
+/// True when all blocks would lie on one row or column after the moves.
+/// O(#moves) via the grid's per-row/column block counts: a single-line
+/// outcome must contain every move destination, so only the destinations'
+/// row/column can qualify.
+[[nodiscard]] bool single_line_after_moves(
+    const Grid& grid, const std::pair<Vec2, Vec2>* moves, size_t move_count);
+[[nodiscard]] bool single_line_after_moves(
+    const Grid& grid, const std::vector<std::pair<Vec2, Vec2>>& moves);
+
+// -- batched mask oracle ------------------------------------------------------
+//
+// The 256-entry removal mask is evaluated for whole grid rows at a time over
+// the SoA occupancy bytes (three row pointers, one table lookup per cell —
+// cache-linear and SIMD-friendly), and the verdict bytes are cached per row
+// against the grid version. Sequential probes (local_removal_check /
+// local_move_check) are then served from the cached rows. The per-candidate
+// scalar path remains the implementation of record: it serves every probe
+// made while a ConnectivityScratchView is installed (shards > 1 parallel
+// windows, where the shared row cache would race) and every probe when the
+// batch is disabled. Both paths read the same table over the same occupancy,
+// so verdicts — and therefore traces — are identical by construction.
+
+/// Whether this process batch-evaluates the mask over rows. Defaults to on;
+/// the SB_CONN_BATCH=0 environment variable or the SB_SCALAR_ORACLE build
+/// option forces the scalar per-candidate path everywhere.
+[[nodiscard]] bool connectivity_batch_enabled();
+
+/// Recomputes (if stale) and returns row `y` of removal-mask verdicts, one
+/// byte per cell: 1 = vacating the cell provably preserves connectivity.
+/// Exposed for the equivalence tests and the frontier sweep benchmark.
+[[nodiscard]] const uint8_t* removal_verdict_row(const Grid& grid, int32_t y);
+
+/// Batch-evaluates the removal mask for an arbitrary frontier of cells,
+/// writing one verdict byte per cell (grouped row sweeps internally).
+void batch_removal_verdicts(const Grid& grid, const Vec2* cells, size_t count,
+                            uint8_t* out);
+
 /// Number of 4-connected components among the blocks.
 [[nodiscard]] int component_count(const Grid& grid);
 

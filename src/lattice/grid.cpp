@@ -9,7 +9,8 @@ namespace sb::lat {
 
 thread_local ConnectivityScratchView* Grid::tls_conn_view = nullptr;
 
-Grid::Grid(int32_t width, int32_t height) : width_(width), height_(height) {
+Grid::Grid(int32_t width, int32_t height)
+    : width_(width), height_(height), state_(width, height) {
   SB_EXPECTS(width > 0 && height > 0, "grid dimensions must be positive, got ",
              width, "x", height);
   cells_.assign(cell_count(), kInvalidBlock);
@@ -20,8 +21,8 @@ Grid::Grid(int32_t width, int32_t height) : width_(width), height_(height) {
 std::vector<BlockId> Grid::block_ids() const {
   std::vector<BlockId> ids;
   ids.reserve(block_count_);
-  for (uint32_t v = 0; v < positions_.size(); ++v) {
-    if (positions_[v] != kUnplaced) ids.push_back(BlockId{v});
+  for (uint32_t v = 0; v < state_.id_capacity(); ++v) {
+    if (state_.has_position(BlockId{v})) ids.push_back(BlockId{v});
   }
   return ids;
 }
@@ -29,25 +30,20 @@ std::vector<BlockId> Grid::block_ids() const {
 std::vector<std::pair<BlockId, Vec2>> Grid::blocks() const {
   std::vector<std::pair<BlockId, Vec2>> out;
   out.reserve(block_count_);
-  for (uint32_t v = 0; v < positions_.size(); ++v) {
-    if (positions_[v] != kUnplaced) out.emplace_back(BlockId{v}, positions_[v]);
+  for (uint32_t v = 0; v < state_.id_capacity(); ++v) {
+    const BlockId id{v};
+    if (state_.has_position(id)) out.emplace_back(id, state_.position(id));
   }
   return out;
 }
 
 Vec2 Grid::first_block_position() const {
   SB_EXPECTS(block_count_ > 0, "first_block_position on an empty grid");
-  for (const Vec2 pos : positions_) {
-    if (pos != kUnplaced) return pos;
+  for (uint32_t v = 0; v < state_.id_capacity(); ++v) {
+    const BlockId id{v};
+    if (state_.has_position(id)) return state_.position(id);
   }
   SB_UNREACHABLE();
-}
-
-void Grid::set_position(BlockId id, Vec2 p) {
-  if (id.value >= positions_.size()) {
-    positions_.resize(static_cast<size_t>(id.value) + 1, kUnplaced);
-  }
-  positions_[id.value] = p;
 }
 
 void Grid::place(BlockId id, Vec2 p) {
@@ -67,7 +63,8 @@ void Grid::place(BlockId id, Vec2 p) {
   // outright (or, from a disconnected state, may bridge components).
   const bool attaches = occupied_neighbor_count(p) > 0;
   cells_[index(p)] = id;
-  set_position(id, p);
+  state_.set_occupied(p, true);
+  state_.set_position(id, p);
   ++block_count_;
   ++row_counts_[static_cast<size_t>(p.y)];
   ++col_counts_[static_cast<size_t>(p.x)];
@@ -97,7 +94,8 @@ BlockId Grid::remove(Vec2 p) {
     next = ConnectivityHint::kConnected;
   }
   cells_[index(p)] = kInvalidBlock;
-  positions_[id.value] = kUnplaced;
+  state_.set_occupied(p, false);
+  state_.clear_position(id);
   --block_count_;
   --row_counts_[static_cast<size_t>(p.y)];
   --col_counts_[static_cast<size_t>(p.x)];
@@ -152,6 +150,7 @@ void Grid::move_simultaneously(
     const BlockId id = cells_[index(from)];
     SB_EXPECTS(id.valid(), "move source ", from, " is empty");
     cells_[index(from)] = kInvalidBlock;
+    state_.set_occupied(from, false);
     --row_counts_[static_cast<size_t>(from.y)];
     --col_counts_[static_cast<size_t>(from.x)];
     journal_touch(from);
@@ -163,7 +162,8 @@ void Grid::move_simultaneously(
     SB_EXPECTS(!cells_[index(to)].valid(), "move destination ", to,
                " is occupied after lifting movers");
     cells_[index(to)] = id;
-    positions_[id.value] = to;
+    state_.set_occupied(to, true);
+    state_.set_position(id, to);
     ++row_counts_[static_cast<size_t>(to.y)];
     ++col_counts_[static_cast<size_t>(to.x)];
     journal_touch(to);

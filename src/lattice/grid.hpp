@@ -27,6 +27,7 @@
 #include "lattice/block_id.hpp"
 #include "lattice/direction.hpp"
 #include "lattice/vec2.hpp"
+#include "lattice/world_state.hpp"
 #include "util/assert.hpp"
 
 namespace sb::lat {
@@ -86,11 +87,13 @@ class Grid {
 
   /// True when the (in-bounds) cell holds a block. Out-of-bounds cells are
   /// reported as unoccupied: physically there is nothing beyond the surface.
+  // deprecated: use WorldView::occupied outside lattice/ and sim/
   [[nodiscard]] bool occupied(Vec2 p) const {
     return in_bounds(p) && cells_[index(p)].valid();
   }
 
   /// Block at a cell; kInvalidBlock when empty or out of bounds.
+  // deprecated: use WorldView::at outside lattice/ and sim/
   [[nodiscard]] BlockId at(Vec2 p) const {
     return in_bounds(p) ? cells_[index(p)] : kInvalidBlock;
   }
@@ -107,16 +110,23 @@ class Grid {
     return cells_[cell].valid();
   }
 
+  // deprecated: use WorldView::contains outside lattice/ and sim/
   [[nodiscard]] bool contains(BlockId id) const {
-    return id.valid() && id.value < positions_.size() &&
-           positions_[id.value] != kUnplaced;
+    return state_.has_position(id);
   }
 
   /// Position of a block; the block must be on the surface. O(1).
+  // deprecated: use WorldView::position_of outside lattice/ and sim/
   [[nodiscard]] Vec2 position_of(BlockId id) const {
     SB_EXPECTS(contains(id), "block ", id, " is not on the surface");
-    return positions_[id.value];
+    return state_.position(id);
   }
+
+  /// The SoA column store backing this grid (positions, occupancy bytes,
+  /// module tags/epochs/pending-move bits). Read it through lat::WorldView;
+  /// the mutable overload exists for the simulator's column writers only.
+  [[nodiscard]] const WorldState& state() const { return state_; }
+  [[nodiscard]] WorldState& mutable_state() { return state_; }
 
   [[nodiscard]] size_t block_count() const { return block_count_; }
 
@@ -129,11 +139,13 @@ class Grid {
   }
 
   /// Blocks in deterministic (id) order.
+  // deprecated: use WorldView::block_ids outside lattice/ and sim/
   [[nodiscard]] std::vector<BlockId> block_ids() const;
 
   /// Snapshot of (id, position) pairs in id order. Built on demand — O(max
   /// id); fine for setup, rendering, and connectivity scans, not for
   /// per-event paths (use position_of).
+  // deprecated: use WorldView::blocks outside lattice/ and sim/
   [[nodiscard]] std::vector<std::pair<BlockId, Vec2>> blocks() const;
 
   /// Position of the lowest-id block, without building the blocks()
@@ -164,9 +176,11 @@ class Grid {
 
   /// Ids of the 4-neighbors of `p`, in N,E,S,W order; absent sides yield
   /// kInvalidBlock.
+  // deprecated: use WorldView::neighbors outside lattice/ and sim/
   [[nodiscard]] std::array<BlockId, 4> neighbors_of(Vec2 p) const;
 
   /// Number of occupied 4-neighbors (the "support" count).
+  // deprecated: use WorldView::occupied_neighbor_count outside lattice/ and sim/
   [[nodiscard]] int occupied_neighbor_count(Vec2 p) const;
 
   // -- mutation journal -----------------------------------------------------
@@ -232,15 +246,19 @@ class Grid {
     tls_conn_view = view;
   }
 
+  /// True when the calling thread has a scratch view installed (a parallel
+  /// shard window). The batched mask oracle bypasses its shared row cache
+  /// then and serves probes per-candidate (lattice/connectivity.cpp).
+  [[nodiscard]] static bool thread_has_connectivity_view() {
+    return tls_conn_view != nullptr;
+  }
+
   friend bool operator==(const Grid& a, const Grid& b) {
     return a.width_ == b.width_ && a.height_ == b.height_ &&
            a.cells_ == b.cells_;
   }
 
  private:
-  /// Sentinel for "id not on the surface" in the dense position array.
-  static constexpr Vec2 kUnplaced{INT32_MIN, INT32_MIN};
-
   /// Journal capacity: a carrying rule moves two blocks (four cells); eight
   /// covers every rule in the library with headroom.
   static constexpr size_t kJournalCapacity = 8;
@@ -249,8 +267,6 @@ class Grid {
     return static_cast<size_t>(p.y) * static_cast<size_t>(width_) +
            static_cast<size_t>(p.x);
   }
-
-  void set_position(BlockId id, Vec2 p);
 
   /// Starts a new journal entry for one mutation call.
   void journal_begin() {
@@ -270,8 +286,10 @@ class Grid {
   int32_t width_;
   int32_t height_;
   std::vector<BlockId> cells_;
-  /// positions_[id.value] = position, or kUnplaced; indexed by id.
-  std::vector<Vec2> positions_;
+  /// SoA columns: positions by id, occupancy bytes, module tag/epoch/pending
+  /// columns, and the batched removal-verdict rows. Occupancy and positions
+  /// are kept in lock-step with cells_ by the mutations below.
+  WorldState state_;
   size_t block_count_ = 0;
   /// Blocks per row / column, kept in lock-step with cells_.
   std::vector<size_t> row_counts_;

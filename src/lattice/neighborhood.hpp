@@ -5,18 +5,36 @@
 // from one round of neighbor-of-neighbor exchange; the simulator models the
 // result as a square window of presence bits centred on the block, with a
 // configurable Chebyshev radius (DESIGN.md, substitutions).
+//
+// Presence is stored as one packed bit row per window row (west-most cell in
+// bit 0), which keeps the window allocation-free on the sense hot path and
+// lets the rule matcher lift whole sub-rows into per-rule bitboards with a
+// shift and a mask (motion/apply.hpp).
 
-#include <vector>
+#include <array>
+#include <cstdint>
 
 #include "lattice/vec2.hpp"
+#include "util/assert.hpp"
 
 namespace sb::lat {
 
 class Neighborhood {
  public:
+  /// Window rows are packed into uint32 bit rows, so a window side of
+  /// 2 * radius + 1 must fit in 32 bits. Real libraries sense 2-3 cells.
+  static constexpr int32_t kMaxRadius = 15;
+
   /// Builds an unknown-free window; cells default to empty.
   Neighborhood(Vec2 center, int32_t radius, int32_t surface_width,
-               int32_t surface_height);
+               int32_t surface_height)
+      : center_(center),
+        radius_(radius),
+        surface_width_(surface_width),
+        surface_height_(surface_height) {
+    SB_EXPECTS(radius >= 0 && radius <= kMaxRadius,
+               "sensing radius out of range: ", radius);
+  }
 
   [[nodiscard]] Vec2 center() const { return center_; }
   [[nodiscard]] int32_t radius() const { return radius_; }
@@ -28,7 +46,12 @@ class Neighborhood {
 
   /// Presence at `p`. Cells outside the surface are empty; cells outside
   /// the sensing window must not be queried (checked).
-  [[nodiscard]] bool occupied(Vec2 p) const;
+  [[nodiscard]] bool occupied(Vec2 p) const {
+    if (!in_bounds(p)) return false;
+    SB_EXPECTS(covers(p), "query outside the sensed window: ", p,
+               " from center ", center_, " radius ", radius_);
+    return ((rows_[row(p)] >> col(p)) & 1u) != 0;
+  }
 
   /// True when `p` is a real surface cell (blocks know W and H registers).
   [[nodiscard]] bool in_bounds(Vec2 p) const {
@@ -36,16 +59,44 @@ class Neighborhood {
            p.y < surface_height_;
   }
 
-  void set_occupied(Vec2 p, bool value);
+  [[nodiscard]] int32_t surface_width() const { return surface_width_; }
+  [[nodiscard]] int32_t surface_height() const { return surface_height_; }
+
+  void set_occupied(Vec2 p, bool value) {
+    SB_EXPECTS(covers(p), "write outside the sensed window: ", p,
+               " from center ", center_, " radius ", radius_);
+    const uint32_t bit = 1u << col(p);
+    if (value) {
+      rows_[row(p)] |= bit;
+    } else {
+      rows_[row(p)] &= ~bit;
+    }
+  }
+
+  // -- packed row access (sense fill and bitboard rule matching) -------------
+
+  /// Presence bits of window row `wr` (0 = the southern-most row,
+  /// y = center.y - radius); bit c = cell x = center.x - radius + c.
+  [[nodiscard]] uint32_t row_bits(int32_t wr) const {
+    return rows_[static_cast<size_t>(wr)];
+  }
+  void set_row_bits(int32_t wr, uint32_t bits) {
+    rows_[static_cast<size_t>(wr)] = bits;
+  }
 
  private:
-  [[nodiscard]] size_t index(Vec2 p) const;
+  [[nodiscard]] size_t row(Vec2 p) const {
+    return static_cast<size_t>(p.y - center_.y + radius_);
+  }
+  [[nodiscard]] size_t col(Vec2 p) const {
+    return static_cast<size_t>(p.x - center_.x + radius_);
+  }
 
   Vec2 center_;
   int32_t radius_;
   int32_t surface_width_;
   int32_t surface_height_;
-  std::vector<bool> presence_;
+  std::array<uint32_t, 2 * kMaxRadius + 1> rows_{};
 };
 
 }  // namespace sb::lat

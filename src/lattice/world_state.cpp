@@ -1,0 +1,33 @@
+#include "lattice/world_state.hpp"
+
+namespace sb::lat {
+
+WorldState::WorldState(int32_t width, int32_t height)
+    : width_(width), height_(height) {
+  SB_EXPECTS(width > 0 && height > 0,
+             "world dimensions must be positive, got ", width, "x", height);
+  occ_.assign(
+      static_cast<size_t>(width_ + 2) * static_cast<size_t>(height_ + 2), 0);
+  removal_safe_.assign(
+      static_cast<size_t>(width_) * static_cast<size_t>(height_), 0);
+  removal_row_version_.assign(static_cast<size_t>(height_), UINT64_MAX);
+}
+
+void WorldState::ensure_id(BlockId id) {
+  SB_EXPECTS(id.valid(), "invalid block id in a WorldState column write");
+  if (id.value < x_.size()) return;
+  const size_t n = static_cast<size_t>(id.value) + 1;
+  x_.resize(n, kUnplacedCoord);
+  y_.resize(n, kUnplacedCoord);
+  tag_.resize(n, static_cast<uint8_t>(ModuleTag::kUnregistered));
+  epoch_.resize(n, 0);
+  pending_.resize(n, 0);
+}
+
+size_t WorldState::pending_move_count() const {
+  size_t count = 0;
+  for (const uint8_t bit : pending_) count += bit;
+  return count;
+}
+
+}  // namespace sb::lat

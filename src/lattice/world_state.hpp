@@ -1,0 +1,155 @@
+#pragma once
+// Struct-of-arrays storage for the hot per-module world state.
+//
+// The simulator historically kept this state scattered: positions in an
+// AoS Vec2 array inside Grid, liveness as a bool on each sim::Module,
+// epochs private to each block program, and pending motions only in the
+// simulator's in-flight registry. WorldState gathers the hot columns into
+// dense id-indexed arrays (position x/y, state tag, epoch, pending-move)
+// plus a byte-per-cell occupancy image of the grid, so that scans touch
+// cache-linear memory and the 8-neighborhood mask oracle can batch-evaluate
+// whole rows with byte lookups (lattice/connectivity.cpp).
+//
+// WorldState is owned by Grid and mutated only through Grid's mutations and
+// the simulator's column writers; everything else reads it through the
+// lat::WorldView facade (lattice/world_view.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/block_id.hpp"
+#include "lattice/vec2.hpp"
+#include "util/assert.hpp"
+
+namespace sb::lat {
+
+/// Per-module lifecycle tag (the "state tag" column). kUnregistered means
+/// no module program was ever attached to the id; kDead blocks stay on the
+/// surface as inert obstacles (paper §VI fault model).
+enum class ModuleTag : uint8_t { kUnregistered = 0, kAlive = 1, kDead = 2 };
+
+class WorldState {
+ public:
+  /// Coordinate sentinel for "id not on the surface" in the position
+  /// columns.
+  static constexpr int32_t kUnplacedCoord = INT32_MIN;
+
+  WorldState(int32_t width, int32_t height);
+
+  [[nodiscard]] int32_t width() const { return width_; }
+  [[nodiscard]] int32_t height() const { return height_; }
+
+  // -- occupancy image -------------------------------------------------------
+  //
+  // One byte per cell (0 empty / 1 occupied), padded with one always-empty
+  // ring so 8-neighborhood sweeps never branch on the surface edge. Kept in
+  // lock-step with Grid's cell array by Grid's mutations.
+
+  /// Bytes of padded row `y` starting at x = 0; valid offsets are
+  /// [-1, width()] (the padding ring reads 0). Rows y = -1 and y = height()
+  /// are valid padding rows.
+  [[nodiscard]] const uint8_t* occupancy_row(int32_t y) const {
+    return occ_.data() + pad_index(0, y);
+  }
+  [[nodiscard]] bool occupied(Vec2 p) const {
+    return occ_[pad_index(p.x, p.y)] != 0;
+  }
+  void set_occupied(Vec2 p, bool value) {
+    occ_[pad_index(p.x, p.y)] = value ? 1 : 0;
+  }
+
+  // -- position columns (SoA: x and y are separate arrays) -------------------
+
+  [[nodiscard]] bool has_position(BlockId id) const {
+    return id.valid() && id.value < x_.size() &&
+           x_[id.value] != kUnplacedCoord;
+  }
+  [[nodiscard]] Vec2 position(BlockId id) const {
+    return Vec2{x_[id.value], y_[id.value]};
+  }
+  [[nodiscard]] size_t id_capacity() const { return x_.size(); }
+
+  void set_position(BlockId id, Vec2 p) {
+    ensure_id(id);
+    x_[id.value] = p.x;
+    y_[id.value] = p.y;
+  }
+  void clear_position(BlockId id) {
+    x_[id.value] = kUnplacedCoord;
+    y_[id.value] = kUnplacedCoord;
+  }
+
+  // -- module columns (written by the simulator via Grid) --------------------
+
+  [[nodiscard]] ModuleTag tag(BlockId id) const {
+    return id.valid() && id.value < tag_.size()
+               ? static_cast<ModuleTag>(tag_[id.value])
+               : ModuleTag::kUnregistered;
+  }
+  void set_tag(BlockId id, ModuleTag tag) {
+    ensure_id(id);
+    tag_[id.value] = static_cast<uint8_t>(tag);
+  }
+
+  [[nodiscard]] uint32_t epoch(BlockId id) const {
+    return id.valid() && id.value < epoch_.size() ? epoch_[id.value] : 0;
+  }
+  void set_epoch(BlockId id, uint32_t epoch) {
+    ensure_id(id);
+    epoch_[id.value] = epoch;
+  }
+
+  [[nodiscard]] bool move_pending(BlockId id) const {
+    return id.valid() && id.value < pending_.size() &&
+           pending_[id.value] != 0;
+  }
+  void set_move_pending(BlockId id, bool pending) {
+    ensure_id(id);
+    pending_[id.value] = pending ? 1 : 0;
+  }
+  /// Number of set pending-move bits (oracle cross-check; O(max id)).
+  [[nodiscard]] size_t pending_move_count() const;
+
+  // -- batched removal-verdict cache (lattice/connectivity.cpp) --------------
+  //
+  // Per-cell byte: 1 when vacating the cell provably preserves connectivity
+  // by the 256-entry mask rule. Rows are recomputed lazily, one cache-linear
+  // sweep per row per grid mutation; row_version records the grid version a
+  // row was computed against. Derived state, so mutable through const.
+
+  [[nodiscard]] uint8_t* removal_verdict_row(int32_t y) const {
+    return removal_safe_.data() +
+           static_cast<size_t>(y) * static_cast<size_t>(width_);
+  }
+  [[nodiscard]] uint64_t removal_row_version(int32_t y) const {
+    return removal_row_version_[static_cast<size_t>(y)];
+  }
+  void set_removal_row_version(int32_t y, uint64_t version) const {
+    removal_row_version_[static_cast<size_t>(y)] = version;
+  }
+
+ private:
+  [[nodiscard]] size_t pad_index(int32_t x, int32_t y) const {
+    return static_cast<size_t>(y + 1) * static_cast<size_t>(width_ + 2) +
+           static_cast<size_t>(x + 1);
+  }
+
+  void ensure_id(BlockId id);
+
+  int32_t width_;
+  int32_t height_;
+  /// Padded occupancy bytes, stride width()+2, rows height()+2.
+  std::vector<uint8_t> occ_;
+  /// Position columns, indexed by id; kUnplacedCoord = off the surface.
+  std::vector<int32_t> x_;
+  std::vector<int32_t> y_;
+  /// Module columns, indexed by id, grown in lock-step with x_/y_.
+  std::vector<uint8_t> tag_;
+  std::vector<uint32_t> epoch_;
+  std::vector<uint8_t> pending_;
+  /// Removal-verdict rows; see removal_verdict_row().
+  mutable std::vector<uint8_t> removal_safe_;
+  mutable std::vector<uint64_t> removal_row_version_;
+};
+
+}  // namespace sb::lat

@@ -1,0 +1,35 @@
+#include "lattice/world_view.hpp"
+
+#include "lattice/connectivity.hpp"
+
+namespace sb::lat {
+
+bool WorldView::connected() const { return is_connected(*grid_); }
+
+bool WorldView::connected_after_moves(const std::pair<Vec2, Vec2>* moves,
+                                      size_t move_count) const {
+  return lat::connected_after_moves(*grid_, moves, move_count);
+}
+
+bool WorldView::connected_after_moves(
+    const std::vector<std::pair<Vec2, Vec2>>& moves) const {
+  return lat::connected_after_moves(*grid_, moves.data(), moves.size());
+}
+
+bool WorldView::single_line() const { return is_single_line(*grid_); }
+
+bool WorldView::single_line_after_moves(const std::pair<Vec2, Vec2>* moves,
+                                        size_t move_count) const {
+  return lat::single_line_after_moves(*grid_, moves, move_count);
+}
+
+bool WorldView::single_line_after_moves(
+    const std::vector<std::pair<Vec2, Vec2>>& moves) const {
+  return lat::single_line_after_moves(*grid_, moves.data(), moves.size());
+}
+
+bool WorldView::connected_ground_truth() const {
+  return is_connected_ground_truth(*grid_);
+}
+
+}  // namespace sb::lat

@@ -11,6 +11,7 @@
 
 #include "lattice/connectivity.hpp"
 #include "lattice/grid.hpp"
+#include "lattice/neighborhood.hpp"
 #include "motion/rule_library.hpp"
 #include "motion/validate.hpp"
 
@@ -60,6 +61,16 @@ template <typename View>
   return out;
 }
 
+/// Fast overload for sensed windows: candidate placements validate through
+/// the rules' precompiled bit masks over the window's packed presence rows
+/// (three mask tests per candidate) instead of the per-cell sweep. The
+/// enumeration order and every verdict are identical to the generic
+/// template — the masks encode exactly the Table II + bounds conditions.
+/// Non-template, so overload resolution prefers it for lat::Neighborhood.
+[[nodiscard]] std::vector<RuleApplication> enumerate_applications(
+    const RuleLibrary& library, const lat::Neighborhood& window,
+    lat::Vec2 mover);
+
 /// Reused per-thread move buffer for per-candidate probes (validation runs
 /// at election rates; one buffer per worker thread, filled via
 /// world_moves_into). Callers must not hold the reference across another
@@ -75,16 +86,5 @@ template <typename View>
 /// Executes the application's moves atomically. The caller must have
 /// checked physically_valid().
 void apply_to_grid(lat::Grid& grid, const RuleApplication& app);
-
-/// True when all blocks would lie on one row or column after the moves.
-/// O(#moves) via the grid's per-row/column block counts: a single-line
-/// outcome must contain every move destination, so only the destinations'
-/// row/column can qualify.
-[[nodiscard]] bool single_line_after_moves(
-    const lat::Grid& grid, const std::pair<lat::Vec2, lat::Vec2>* moves,
-    size_t move_count);
-[[nodiscard]] bool single_line_after_moves(
-    const lat::Grid& grid,
-    const std::vector<std::pair<lat::Vec2, lat::Vec2>>& moves);
 
 }  // namespace sb::motion

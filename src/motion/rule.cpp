@@ -20,6 +20,21 @@ MotionRule::MotionRule(std::string name, CodeMatrix matrix,
                    [](const ElementaryMove& a, const ElementaryMove& b) {
                      return a.time < b.time;
                    });
+  const int32_t size = matrix_.size();
+  masks_valid_ = size <= 7;  // 49 bits at most
+  if (masks_valid_) {
+    for (int32_t row = 0; row < size; ++row) {
+      for (int32_t col = 0; col < size; ++col) {
+        const EventCode code = matrix_.at(row, col);
+        const uint64_t bit = uint64_t{1} << (row * size + col);
+        if (requires_block(code)) masks_.occupied |= bit;
+        if (requires_empty(code)) masks_.empty |= bit;
+        if (code != EventCode::kAny && code != EventCode::kRemainsEmpty) {
+          masks_.bounds |= bit;
+        }
+      }
+    }
+  }
 }
 
 std::vector<std::pair<lat::Vec2, lat::Vec2>> MotionRule::world_moves(

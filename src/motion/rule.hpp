@@ -23,6 +23,21 @@ struct ElementaryMove {
   }
 };
 
+/// Precompiled bit masks over the rule matrix (bit = row * size + col),
+/// computed once at rule construction. A candidate placement is applicable
+/// iff, with P the presence bits and B the surface-bounds bits of the
+/// anchored window,
+///   (B & bounds) == bounds  &&  (P & occupied) == occupied  &&
+///   (P & empty) == 0
+/// — exactly the Table II / placement_in_bounds conditions (validate.hpp),
+/// three mask tests instead of a per-cell sweep. Valid for sizes <= 7
+/// (49 bits); larger matrices fall back to the per-cell path.
+struct RuleMasks {
+  uint64_t occupied = 0;  ///< codes 1/4/5: the cell must hold a block
+  uint64_t empty = 0;     ///< codes 0/3: the cell must be empty
+  uint64_t bounds = 0;    ///< codes 1/3/4/5: the cell must be on the surface
+};
+
 class MotionRule {
  public:
   MotionRule(std::string name, CodeMatrix matrix,
@@ -36,6 +51,12 @@ class MotionRule {
   [[nodiscard]] const std::vector<ElementaryMove>& moves() const {
     return moves_;
   }
+
+  /// Precompiled applicability masks; meaningful only when masks_valid().
+  [[nodiscard]] const RuleMasks& masks() const { return masks_; }
+  /// False for matrices wider than 7 cells (the masks would overflow 64
+  /// bits); such rules validate through the per-cell path.
+  [[nodiscard]] bool masks_valid() const { return masks_valid_; }
 
   /// World offset of a matrix cell when the matrix center sits on `anchor`.
   [[nodiscard]] lat::Vec2 world_cell(lat::Vec2 anchor, MatrixCoord mc) const {
@@ -82,6 +103,8 @@ class MotionRule {
   /// moves_ stably sorted by time, fixed at construction (rules are
   /// immutable apart from their name).
   std::vector<ElementaryMove> time_ordered_;
+  RuleMasks masks_;
+  bool masks_valid_ = false;
 };
 
 }  // namespace sb::motion

@@ -5,6 +5,7 @@
 #include "lattice/scenario.hpp"
 #include "msg/latency.hpp"
 #include "util/fmt.hpp"
+#include "util/log.hpp"
 #include "util/json.hpp"
 #include "util/string_util.hpp"
 
@@ -85,6 +86,18 @@ SweepCliOptions parse_sweep_flags(const CliParser& cli, size_t min_seeds) {
   options.max_events = parse_count(cli, "max-events", 0);
   options.shards = parse_count(cli, "shards", 1);
   options.shard_threads = parse_count(cli, "shard-threads", 0);
+  // The engine caps worker threads at the shard count, so extra threads
+  // would silently idle; clamp here and say so. 0 is the
+  // hardware-concurrency sentinel and is never clamped (the cap still
+  // applies inside the engine).
+  if (options.shard_threads > options.shards) {
+    log_warn(
+        "--shard-threads {} exceeds --shards {}: a shard window is drained "
+        "by at most one thread, so the extra threads would never run; "
+        "clamping to {}",
+        options.shard_threads, options.shards, options.shards);
+    options.shard_threads = options.shards;
+  }
   return options;
 }
 

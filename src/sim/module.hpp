@@ -29,7 +29,11 @@ class Module {
   Module& operator=(const Module&) = delete;
 
   [[nodiscard]] lat::BlockId id() const { return id_; }
-  [[nodiscard]] bool alive() const { return alive_; }
+  /// Liveness is the world's state-tag column (lat::WorldState), not a
+  /// field on the module: the simulator stamps kAlive at registration and
+  /// kDead on kill_module, and everyone — including the module itself —
+  /// reads the same column.
+  [[nodiscard]] bool alive() const;
 
   [[nodiscard]] const msg::Mailbox& mailbox() const { return mailbox_; }
   [[nodiscard]] const msg::NeighborTable& neighbor_table() const {
@@ -94,7 +98,6 @@ class Module {
   friend class Simulator;
 
   lat::BlockId id_;
-  bool alive_ = true;
   Simulator* host_ = nullptr;
   msg::Mailbox mailbox_;
   msg::NeighborTable neighbors_;

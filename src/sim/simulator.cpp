@@ -30,6 +30,10 @@ lat::Vec2 Module::position() const {
   return sim().world().grid().position_of(id_);
 }
 
+bool Module::alive() const {
+  return sim().world().grid().state().tag(id_) == lat::ModuleTag::kAlive;
+}
+
 void Module::send(lat::Direction side, msg::MessagePtr message) {
   sim().send_from(*this, side, std::move(message));
 }
@@ -96,13 +100,14 @@ Module& Simulator::add_module(std::unique_ptr<Module> module) {
   auto& slot = modules_[id.value];
   slot = std::move(module);
   ++module_count_;
+  world_.grid().mutable_state().set_tag(id, lat::ModuleTag::kAlive);
   return *slot;
 }
 
 void Simulator::kill_module(lat::BlockId id) {
   Module* module = find_module(id);
   SB_EXPECTS(module != nullptr, "cannot kill unknown block ", id);
-  module->alive_ = false;
+  world_.grid().mutable_state().set_tag(id, lat::ModuleTag::kDead);
   log_debug("block {} killed at t={}", id.value, now_);
 }
 
@@ -311,9 +316,20 @@ void Simulator::start_motion_for(Module& subject,
   const SimTime lands = now() + config_.motion_duration;
   // Sequential contexts register the flight here; requests made inside a
   // shard window buffer through pending_global and register at the barrier
-  // flush, so the registry is never touched concurrently.
-  if (tls_exec_ == nullptr) inflight_motions_.emplace_back(subject.id(), app);
+  // flush, so the registry — and the pending-move column that mirrors it —
+  // is never touched concurrently.
+  if (tls_exec_ == nullptr) {
+    inflight_motions_.emplace_back(subject.id(), app);
+    world_.grid().mutable_state().set_move_pending(subject.id(), true);
+  }
   schedule_record(EventRecord::motion_complete(lands, subject.id(), app));
+}
+
+bool Simulator::motion_inflight(lat::BlockId id) const {
+  for (const auto& [subject, app] : inflight_motions_) {
+    if (subject == id) return true;
+  }
+  return false;
 }
 
 bool Simulator::cell_in_motion(lat::Vec2 pos) const {
@@ -334,6 +350,7 @@ void Simulator::complete_motion(lat::BlockId subject,
       break;
     }
   }
+  world_.grid().mutable_state().set_move_pending(subject, false);
   // Physics may have changed since the request was validated; re-check.
   // External stimuli are required to respect cell_in_motion(), so this can
   // only fire on an engine bug, not on legal churn.

@@ -156,6 +156,15 @@ class Simulator {
   /// barriers in sharded mode).
   [[nodiscard]] bool cell_in_motion(lat::Vec2 pos) const;
 
+  /// Motions requested but not yet landed. The world's pending-move column
+  /// mirrors this registry bit-for-bit (the oracle cross-checks the two).
+  /// Sequential contexts only, like cell_in_motion().
+  [[nodiscard]] size_t inflight_motion_count() const {
+    return inflight_motions_.size();
+  }
+  /// True when `id` has a registered in-flight motion.
+  [[nodiscard]] bool motion_inflight(lat::BlockId id) const;
+
   /// Observer invoked after every grid-affecting event (motion completion
   /// or external event), always from the sequential context — in sharded
   /// mode these events run between windows on the coordinating thread. The

@@ -1,5 +1,7 @@
 #include "sim/world.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace sb::sim {
@@ -9,11 +11,21 @@ World::World(int32_t width, int32_t height, motion::RuleLibrary rules)
 
 lat::Neighborhood World::sense(lat::Vec2 center, int32_t radius) const {
   lat::Neighborhood window(center, radius, grid_.width(), grid_.height());
-  for (int32_t dy = -radius; dy <= radius; ++dy) {
-    for (int32_t dx = -radius; dx <= radius; ++dx) {
-      const lat::Vec2 p = center + lat::Vec2{dx, dy};
-      if (grid_.in_bounds(p)) window.set_occupied(p, grid_.occupied(p));
+  // Row-filled from the SoA occupancy bytes: one packed bit row per window
+  // row, no per-cell bounds branches (off-surface cells stay 0).
+  const lat::WorldState& state = grid_.state();
+  const int32_t x0 = center.x - radius;
+  const int32_t x_lo = std::max(x0, 0);
+  const int32_t x_hi = std::min(center.x + radius, grid_.width() - 1);
+  const int32_t y_lo = std::max(center.y - radius, 0);
+  const int32_t y_hi = std::min(center.y + radius, grid_.height() - 1);
+  for (int32_t y = y_lo; y <= y_hi; ++y) {
+    const uint8_t* row = state.occupancy_row(y);
+    uint32_t bits = 0;
+    for (int32_t x = x_lo; x <= x_hi; ++x) {
+      bits |= static_cast<uint32_t>(row[x]) << (x - x0);
     }
+    window.set_row_bits(y - (center.y - radius), bits);
   }
   return window;
 }

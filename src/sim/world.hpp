@@ -6,6 +6,7 @@
 
 #include "lattice/grid.hpp"
 #include "lattice/neighborhood.hpp"
+#include "lattice/world_view.hpp"
 #include "motion/apply.hpp"
 #include "motion/rule_library.hpp"
 
@@ -17,6 +18,9 @@ class World {
 
   [[nodiscard]] lat::Grid& grid() { return grid_; }
   [[nodiscard]] const lat::Grid& grid() const { return grid_; }
+  /// Read-only facade over the world state — the API observers (core/,
+  /// check/, viz/) use instead of touching Grid internals.
+  [[nodiscard]] lat::WorldView view() const { return lat::WorldView(grid_); }
   [[nodiscard]] const motion::RuleLibrary& rules() const { return rules_; }
 
   /// Sensing radius implied by the rule library (see DESIGN.md,

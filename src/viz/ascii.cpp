@@ -4,24 +4,24 @@
 
 namespace sb::viz {
 
-std::string render_ascii(const lat::Grid& grid, lat::Vec2 input,
+std::string render_ascii(lat::WorldView view, lat::Vec2 input,
                          lat::Vec2 output, AsciiOptions options) {
   std::ostringstream os;
   const int cell_width = options.show_ids ? 3 : 2;
   const auto horizontal_rule = [&] {
     os << '+';
-    for (int32_t x = 0; x < grid.width(); ++x) {
+    for (int32_t x = 0; x < view.width(); ++x) {
       os << std::string(static_cast<size_t>(cell_width), '-');
     }
     os << "+\n";
   };
 
   horizontal_rule();
-  for (int32_t y = grid.height() - 1; y >= 0; --y) {
+  for (int32_t y = view.height() - 1; y >= 0; --y) {
     os << '|';
-    for (int32_t x = 0; x < grid.width(); ++x) {
+    for (int32_t x = 0; x < view.width(); ++x) {
       const lat::Vec2 p{x, y};
-      const lat::BlockId id = grid.at(p);
+      const lat::BlockId id = view.at(p);
       std::string cell;
       if (id.valid()) {
         if (options.show_ids) {

@@ -4,7 +4,7 @@
 
 #include <string>
 
-#include "lattice/grid.hpp"
+#include "lattice/world_view.hpp"
 
 namespace sb::viz {
 
@@ -16,10 +16,11 @@ struct AsciiOptions {
   bool mark_io = true;
 };
 
-/// Renders the grid with north (max y) at the top, matching the paper's
+/// Renders the surface with north (max y) at the top, matching the paper's
 /// figures. Input renders as 'I'/'i' (free/occupied), output as 'O'/'o'.
-[[nodiscard]] std::string render_ascii(const lat::Grid& grid,
-                                       lat::Vec2 input, lat::Vec2 output,
+/// Takes the read facade (sim::World::view() or lat::WorldView(grid)).
+[[nodiscard]] std::string render_ascii(lat::WorldView view, lat::Vec2 input,
+                                       lat::Vec2 output,
                                        AsciiOptions options = AsciiOptions{});
 
 }  // namespace sb::viz

@@ -8,17 +8,17 @@
 
 namespace sb::viz {
 
-std::string render_svg(const lat::Grid& grid, lat::Vec2 input,
+std::string render_svg(lat::WorldView view, lat::Vec2 input,
                        lat::Vec2 output, SvgOptions options) {
   const int c = options.cell_pixels;
-  const int width = static_cast<int>(grid.width()) * c;
-  const int height = static_cast<int>(grid.height()) * c;
+  const int width = static_cast<int>(view.width()) * c;
+  const int height = static_cast<int>(view.height()) * c;
   const lat::Rect rect = lat::bounding_rect(input, output);
 
   // y is flipped: surface north (max y) renders at the top.
   const auto px = [&](lat::Vec2 p) {
     return std::pair<int, int>{p.x * c,
-                               (grid.height() - 1 - p.y) * c};
+                               (view.height() - 1 - p.y) * c};
   };
 
   std::ostringstream os;
@@ -31,8 +31,8 @@ std::string render_svg(const lat::Grid& grid, lat::Vec2 input,
 
   // Path-cell highlight.
   if (options.highlight_path) {
-    for (int32_t y = 0; y < grid.height(); ++y) {
-      for (int32_t x = 0; x < grid.width(); ++x) {
+    for (int32_t y = 0; y < view.height(); ++y) {
+      for (int32_t x = 0; x < view.width(); ++x) {
         const lat::Vec2 p{x, y};
         if (rect.contains(p) && (p.x == output.x || p.y == output.y)) {
           const auto [sx, sy] = px(p);
@@ -46,12 +46,12 @@ std::string render_svg(const lat::Grid& grid, lat::Vec2 input,
   }
 
   // Grid lines.
-  for (int32_t x = 0; x <= grid.width(); ++x) {
+  for (int32_t x = 0; x <= view.width(); ++x) {
     os << fmt(
         "<line x1=\"{}\" y1=\"0\" x2=\"{}\" y2=\"{}\" stroke=\"#ddd\"/>\n",
         x * c, x * c, height);
   }
-  for (int32_t y = 0; y <= grid.height(); ++y) {
+  for (int32_t y = 0; y <= view.height(); ++y) {
     os << fmt(
         "<line x1=\"0\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#ddd\"/>\n",
         y * c, width, y * c);
@@ -69,7 +69,7 @@ std::string render_svg(const lat::Grid& grid, lat::Vec2 input,
   marker(output, "#c33ad8");   // magenta rounded square
 
   // Blocks.
-  for (const auto& [id, pos] : grid.blocks()) {
+  for (const auto& [id, pos] : view.blocks()) {
     const auto [sx, sy] = px(pos);
     os << fmt(
         "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#9aa7b4\" "
@@ -86,11 +86,11 @@ std::string render_svg(const lat::Grid& grid, lat::Vec2 input,
   return os.str();
 }
 
-void save_svg(const std::string& path, const lat::Grid& grid, lat::Vec2 input,
+void save_svg(const std::string& path, lat::WorldView view, lat::Vec2 input,
               lat::Vec2 output, SvgOptions options) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error(fmt("cannot write SVG '{}'", path));
-  out << render_svg(grid, input, output, options);
+  out << render_svg(view, input, output, options);
 }
 
 }  // namespace sb::viz

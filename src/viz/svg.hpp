@@ -4,7 +4,7 @@
 
 #include <string>
 
-#include "lattice/grid.hpp"
+#include "lattice/world_view.hpp"
 
 namespace sb::viz {
 
@@ -15,15 +15,15 @@ struct SvgOptions {
   bool highlight_path = true;
 };
 
-/// Renders the grid as a standalone SVG document.
-[[nodiscard]] std::string render_svg(const lat::Grid& grid, lat::Vec2 input,
+/// Renders the surface as a standalone SVG document. Takes the read
+/// facade (sim::World::view() or lat::WorldView(grid)).
+[[nodiscard]] std::string render_svg(lat::WorldView view, lat::Vec2 input,
                                      lat::Vec2 output,
                                      SvgOptions options = SvgOptions{});
 
 /// Writes render_svg() output to a file. Throws std::runtime_error on I/O
 /// failure.
-void save_svg(const std::string& path, const lat::Grid& grid,
-              lat::Vec2 input, lat::Vec2 output,
-              SvgOptions options = SvgOptions{});
+void save_svg(const std::string& path, lat::WorldView view, lat::Vec2 input,
+              lat::Vec2 output, SvgOptions options = SvgOptions{});
 
 }  // namespace sb::viz

@@ -197,8 +197,8 @@ TEST(Physics, RejectsSingleLineResult) {
   // moving (2,1) north to (2,2)? Not a line. Moving (2,1) is the only
   // option; use single_line_after_moves directly for precision:
   const Grid three = make_grid({{1, 0}, {1, 1}, {2, 1}}, 6, 6);
-  EXPECT_TRUE(single_line_after_moves(three, {{{2, 1}, {1, 2}}}));
-  EXPECT_FALSE(single_line_after_moves(three, {{{2, 1}, {2, 2}}}));
+  EXPECT_TRUE(lat::single_line_after_moves(three, {{{2, 1}, {1, 2}}}));
+  EXPECT_FALSE(lat::single_line_after_moves(three, {{{2, 1}, {2, 2}}}));
 }
 
 TEST(Physics, ApplyExecutesAllMoves) {

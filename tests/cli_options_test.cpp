@@ -78,6 +78,24 @@ TEST(SweepCli, RejectsOutOfRangeCounts) {
                std::runtime_error);
 }
 
+TEST(SweepCli, ClampsShardThreadsToTheShardCount) {
+  // A shard window is drained by at most one thread, so threads beyond the
+  // shard count would silently idle; parse_sweep_flags clamps (loudly).
+  const SweepCliOptions clamped =
+      parse({"--shards", "2", "--shard-threads", "8"});
+  EXPECT_EQ(clamped.shards, 2u);
+  EXPECT_EQ(clamped.shard_threads, 2u);
+  // At or below the shard count passes through untouched.
+  EXPECT_EQ(parse({"--shards", "4", "--shard-threads", "4"}).shard_threads,
+            4u);
+  EXPECT_EQ(parse({"--shards", "4", "--shard-threads", "3"}).shard_threads,
+            3u);
+  // 0 is the hardware-concurrency sentinel, never clamped here (the engine
+  // still caps the resolved value at the shard count).
+  EXPECT_EQ(parse({"--shards", "2", "--shard-threads", "0"}).shard_threads,
+            0u);
+}
+
 TEST(SweepCli, RejectsNonNumericFlagsAtTheParserLevel) {
   // CliParser itself refuses non-numeric values for int flags — parse()
   // maps that to a throw here; the tools print the message and exit 1.

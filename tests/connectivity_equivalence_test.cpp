@@ -216,7 +216,7 @@ TEST(ConnectivityEquivalence, RandomGridsAgreeWithReference) {
       ASSERT_EQ(connected_after_moves(grid, moves),
                 reference_connected_after(grid, moves))
           << "trial " << trial << " batch " << b;
-      ASSERT_EQ(motion::single_line_after_moves(grid, moves),
+      ASSERT_EQ(lat::single_line_after_moves(grid, moves),
                 reference_single_line_after(grid, moves))
           << "trial " << trial << " batch " << b;
     }

@@ -1,0 +1,312 @@
+// SoA <-> AoS equivalence suite for the WorldState column store and the
+// batched connectivity oracle (the PR-7 redesign).
+//
+// Three layers of evidence, from micro to end-to-end:
+//
+//   1. Column mirroring: random mutation sequences (place / remove / move /
+//      simultaneous handover chains) through Grid must keep the SoA columns
+//      (occupancy byte image, position columns) byte-consistent with the
+//      AoS cell array they shadow, as observed through lat::WorldView.
+//
+//   2. Oracle verdicts: the batched row sweeps over the occupancy image
+//      must produce exactly the verdict bytes of the per-candidate scalar
+//      path (forced by installing a ConnectivityScratchView, the same
+//      mechanism parallel shard windows use), including after mutations
+//      that stale the per-row version stamps.
+//
+//   3. Traces: every committed corpus repro and a batch of fresh fuzz
+//      seeds run through the full differential harness. Backend A (classic)
+//      answers probes from the batched row cache while backends B/C answer
+//      window probes on the per-candidate path, so the harness's
+//      byte-for-byte move-trace / final-occupancy comparison crosses the
+//      two oracle implementations on every case.
+//
+// The binary is registered with ctest twice (tests/CMakeLists.txt): once
+// with the default batched oracle and once under SB_CONN_BATCH=0, so both
+// layouts replay the corpus on every test run and a digest that drifts on
+// either path fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/differential.hpp"
+#include "check/generator.hpp"
+#include "lattice/connectivity.hpp"
+#include "lattice/grid.hpp"
+#include "lattice/world_view.hpp"
+#include "util/rng.hpp"
+
+namespace sb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// -- shared random-grid machinery -------------------------------------------
+
+/// Random surface with a mix of connected-blob growth and loose sprinkles;
+/// `occupied_cells` tracks the occupied positions for the mutation driver.
+lat::Grid random_grid(Rng& rng, std::vector<lat::Vec2>& occupied_cells,
+                      uint32_t& next_id) {
+  const auto w = static_cast<int32_t>(rng.next_in(4, 14));
+  const auto h = static_cast<int32_t>(rng.next_in(4, 14));
+  lat::Grid grid(w, h);
+  occupied_cells.clear();
+  if (rng.next_bool()) {
+    const lat::Vec2 seed{static_cast<int32_t>(rng.next_in(0, w - 1)),
+                         static_cast<int32_t>(rng.next_in(0, h - 1))};
+    grid.place(lat::BlockId{next_id++}, seed);
+    occupied_cells.push_back(seed);
+    const auto target = static_cast<size_t>(
+        rng.next_in(2, static_cast<int64_t>(w) * h / 2));
+    for (size_t attempts = 0;
+         grid.block_count() < target && attempts < 400; ++attempts) {
+      const lat::Vec2 base = occupied_cells[rng.pick_index(occupied_cells)];
+      const lat::Vec2 q =
+          base + delta(static_cast<lat::Direction>(rng.next_in(0, 3)));
+      if (grid.in_bounds(q) && !grid.occupied(q)) {
+        grid.place(lat::BlockId{next_id++}, q);
+        occupied_cells.push_back(q);
+      }
+    }
+  } else {
+    for (int32_t y = 0; y < h; ++y) {
+      for (int32_t x = 0; x < w; ++x) {
+        if (rng.next_in(0, 2) == 0) {
+          grid.place(lat::BlockId{next_id++}, {x, y});
+          occupied_cells.push_back({x, y});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+/// Asserts that the SoA columns agree with the AoS cell array everywhere:
+/// occupancy bytes (including the always-empty padding ring) against at(),
+/// and the position columns against the cells via WorldView round-trips.
+void expect_columns_mirror_cells(const lat::Grid& grid) {
+  const lat::WorldView view(grid);
+  const lat::WorldState& state = grid.state();
+  // Occupancy image vs cell array, cell by cell.
+  for (int32_t y = 0; y < grid.height(); ++y) {
+    const uint8_t* row = state.occupancy_row(y);
+    for (int32_t x = 0; x < grid.width(); ++x) {
+      const bool cell_says = view.at({x, y}).valid();
+      ASSERT_EQ(row[x] != 0, cell_says)
+          << "occupancy byte disagrees with the cell array at (" << x << ","
+          << y << ")";
+    }
+    // Padding columns never go occupied.
+    ASSERT_EQ(row[-1], 0) << "left padding dirty in row " << y;
+    ASSERT_EQ(row[grid.width()], 0) << "right padding dirty in row " << y;
+  }
+  for (const int32_t y : {-1, grid.height()}) {
+    const uint8_t* row = state.occupancy_row(y);
+    for (int32_t x = -1; x <= grid.width(); ++x) {
+      ASSERT_EQ(row[x], 0) << "padding row " << y << " dirty at x=" << x;
+    }
+  }
+  // Position columns vs cells: every occupied cell round-trips through
+  // position_of, and every placed id points at a cell holding it.
+  size_t from_cells = 0;
+  for (int32_t y = 0; y < grid.height(); ++y) {
+    for (int32_t x = 0; x < grid.width(); ++x) {
+      const lat::BlockId id = view.at({x, y});
+      if (!id.valid()) continue;
+      ++from_cells;
+      ASSERT_TRUE(view.contains(id));
+      ASSERT_EQ(view.position_of(id), (lat::Vec2{x, y}));
+    }
+  }
+  ASSERT_EQ(from_cells, view.block_count());
+  for (const auto& [id, pos] : view.blocks()) {
+    ASSERT_EQ(view.at(pos), id);
+  }
+}
+
+TEST(SoaEquivalence, ColumnsMirrorTheCellArrayUnderRandomMutations) {
+  Rng rng(0x50A50A50AULL);
+  std::vector<lat::Vec2> cells;
+  for (int trial = 0; trial < 60; ++trial) {
+    uint32_t next_id = 1;
+    lat::Grid grid = random_grid(rng, cells, next_id);
+    expect_columns_mirror_cells(grid);
+    for (int step = 0; step < 40; ++step) {
+      const int action = static_cast<int>(rng.next_in(0, 3));
+      if (action == 0 || cells.empty()) {  // place
+        const lat::Vec2 q{
+            static_cast<int32_t>(rng.next_in(0, grid.width() - 1)),
+            static_cast<int32_t>(rng.next_in(0, grid.height() - 1))};
+        if (!grid.occupied(q)) {
+          grid.place(lat::BlockId{next_id++}, q);
+          cells.push_back(q);
+        }
+      } else if (action == 1) {  // remove
+        const size_t index = rng.pick_index(cells);
+        grid.remove(cells[index]);
+        cells[index] = cells.back();
+        cells.pop_back();
+      } else if (action == 2) {  // single move
+        const size_t index = rng.pick_index(cells);
+        const lat::Vec2 from = cells[index];
+        const lat::Vec2 to =
+            from + delta(static_cast<lat::Direction>(rng.next_in(0, 3)));
+        if (grid.in_bounds(to) && !grid.occupied(to)) {
+          grid.move(from, to);
+          cells[index] = to;
+        }
+      } else {  // handover chain A->B, B->C as one atomic step
+        const size_t index = rng.pick_index(cells);
+        const lat::Vec2 a = cells[index];
+        const lat::Vec2 b =
+            a + delta(static_cast<lat::Direction>(rng.next_in(0, 3)));
+        const lat::Vec2 c =
+            b + delta(static_cast<lat::Direction>(rng.next_in(0, 3)));
+        if (grid.occupied(b) && grid.in_bounds(c) && !grid.occupied(c) &&
+            c != a) {
+          grid.move_simultaneously({{a, b}, {b, c}});
+          const auto b_at = std::find(cells.begin(), cells.end(), b);
+          ASSERT_NE(b_at, cells.end());
+          *b_at = c;
+          cells[index] = b;
+        }
+      }
+      expect_columns_mirror_cells(grid);
+    }
+  }
+}
+
+// -- batched vs scalar verdicts ---------------------------------------------
+
+/// Scalar removal verdicts for `cells`, via the same escape hatch the
+/// sharded simulator uses: with a ConnectivityScratchView installed on the
+/// thread, batch_removal_verdicts serves every probe from the per-candidate
+/// ring-mask lookup and never touches the shared row cache. The grid is not
+/// mutated while the view is installed (mirroring the frozen-window
+/// contract), so the redirected hint cache cannot go stale.
+std::vector<uint8_t> scalar_verdicts(const lat::Grid& grid,
+                                     const std::vector<lat::Vec2>& cells) {
+  std::vector<uint8_t> out(cells.size(), 0xAA);
+  lat::ConnectivityScratchView view;
+  lat::Grid::install_connectivity_view(&view);
+  lat::batch_removal_verdicts(grid, cells.data(), cells.size(), out.data());
+  lat::Grid::install_connectivity_view(nullptr);
+  return out;
+}
+
+TEST(SoaEquivalence, BatchedVerdictRowsMatchTheScalarOracle) {
+  Rng rng(0xBA7C4EDULL);
+  std::vector<lat::Vec2> cells;
+  for (int trial = 0; trial < 150; ++trial) {
+    uint32_t next_id = 1;
+    lat::Grid grid = random_grid(rng, cells, next_id);
+    // Every cell of every row, not just occupied ones: the verdict bytes
+    // must agree on empty cells too (the sweep computes whole rows).
+    std::vector<lat::Vec2> all_cells;
+    for (int32_t y = 0; y < grid.height(); ++y) {
+      for (int32_t x = 0; x < grid.width(); ++x) {
+        all_cells.push_back({x, y});
+      }
+    }
+    const std::vector<uint8_t> scalar = scalar_verdicts(grid, all_cells);
+    std::vector<uint8_t> batched(all_cells.size(), 0x55);
+    lat::batch_removal_verdicts(grid, all_cells.data(), all_cells.size(),
+                                batched.data());
+    ASSERT_EQ(batched, scalar) << "trial " << trial;
+
+    // Mutate and re-compare: the per-row version stamps must invalidate
+    // exactly the rows whose verdicts can change.
+    for (int step = 0; step < 6; ++step) {
+      if (cells.empty()) break;
+      const size_t index = rng.pick_index(cells);
+      const lat::Vec2 from = cells[index];
+      const lat::Vec2 to =
+          from + delta(static_cast<lat::Direction>(rng.next_in(0, 3)));
+      if (!grid.in_bounds(to) || grid.occupied(to)) continue;
+      grid.move(from, to);
+      cells[index] = to;
+      const std::vector<uint8_t> scalar_after =
+          scalar_verdicts(grid, all_cells);
+      std::vector<uint8_t> batched_after(all_cells.size(), 0x55);
+      lat::batch_removal_verdicts(grid, all_cells.data(), all_cells.size(),
+                                  batched_after.data());
+      ASSERT_EQ(batched_after, scalar_after)
+          << "trial " << trial << " step " << step
+          << ": stale verdict row survived a mutation";
+    }
+  }
+}
+
+TEST(SoaEquivalence, LocalChecksAgreeAcrossThePathSelector) {
+  // local_removal_check routes through the row cache sequentially and
+  // through the scalar lookup under a scratch view; both must answer
+  // identically for every occupied cell.
+  Rng rng(0x10CA1ULL);
+  std::vector<lat::Vec2> cells;
+  int probes = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    uint32_t next_id = 1;
+    const lat::Grid grid = random_grid(rng, cells, next_id);
+    for (const lat::Vec2 p : cells) {
+      const lat::LocalVerdict batched = lat::local_removal_check(grid, p);
+      lat::ConnectivityScratchView view;
+      lat::Grid::install_connectivity_view(&view);
+      const lat::LocalVerdict scalar = lat::local_removal_check(grid, p);
+      lat::Grid::install_connectivity_view(nullptr);
+      ASSERT_EQ(batched, scalar) << "trial " << trial << " at " << p;
+      ++probes;
+    }
+  }
+  EXPECT_GT(probes, 1000);
+}
+
+// -- end-to-end: corpus + fresh seeds through both oracle paths -------------
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(SMARTBLOCKS_CORPUS_DIR)) {
+    if (entry.path().extension() != ".json") continue;
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(SoaEquivalence, CorpusReplaysAgreeAcrossOraclePaths) {
+  // Backend A (classic) serves probes from the batched row cache; backends
+  // B/C serve their parallel-window probes per-candidate. run_case compares
+  // their move traces and final occupancy byte-for-byte, so each replay is
+  // a batched-vs-scalar trace equality check. (Under the SB_CONN_BATCH=0
+  // ctest registration all backends run scalar and the same comparison
+  // pins the scalar path against itself across engines.)
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    check::FuzzCase fuzz_case;
+    ASSERT_NO_THROW(fuzz_case = check::FuzzCase::load(path));
+    const check::DiffOutcome outcome = check::run_case(fuzz_case);
+    EXPECT_TRUE(outcome.ok()) << outcome.report();
+  }
+}
+
+TEST(SoaEquivalence, FreshFuzzSeedsAgreeAcrossOraclePaths) {
+  // Fresh seeds (not the minimized corpus shapes), forced comparable so
+  // the harness holds move traces byte-identical between the batched
+  // classic run and the scalar-window sharded runs.
+  check::GeneratorOptions options;
+  options.always_comparable = true;
+  for (uint64_t seed = 0x50A00; seed < 0x50A0C; ++seed) {
+    const check::FuzzCase fuzz_case = check::generate_case(seed, options);
+    SCOPED_TRACE(fuzz_case.describe());
+    const check::DiffOutcome outcome = check::run_case(fuzz_case);
+    EXPECT_TRUE(outcome.ok()) << outcome.report();
+  }
+}
+
+}  // namespace
+}  // namespace sb

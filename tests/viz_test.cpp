@@ -24,8 +24,14 @@ lat::Grid small_grid() {
   return grid;
 }
 
+/// The render APIs take the read facade; tests view a scoped copy.
+struct SmallWorld {
+  lat::Grid grid = small_grid();
+  [[nodiscard]] lat::WorldView view() const { return lat::WorldView(grid); }
+};
+
 TEST(Ascii, MarksInputOutputAndBlocks) {
-  const std::string art = render_ascii(small_grid(), {1, 0}, {3, 2});
+  const std::string art = render_ascii(SmallWorld().view(), {1, 0}, {3, 2});
   EXPECT_NE(art.find(" O "), std::string::npos);  // free output cell
   EXPECT_NE(art.find("1i"), std::string::npos);   // block 1 on the input
   EXPECT_NE(art.find("12"), std::string::npos);   // id rendering
@@ -33,7 +39,7 @@ TEST(Ascii, MarksInputOutputAndBlocks) {
 }
 
 TEST(Ascii, NorthRowRendersFirst) {
-  const std::string art = render_ascii(small_grid(), {1, 0}, {3, 2});
+  const std::string art = render_ascii(SmallWorld().view(), {1, 0}, {3, 2});
   // Output (3,2) is on the top row; blocks on the bottom row.
   EXPECT_LT(art.find(" O "), art.find("12"));
 }
@@ -41,13 +47,13 @@ TEST(Ascii, NorthRowRendersFirst) {
 TEST(Ascii, CompactModeUsesHashes) {
   AsciiOptions options;
   options.show_ids = false;
-  const std::string art = render_ascii(small_grid(), {1, 0}, {3, 2}, options);
+  const std::string art = render_ascii(SmallWorld().view(), {1, 0}, {3, 2}, options);
   EXPECT_NE(art.find('#'), std::string::npos);
   EXPECT_EQ(art.find("12"), std::string::npos);
 }
 
 TEST(Svg, IsWellFormedXml) {
-  const std::string svg = render_svg(small_grid(), {1, 0}, {3, 2});
+  const std::string svg = render_svg(SmallWorld().view(), {1, 0}, {3, 2});
   // Our own XML parser accepts it: structurally sound markup.
   const xml::Document doc = xml::parse(svg);
   EXPECT_EQ(doc.root->name(), "svg");
@@ -55,7 +61,7 @@ TEST(Svg, IsWellFormedXml) {
 }
 
 TEST(Svg, ContainsBlockIdsAndMarkers) {
-  const std::string svg = render_svg(small_grid(), {1, 0}, {3, 2});
+  const std::string svg = render_svg(SmallWorld().view(), {1, 0}, {3, 2});
   EXPECT_NE(svg.find(">12<"), std::string::npos);
   EXPECT_NE(svg.find("#3a6fd8"), std::string::npos);  // input marker
   EXPECT_NE(svg.find("#c33ad8"), std::string::npos);  // output marker
@@ -63,7 +69,7 @@ TEST(Svg, ContainsBlockIdsAndMarkers) {
 
 TEST(Svg, SaveWritesFile) {
   const std::string path = ::testing::TempDir() + "/surface.svg";
-  save_svg(path, small_grid(), {1, 0}, {3, 2});
+  save_svg(path, SmallWorld().view(), {1, 0}, {3, 2});
   std::ifstream in(path);
   EXPECT_TRUE(in.good());
 }

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "dist/coordinator.hpp"
+#include "dist/spawn.hpp"
 #include "dist/worker.hpp"
 #include "lattice/world_view.hpp"
 #include "runner/cli_options.hpp"
@@ -145,14 +146,12 @@ std::string full_digest(const core::SessionResult& result) {
              result.sim_ticks, result.events_processed);
 }
 
+}  // namespace
+
 // -- distributed backend comparison -----------------------------------------
 
-/// Local thread-pool sweep vs in-process coordinator/worker fleet on the
-/// case's scenario; returns a divergence description or "" on agreement.
-/// The sweep grid cannot express churn or per-case algorithm knobs, so this
-/// compares the *machinery* (wire serialization, merge, scheduling) on the
-/// fuzzer's hostile scenario shapes under the default session config.
-std::string compare_dist_backend(const FuzzCase& fuzz_case) {
+std::string compare_dist_backend(const FuzzCase& fuzz_case,
+                                 const DiffOptions& options) {
   namespace fs = std::filesystem;
   const fs::path path =
       fs::temp_directory_path() /
@@ -183,20 +182,37 @@ std::string compare_dist_backend(const FuzzCase& fuzz_case) {
     local.scrub_timing();
 
     dist::Coordinator::Options copts;
-    copts.total_timeout_ms = 60000;
+    copts.total_timeout_ms = options.dist_total_timeout_ms;
     dist::Coordinator coordinator(grid, copts);
-    dist::Worker::Options wopts;
-    wopts.port = coordinator.port();
-    wopts.heartbeat_ms = 50;
-    int worker_code = -1;
-    std::thread worker([&] { worker_code = dist::Worker(wopts).run(); });
+    const size_t fleet_size = std::max<size_t>(1, options.dist_workers);
+    std::vector<dist::WorkerProcess> fleet;
+    std::vector<std::thread> threads;
+    std::vector<int> codes(fleet_size, -1);
+    if (!options.dist_worker_binary.empty()) {
+      fleet = dist::spawn_worker_fleet(options.dist_worker_binary,
+                                       "127.0.0.1", coordinator.port(),
+                                       fleet_size);
+    } else {
+      dist::Worker::Options wopts;
+      wopts.port = coordinator.port();
+      wopts.heartbeat_ms = 50;
+      for (size_t i = 0; i < fleet_size; ++i) {
+        threads.emplace_back(
+            [&, i] { codes[i] = dist::Worker(wopts).run(); });
+      }
+    }
     const std::vector<runner::RunRow> rows = coordinator.run();
-    worker.join();
+    for (std::thread& thread : threads) thread.join();
+    for (size_t i = 0; i < fleet.size(); ++i) {
+      codes[i] = dist::reap_worker(fleet[i]);
+    }
 
     runner::BenchReport merged = runner::assemble_report(ropts, rows);
     merged.scrub_timing();
-    if (worker_code != 0) {
-      divergence = fmt("dist: worker exited {}", worker_code);
+    const auto bad = std::find_if(codes.begin(), codes.end(),
+                                  [](int code) { return code != 0; });
+    if (bad != codes.end()) {
+      divergence = fmt("dist: worker {} exited {}", bad - codes.begin(), *bad);
     } else if (merged.to_json_text() != local.to_json_text()) {
       divergence = fmt(
           "dist: merged report differs from local sweep\n  local: {}\n  "
@@ -210,8 +226,6 @@ std::string compare_dist_backend(const FuzzCase& fuzz_case) {
   fs::remove(path, ignored);
   return divergence;
 }
-
-}  // namespace
 
 BackendRun run_backend(const FuzzCase& fuzz_case, std::string name,
                        size_t shards, size_t threads,
@@ -327,7 +341,7 @@ DiffOutcome run_case(const FuzzCase& fuzz_case, const DiffOptions& options) {
   }
 
   if (options.run_dist && fuzz_case.churn.empty()) {
-    const std::string divergence = compare_dist_backend(fuzz_case);
+    const std::string divergence = compare_dist_backend(fuzz_case, options);
     if (!divergence.empty()) outcome.divergences.push_back(divergence);
   } else if (options.run_dist) {
     outcome.notes.push_back(

@@ -35,10 +35,20 @@ struct DiffOptions {
   size_t alt_shards = 4;
   /// Worker threads of backend C.
   size_t alt_threads = 3;
-  /// Also differential-test the distributed sweep backend (in-process
-  /// coordinator + worker; skipped for churn cases, which the sweep grid
-  /// cannot express).
+  /// Also differential-test the distributed sweep backend (skipped for
+  /// churn cases, which the sweep grid cannot express).
   bool run_dist = false;
+  /// Fleet size of the dist leg. More than one worker races the pull
+  /// scheduling, proving merge-order independence on hostile scenarios.
+  size_t dist_workers = 1;
+  /// When non-empty, the dist leg forks/execs this sweep_worker binary
+  /// instead of running workers in-process — the full wire path, process
+  /// boundary included (the corpus dist smoke test uses this).
+  std::string dist_worker_binary;
+  /// Coordinator total-timeout backstop for the dist leg. The default suits
+  /// optimized builds; sanitizer builds replaying heavy corpus cases need
+  /// minutes per run and must raise it or every case reads as a timeout.
+  size_t dist_total_timeout_ms = 60000;
   OracleOptions oracle;
 };
 
@@ -77,6 +87,15 @@ struct DiffOutcome {
                                      std::string name, size_t shards,
                                      size_t threads,
                                      const OracleOptions& oracle_options = {});
+
+/// The dist leg alone: sweeps the case's scenario through the local
+/// thread-pool backend and a coordinator/worker fleet (in-process workers,
+/// or forked `options.dist_worker_binary` subprocesses) and byte-compares
+/// the timing-scrubbed reports. Returns a divergence description, or "" on
+/// agreement. Exposed for the corpus dist smoke test; run_case calls it for
+/// churn-free cases when `options.run_dist`.
+[[nodiscard]] std::string compare_dist_backend(const FuzzCase& fuzz_case,
+                                               const DiffOptions& options = {});
 
 /// Runs the case through all backends and populates divergences.
 [[nodiscard]] DiffOutcome run_case(const FuzzCase& fuzz_case,

@@ -1,0 +1,168 @@
+#include "dist/chaos.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+
+namespace sb::dist::chaos {
+
+namespace {
+
+enum class Fault { kKill, kHang, kDelay, kPartial };
+
+struct Rule {
+  std::string point;
+  uint64_t at = 0;  // 1-based hit ordinal
+  Fault fault = Fault::kKill;
+  int delay_ms = 0;
+  bool fired = false;
+};
+
+struct Schedule {
+  std::vector<Rule> rules;
+  std::vector<std::pair<std::string, uint64_t>> hits;  // per-point counters
+
+  uint64_t& counter(std::string_view point) {
+    for (auto& [name, count] : hits) {
+      if (name == point) return count;
+    }
+    hits.emplace_back(std::string(point), 0);
+    return hits.back().second;
+  }
+};
+
+Rule parse_rule(const std::string& text) {
+  const size_t at = text.find('@');
+  const size_t colon = text.find(':', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || colon == std::string::npos || at == 0) {
+    throw std::runtime_error(
+        fmt("SB_DIST_CHAOS rule '{}' is not point@N:action", text));
+  }
+  Rule rule;
+  rule.point = text.substr(0, at);
+  const auto ordinal = parse_int(text.substr(at + 1, colon - at - 1));
+  if (!ordinal.has_value() || *ordinal < 1) {
+    throw std::runtime_error(
+        fmt("SB_DIST_CHAOS rule '{}' needs a hit ordinal >= 1", text));
+  }
+  rule.at = static_cast<uint64_t>(*ordinal);
+  const std::string action = text.substr(colon + 1);
+  if (action == "kill") {
+    rule.fault = Fault::kKill;
+  } else if (action == "hang") {
+    rule.fault = Fault::kHang;
+  } else if (action == "partial") {
+    rule.fault = Fault::kPartial;
+  } else if (action.rfind("delay=", 0) == 0) {
+    const auto ms = parse_int(action.substr(6));
+    if (!ms.has_value() || *ms < 0) {
+      throw std::runtime_error(
+          fmt("SB_DIST_CHAOS rule '{}' has a bad delay", text));
+    }
+    rule.fault = Fault::kDelay;
+    rule.delay_ms = static_cast<int>(*ms);
+  } else {
+    throw std::runtime_error(fmt(
+        "SB_DIST_CHAOS rule '{}' has unknown action '{}' "
+        "(kill | hang | delay=<ms> | partial)",
+        text, action));
+  }
+  return rule;
+}
+
+Schedule parse_spec(const std::string& spec) {
+  Schedule schedule;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string rule = spec.substr(start, end - start);
+    if (!rule.empty()) schedule.rules.push_back(parse_rule(rule));
+    start = end + 1;
+  }
+  return schedule;
+}
+
+std::mutex g_mu;
+bool g_parsed = false;
+Schedule g_schedule;
+
+/// Parses SB_DIST_CHAOS once (callers hold g_mu).
+Schedule& schedule_locked() {
+  if (!g_parsed) {
+    g_schedule = Schedule{};
+    if (const char* spec = std::getenv("SB_DIST_CHAOS")) {
+      g_schedule = parse_spec(spec);
+    }
+    g_parsed = true;
+  }
+  return g_schedule;
+}
+
+}  // namespace
+
+bool armed() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return !schedule_locked().rules.empty();
+}
+
+Action hit(std::string_view point) {
+  Fault fault;
+  int delay_ms = 0;
+  uint64_t ordinal = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    Schedule& schedule = schedule_locked();
+    if (schedule.rules.empty()) return Action::kNone;
+    ordinal = ++schedule.counter(point);
+    Rule* match = nullptr;
+    for (Rule& rule : schedule.rules) {
+      if (!rule.fired && rule.point == point && rule.at == ordinal) {
+        match = &rule;
+        break;
+      }
+    }
+    if (match == nullptr) return Action::kNone;
+    match->fired = true;
+    fault = match->fault;
+    delay_ms = match->delay_ms;
+  }
+  switch (fault) {
+    case Fault::kKill:
+      // Abrupt, SIGKILL-grade: no destructors, no stream flushes, no
+      // journal fsync beyond what already happened.
+      log_warn("chaos: killing process at {} hit {}", point, ordinal);
+      ::_exit(137);
+    case Fault::kHang:
+      log_warn("chaos: hanging at {} hit {}", point, ordinal);
+      std::this_thread::sleep_for(std::chrono::hours(1));
+      return Action::kNone;
+    case Fault::kDelay:
+      log_warn("chaos: delaying {} ms at {} hit {}", delay_ms, point,
+               ordinal);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return Action::kNone;
+    case Fault::kPartial:
+      log_warn("chaos: partial frame at {} hit {}", point, ordinal);
+      return Action::kPartial;
+  }
+  return Action::kNone;
+}
+
+void reset_for_tests() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_parsed = false;
+  g_schedule = Schedule{};
+}
+
+}  // namespace sb::dist::chaos

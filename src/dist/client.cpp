@@ -1,0 +1,116 @@
+#include "dist/client.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "runner/merge.hpp"
+#include "util/fmt.hpp"
+
+namespace sb::dist {
+
+Client::Client(Options options) : options_(std::move(options)) {
+  socket_ = Socket::connect_to(options_.host, options_.port,
+                               options_.connect_timeout_ms);
+  socket_.send_frame(encode(Message::hello(static_cast<uint64_t>(::getpid()),
+                                           Role::kClient, /*cores=*/1,
+                                           /*memory_mb=*/0)));
+  const RecvResult first = socket_.recv_frame(options_.connect_timeout_ms);
+  if (first.status != RecvStatus::kFrame ||
+      decode(first.payload).type != MsgType::kWelcome) {
+    throw std::runtime_error("coordinator did not say welcome");
+  }
+}
+
+Message Client::request(const Message& message, MsgType expected) {
+  socket_.send_frame(encode(message));
+  const RecvResult frame = socket_.recv_frame(/*timeout_ms=*/-1);
+  if (frame.status != RecvStatus::kFrame) {
+    // The coordinator closes the connection on a protocol error (e.g. an
+    // unknown job id) rather than answering.
+    throw std::runtime_error(
+        fmt("coordinator dropped the connection answering '{}' (unknown "
+            "job, or the service went away)",
+            to_string(message.type)));
+  }
+  const Message reply = decode(frame.payload);
+  if (reply.type != expected) {
+    throw std::runtime_error(fmt("expected '{}' from the coordinator, "
+                                 "got '{}'",
+                                 to_string(expected), to_string(reply.type)));
+  }
+  return reply;
+}
+
+uint64_t Client::submit(const runner::SweepCliOptions& grid,
+                        size_t unit_size, size_t min_cores) {
+  const Message reply = request(
+      Message::submit(grid, unit_size, min_cores), MsgType::kSubmitted);
+  if (options_.verbose) {
+    std::fprintf(stderr, "sweep client: job %llu queued (%zu specs)\n",
+                 static_cast<unsigned long long>(reply.job),
+                 reply.spec_count);
+  }
+  return reply.job;
+}
+
+Client::JobStatus Client::status(uint64_t job) {
+  const Message reply =
+      request(Message::status(job), MsgType::kJobStatus);
+  return {reply.job, reply.state, reply.merged, reply.total};
+}
+
+runner::SweepCliOptions Client::describe(uint64_t job) {
+  return request(Message::job_request(job), MsgType::kJob).options;
+}
+
+std::vector<runner::RunRow> Client::fetch(uint64_t job) {
+  // The stream announces units as they merged but never the grid size;
+  // a status round-trip pins the total so completeness is checkable.
+  const JobStatus before = status(job);
+  runner::ResultMerger merger(before.total);
+  socket_.send_frame(encode(Message::fetch(job)));
+  for (;;) {
+    const RecvResult frame = socket_.recv_frame(/*timeout_ms=*/-1);
+    if (frame.status != RecvStatus::kFrame) {
+      throw std::runtime_error(
+          fmt("coordinator went away mid-fetch with {}/{} runs received",
+              merger.merged(), merger.total()));
+    }
+    const Message message = decode(frame.payload);
+    if (message.type == MsgType::kResult) {
+      if (message.job != job ||
+          merger.accept(message.unit.begin, message.rows) ==
+              runner::ResultMerger::Accept::kInvalid) {
+        throw std::runtime_error(
+            fmt("malformed result batch in the fetch stream of job {}",
+                job));
+      }
+      continue;
+    }
+    if (message.type != MsgType::kJobDone || message.job != job) {
+      throw std::runtime_error(fmt("unexpected '{}' in the fetch stream",
+                                   to_string(message.type)));
+    }
+    if (message.state == JobState::kCancelled) {
+      throw std::runtime_error(
+          fmt("job {} was cancelled with {}/{} runs merged", job,
+              merger.merged(), merger.total()));
+    }
+    if (!merger.complete()) {
+      throw std::runtime_error(
+          fmt("fetch stream of job {} ended with {}/{} runs", job,
+              merger.merged(), merger.total()));
+    }
+    return merger.take_rows();
+  }
+}
+
+Client::JobStatus Client::cancel(uint64_t job) {
+  const Message reply =
+      request(Message::cancel(job), MsgType::kJobStatus);
+  return {reply.job, reply.state, reply.merged, reply.total};
+}
+
+}  // namespace sb::dist

@@ -1,0 +1,73 @@
+#pragma once
+// Client side of the dist job-queue service: submit sweeps to a long-lived
+// coordinator, poll their progress, stream their merged results, or cancel
+// them. Many clients can queue jobs against one fleet concurrently; the
+// coordinator interleaves all queued jobs across its workers.
+//
+// One Client wraps one connection (hello with role=client). All calls are
+// synchronous request/reply — fetch() blocks until the job leaves the
+// running state, consuming result batches incrementally as units merge.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "dist/socket.hpp"
+#include "runner/cli_options.hpp"
+#include "runner/report.hpp"
+
+namespace sb::dist {
+
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Budget for the initial connect; the coordinator may still be
+    /// binding its listener.
+    int connect_timeout_ms = 5000;
+    bool verbose = false;
+  };
+
+  struct JobStatus {
+    uint64_t job = 0;
+    JobState state = JobState::kRunning;
+    size_t merged = 0;
+    size_t total = 0;
+  };
+
+  /// Connects and completes the hello/welcome handshake. Throws
+  /// std::runtime_error if the coordinator is unreachable or speaks a
+  /// different protocol version.
+  explicit Client(Options options);
+
+  /// Queues a sweep; returns its job id. `unit_size` partitions the grid,
+  /// `min_cores` restricts dispatch to workers that announced at least that
+  /// many cores (0 = any).
+  [[nodiscard]] uint64_t submit(const runner::SweepCliOptions& grid,
+                                size_t unit_size = 1, size_t min_cores = 0);
+
+  [[nodiscard]] JobStatus status(uint64_t job);
+
+  /// The grid description job was submitted with — lets a fetching client
+  /// rebuild the exact report header (threads, master seed) without the
+  /// submitter re-sending its flags.
+  [[nodiscard]] runner::SweepCliOptions describe(uint64_t job);
+
+  /// Streams the job's result batches until it completes, returning rows in
+  /// spec order. Throws if the job was cancelled or the coordinator went
+  /// away mid-stream.
+  [[nodiscard]] std::vector<runner::RunRow> fetch(uint64_t job);
+
+  /// Cancels a running job (idempotent); returns its final status.
+  JobStatus cancel(uint64_t job);
+
+ private:
+  [[nodiscard]] Message request(const Message& message, MsgType expected);
+
+  Options options_;
+  Socket socket_;
+};
+
+}  // namespace sb::dist

@@ -5,11 +5,13 @@
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "dist/chaos.hpp"
 #include "dist/protocol.hpp"
 #include "dist/socket.hpp"
 #include "runner/merge.hpp"
@@ -22,35 +24,61 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Spec count from the grid dimensions rather than a full expand(): the
+/// coordinator never executes a run, and expand() would copy each scenario
+/// (up to 10^6 blocks) into every one of its specs just to be counted.
+size_t count_specs(const runner::SweepCliOptions& options) {
+  const runner::SweepGrid grid = runner::make_sweep_grid(options);
+  const size_t seeds =
+      grid.seeds.empty() ? grid.seed_count : grid.seeds.size();
+  return grid.scenarios.size() * std::max<size_t>(1, grid.configs.size()) *
+         seeds;
+}
+
 }  // namespace
 
 struct Coordinator::Impl {
-  runner::SweepCliOptions grid_options;
   Options options;
   Listener listener;
-  size_t spec_count = 0;
+  JournalWriter journal;
+
+  /// One queued sweep. The primary sweep (when the coordinator was
+  /// constructed with grid options) is job 0; client submissions count up
+  /// from 1.
+  struct Job {
+    uint64_t id = 0;
+    runner::SweepCliOptions options;
+    size_t spec_count = 0;
+    size_t unit_size = 1;
+    size_t min_cores = 0;
+    runner::ResultMerger merger{0};
+    std::deque<WorkUnit> pending;
+    JobState state = JobState::kRunning;
+    /// Units in merge order — the replay source for fetch streaming.
+    std::vector<WorkUnit> merge_log;
+  };
 
   // All coordination state lives under one mutex; handler threads are
   // blocked either in recv (their own socket) or on this cv.
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<WorkUnit> pending;
+  std::map<uint64_t, Job> jobs;
   struct InFlight {
+    uint64_t job = 0;
     WorkUnit unit;
     uint64_t conn_id = 0;
     Clock::time_point deadline;
   };
   std::vector<InFlight> in_flight;
-  runner::ResultMerger merger{0};
-  bool done = false;
+  bool has_primary = false;
+  bool stopping = false;
   uint64_t next_conn_id = 1;
+  uint64_t next_job_id = 1;
 
   std::vector<std::thread> handlers;
 
-  Impl(runner::SweepCliOptions grid, Options opts)
-      : grid_options(std::move(grid)),
-        options(opts),
-        listener(opts.bind_address, opts.port) {}
+  explicit Impl(Options opts)
+      : options(opts), listener(opts.bind_address, opts.port) {}
 
   void log(const std::string& line) const {
     if (options.verbose) {
@@ -60,34 +88,70 @@ struct Coordinator::Impl {
 
   // --- state transitions (callers hold `mu`) ------------------------------
 
-  /// The unit the coordinator's own partition assigns to `id` (units are
-  /// contiguous unit_size slices; the last one is short).
-  [[nodiscard]] WorkUnit partition_unit(size_t id) const {
-    const size_t unit_size = std::max<size_t>(1, options.unit_size);
-    const size_t begin = id * unit_size;
-    return {id, begin, std::min(spec_count, begin + unit_size)};
+  [[nodiscard]] Job* find_job_locked(uint64_t id) {
+    const auto it = jobs.find(id);
+    return it == jobs.end() ? nullptr : &it->second;
+  }
+
+  /// The unit `job`'s own partition assigns to `id` (units are contiguous
+  /// unit_size slices; the last one is short).
+  [[nodiscard]] static WorkUnit partition_unit(const Job& job, size_t id) {
+    const size_t begin = id * job.unit_size;
+    return {id, begin, std::min(job.spec_count, begin + job.unit_size)};
+  }
+
+  /// Creates a job and queues its full partition. `record` appends the job
+  /// record to the journal (false during resume replay — it is already
+  /// there).
+  Job& add_job_locked(uint64_t id, runner::SweepCliOptions grid_options,
+                      size_t spec_count, size_t unit_size, size_t min_cores,
+                      bool record) {
+    Job& job = jobs[id];
+    job.id = id;
+    job.options = std::move(grid_options);
+    job.spec_count = spec_count;
+    job.unit_size = std::max<size_t>(1, unit_size);
+    job.min_cores = min_cores;
+    job.merger = runner::ResultMerger(spec_count);
+    job.pending.clear();
+    job.merge_log.clear();
+    for (size_t u = 0; u * job.unit_size < spec_count; ++u) {
+      job.pending.push_back(partition_unit(job, u));
+    }
+    if (job.merger.complete()) job.state = JobState::kDone;  // empty grid
+    if (record && journal.open()) {
+      journal.record_job(
+          {id, job.options, spec_count, job.unit_size, min_cores});
+    }
+    log(fmt("job {} queued ({} specs in units of {})", id, spec_count,
+            job.unit_size));
+    return job;
   }
 
   /// Puts a unit back up for grabs unless its rows already merged. Only
-  /// units of the coordinator's own partition qualify — a unit echoed back
-  /// by a confused worker must not be able to poison the pending queue.
-  void requeue_locked(const WorkUnit& unit, const char* why) {
-    if (unit.begin >= spec_count || unit != partition_unit(unit.id)) {
+  /// units of the job's own partition qualify — a unit echoed back by a
+  /// confused worker must not be able to poison the pending queue.
+  void requeue_locked(Job& job, const WorkUnit& unit, const char* why) {
+    if (unit.begin >= job.spec_count ||
+        unit != partition_unit(job, unit.id)) {
       log(fmt("dropped bogus unit {} [{}, {}) instead of requeueing ({})",
               unit.id, unit.begin, unit.end, why));
       return;
     }
-    if (merger.has(unit.begin)) return;
-    pending.push_back(unit);
-    log(fmt("unit {} [{}, {}) requeued ({})", unit.id, unit.begin, unit.end,
-            why));
+    if (job.state != JobState::kRunning) return;
+    if (job.merger.has(unit.begin)) return;
+    job.pending.push_back(unit);
+    log(fmt("job {} unit {} [{}, {}) requeued ({})", job.id, unit.id,
+            unit.begin, unit.end, why));
   }
 
   /// Drops every in-flight entry owned by `conn_id`, requeueing the units.
   void abandon_connection_locked(uint64_t conn_id, const char* why) {
     for (auto it = in_flight.begin(); it != in_flight.end();) {
       if (it->conn_id == conn_id) {
-        requeue_locked(it->unit, why);
+        if (Job* job = find_job_locked(it->job)) {
+          requeue_locked(*job, it->unit, why);
+        }
         it = in_flight.erase(it);
       } else {
         ++it;
@@ -98,30 +162,80 @@ struct Coordinator::Impl {
 
   void merge_result_locked(const Message& message, uint64_t conn_id) {
     const WorkUnit& unit = message.unit;
-    using Accept = runner::ResultMerger::Accept;
-    Accept accept = Accept::kInvalid;
-    if (message.rows.size() == unit.size()) {
-      accept = merger.accept(unit.begin, message.rows);
-    }
     // Whatever the verdict, this connection no longer owns the unit; a
     // merged or duplicate unit must also leave the pending queue (it can
-    // sit there when a slow original reports after a timeout requeue).
+    // sit there when a slow original reports after a timeout requeue) —
+    // claim_unit's stale-skip handles that part.
     for (auto it = in_flight.begin(); it != in_flight.end();) {
-      if (it->unit.id == unit.id && it->conn_id == conn_id) {
+      if (it->job == message.job && it->unit.id == unit.id &&
+          it->conn_id == conn_id) {
         it = in_flight.erase(it);
       } else {
         ++it;
       }
     }
-    if (accept == Accept::kInvalid) {
-      log(fmt("dropped malformed result for unit {} from connection {}",
-              unit.id, conn_id));
-      requeue_locked(unit, "malformed result");
-    } else if (accept == Accept::kDuplicate) {
-      log(fmt("dropped duplicate result for unit {} from connection {}",
-              unit.id, conn_id));
+    Job* job = find_job_locked(message.job);
+    if (job == nullptr) {
+      log(fmt("dropped result for unknown job {} from connection {}",
+              message.job, conn_id));
+      cv.notify_all();
+      return;
     }
-    if (merger.complete()) done = true;
+    if (job->state != JobState::kRunning) {
+      log(fmt("dropped result for finished job {} from connection {}",
+              job->id, conn_id));
+      cv.notify_all();
+      return;
+    }
+    if (unit != partition_unit(*job, unit.id) ||
+        message.rows.size() != unit.size()) {
+      log(fmt("dropped malformed result for job {} unit {} from "
+              "connection {}",
+              job->id, unit.id, conn_id));
+      requeue_locked(*job, unit, "malformed result");
+      cv.notify_all();
+      return;
+    }
+    if (job->merger.has(unit.begin)) {
+      // Late redelivery of an already-merged batch (timeout reassignment or
+      // a reconnecting worker replaying its unacknowledged result).
+      log(fmt("dropped duplicate result for job {} unit {} from "
+              "connection {}",
+              job->id, unit.id, conn_id));
+      cv.notify_all();
+      return;
+    }
+    // Write-ahead: the batch must be durable before this handler serves the
+    // worker's next frame (the implicit acknowledgment). A journal failure
+    // leaves the unit unmerged — requeue it and surface the error.
+    if (journal.open()) {
+      try {
+        journal.record_batch(job->id, unit, message.rows);
+      } catch (...) {
+        requeue_locked(*job, unit, "journal write failed");
+        cv.notify_all();
+        throw;
+      }
+    }
+    const auto accept = job->merger.accept(unit.begin, message.rows);
+    if (accept != runner::ResultMerger::Accept::kMerged) {
+      // Unreachable given the checks above (units are partition-aligned),
+      // but never let the journal and merger drift apart silently.
+      throw std::runtime_error(
+          fmt("job {} unit {} journaled but not merged", job->id, unit.id));
+    }
+    job->merge_log.push_back(unit);
+    // The batch is journaled and merged — the documented coord.merge
+    // instant. kill here models a crash after durability but before the
+    // worker's ack, which resume + duplicate-drop must absorb.
+    chaos::hit(chaos::kCoordMerge);
+    log(fmt("job {} merged {}/{}", job->id, job->merger.merged(),
+            job->merger.total()));
+    if (job->merger.complete()) {
+      job->state = JobState::kDone;
+      log(fmt("job {} complete", job->id));
+      if (job->id == 0 && has_primary && !options.serve) stopping = true;
+    }
     cv.notify_all();
   }
 
@@ -134,38 +248,57 @@ struct Coordinator::Impl {
       log(fmt("connection {} failed: {}", conn_id, error.what()));
     }
     std::lock_guard<std::mutex> lock(mu);
-    abandon_connection_locked(conn_id, "worker died");
+    abandon_connection_locked(conn_id, "peer died");
     cv.notify_all();
   }
 
   void serve_connection(Socket& socket, uint64_t conn_id) {
-    // Handshake: hello (version-checked by decode), then the job.
-    const RecvResult hello = socket.recv_frame(options.worker_silence_ms);
-    if (hello.status != RecvStatus::kFrame ||
-        decode(hello.payload).type != MsgType::kHello) {
-      throw std::runtime_error("worker did not say hello");
+    // Handshake: hello (version-checked by decode), then welcome.
+    const RecvResult first = socket.recv_frame(options.worker_silence_ms);
+    if (first.status != RecvStatus::kFrame) {
+      throw std::runtime_error("peer did not say hello");
     }
-    socket.send_frame(
-        encode(Message::job(grid_options, spec_count)));
+    const Message hello = decode(first.payload);
+    if (hello.type != MsgType::kHello) {
+      throw std::runtime_error("peer did not say hello");
+    }
+    socket.send_frame(encode(Message::welcome()));
+    if (hello.role == Role::kClient) {
+      log(fmt("client connected (connection {}, pid {})", conn_id,
+              hello.worker_pid));
+      serve_client(socket, conn_id);
+    } else {
+      log(fmt("worker connected (connection {}, pid {}, {} cores, {} MB)",
+              conn_id, hello.worker_pid, hello.cores, hello.memory_mb));
+      serve_worker(socket, conn_id, hello.cores);
+    }
+  }
 
+  void serve_worker(Socket& socket, uint64_t conn_id, size_t cores) {
     bool sent_stop = false;
-    // Once the sweep finishes, the connection gets stop plus an absolute
-    // wind-down deadline — absolute so that a straggler still heartbeating
-    // (or streaming stale duplicate results) cannot keep run() hostage.
+    // Once the service is stopping, the connection gets stop plus an
+    // absolute wind-down deadline — absolute so that a straggler still
+    // heartbeating (or streaming stale duplicate results) cannot keep
+    // run() hostage.
     std::optional<Clock::time_point> linger_deadline;
+    const auto arm_linger = [&] {
+      if (!linger_deadline.has_value()) {
+        linger_deadline =
+            Clock::now() + std::chrono::milliseconds(options.stop_linger_ms);
+      }
+    };
     for (;;) {
       const bool finished = [&] {
         std::lock_guard<std::mutex> lock(mu);
-        return done;
+        return stopping;
       }();
       if (finished && !sent_stop) {
         // Proactive stop: a worker grinding a stale (already reassigned
         // and merged) unit reads it right after reporting, instead of
-        // pulling into a dead sweep.
+        // pulling into a dead service.
         socket.send_frame(encode(Message::stop()));
         sent_stop = true;
-        linger_deadline =
-            Clock::now() + std::chrono::milliseconds(options.stop_linger_ms);
+        arm_linger();
       }
       int timeout_ms = options.worker_silence_ms;
       if (linger_deadline.has_value()) {
@@ -191,20 +324,43 @@ struct Coordinator::Impl {
           merge_result_locked(message, conn_id);
           break;
         }
+        case MsgType::kJobRequest: {
+          Message reply;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            Job* job = find_job_locked(message.job);
+            if (job == nullptr) {
+              throw std::runtime_error(
+                  fmt("job_request for unknown job {}", message.job));
+            }
+            reply = Message::job_description(job->id, job->options,
+                                             job->spec_count);
+          }
+          socket.send_frame(encode(reply));
+          break;
+        }
         case MsgType::kPull: {
-          const std::optional<WorkUnit> unit = claim_unit(conn_id);
-          if (!unit.has_value()) {
-            // Sweep finished while this worker waited; tell it to stop
+          const std::optional<Claim> claim = claim_unit(conn_id, cores);
+          if (!claim.has_value()) {
+            // Service wound down while this worker waited; tell it to stop
             // (unless the proactive stop above already did) and keep
             // looping — the next recv sees its close within the linger.
             if (!sent_stop) {
               socket.send_frame(encode(Message::stop()));
               sent_stop = true;
+              arm_linger();
             }
             break;
           }
+          const chaos::Action action = chaos::hit(chaos::kCoordDispatch);
           try {
-            socket.send_frame(encode(Message::make_unit(*unit)));
+            const std::string payload =
+                encode(Message::make_unit(claim->job, claim->unit));
+            if (action == chaos::Action::kPartial) {
+              socket.send_partial_frame(payload);
+              throw std::runtime_error("chaos: partial dispatch frame");
+            }
+            socket.send_frame(payload);
           } catch (...) {
             // The worker died between pulling and receiving; hand the
             // unit on.
@@ -215,38 +371,195 @@ struct Coordinator::Impl {
           break;
         }
         default:
-          throw std::runtime_error(fmt("unexpected '{}' message",
+          throw std::runtime_error(fmt("unexpected '{}' message from worker",
                                        to_string(message.type)));
       }
     }
   }
 
-  /// Claims the next unit for one pull: blocks until a unit frees up, or
-  /// returns nullopt once the sweep is done.
-  std::optional<WorkUnit> claim_unit(uint64_t conn_id) {
+  void serve_client(Socket& socket, uint64_t conn_id) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping) return;
+      }
+      // No silence deadline for clients — an idle client is legitimate.
+      // Poll so the stopping check above runs between frames.
+      const RecvResult frame = socket.recv_frame(options.tick_ms);
+      if (frame.status == RecvStatus::kTimeout) continue;
+      if (frame.status == RecvStatus::kClosed) return;
+      const Message message = decode(frame.payload);
+      switch (message.type) {
+        case MsgType::kSubmit: {
+          // Resolve the grid before taking the lock (scenario paths may
+          // need file reads) — and before the job exists, so a bad grid
+          // rejects the submission instead of queueing a poisoned job.
+          const size_t spec_count = count_specs(message.options);
+          uint64_t id = 0;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            id = next_job_id++;
+            add_job_locked(id, message.options, spec_count,
+                           message.unit_size, message.min_cores,
+                           /*record=*/true);
+            cv.notify_all();
+          }
+          socket.send_frame(encode(Message::submitted(id, spec_count)));
+          break;
+        }
+        case MsgType::kStatus: {
+          Message reply;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            Job* job = find_job_locked(message.job);
+            if (job == nullptr) {
+              throw std::runtime_error(
+                  fmt("status request for unknown job {}", message.job));
+            }
+            reply = Message::job_status(job->id, job->state,
+                                        job->merger.merged(),
+                                        job->merger.total());
+          }
+          socket.send_frame(encode(reply));
+          break;
+        }
+        case MsgType::kCancel: {
+          Message reply;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            Job* job = find_job_locked(message.job);
+            if (job == nullptr) {
+              throw std::runtime_error(
+                  fmt("cancel request for unknown job {}", message.job));
+            }
+            if (job->state == JobState::kRunning) {
+              job->state = JobState::kCancelled;
+              job->pending.clear();
+              if (journal.open()) journal.record_cancel(job->id);
+              log(fmt("job {} cancelled", job->id));
+              if (job->id == 0 && has_primary && !options.serve) {
+                stopping = true;  // the primary sweep cannot finish now
+              }
+              cv.notify_all();
+            }
+            reply = Message::job_status(job->id, job->state,
+                                        job->merger.merged(),
+                                        job->merger.total());
+          }
+          socket.send_frame(encode(reply));
+          break;
+        }
+        case MsgType::kFetch: {
+          stream_job(socket, message.job);
+          break;
+        }
+        case MsgType::kJobRequest: {
+          // Clients may ask for a job's grid description too (a fetching
+          // client rebuilds the report header from it).
+          Message reply;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            Job* job = find_job_locked(message.job);
+            if (job == nullptr) {
+              throw std::runtime_error(
+                  fmt("job_request for unknown job {}", message.job));
+            }
+            reply = Message::job_description(job->id, job->options,
+                                             job->spec_count);
+          }
+          socket.send_frame(encode(reply));
+          break;
+        }
+        default:
+          throw std::runtime_error(fmt("unexpected '{}' message from client",
+                                       to_string(message.type)));
+      }
+    }
+  }
+
+  /// Streams a job's merged batches to a fetching client in merge order,
+  /// following live merges until the job leaves the running state, then
+  /// terminates the stream with job_done. Sends happen outside the lock so
+  /// a slow client cannot stall the fleet.
+  void stream_job(Socket& socket, uint64_t job_id) {
+    size_t next = 0;
+    for (;;) {
+      std::vector<Message> out;
+      std::optional<JobState> final_state;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        Job* job = find_job_locked(job_id);
+        if (job == nullptr) {
+          throw std::runtime_error(
+              fmt("fetch request for unknown job {}", job_id));
+        }
+        while (next < job->merge_log.size()) {
+          const WorkUnit unit = job->merge_log[next++];
+          std::vector<runner::RunRow> rows;
+          rows.reserve(unit.size());
+          for (size_t i = unit.begin; i < unit.end; ++i) {
+            rows.push_back(job->merger.row(i));
+          }
+          out.push_back(Message::result(job_id, unit, std::move(rows)));
+        }
+        if (out.empty()) {
+          if (job->state != JobState::kRunning) {
+            final_state = job->state;
+          } else if (stopping) {
+            return;  // shutdown mid-fetch; the close tells the client
+          } else {
+            cv.wait_for(lock, std::chrono::milliseconds(options.tick_ms));
+            continue;
+          }
+        }
+      }
+      for (const Message& message : out) {
+        socket.send_frame(encode(message));
+      }
+      if (final_state.has_value()) {
+        socket.send_frame(encode(Message::job_done(job_id, *final_state)));
+        return;
+      }
+    }
+  }
+
+  struct Claim {
+    uint64_t job = 0;
+    WorkUnit unit;
+  };
+
+  /// Claims the next unit this worker is eligible for (its core count must
+  /// meet the job's min_cores floor): blocks until one frees up, or returns
+  /// nullopt once the service is stopping.
+  std::optional<Claim> claim_unit(uint64_t conn_id, size_t cores) {
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
-      // Skip pending copies whose rows arrived while they waited.
-      while (!pending.empty() && merger.has(pending.front().begin)) {
-        pending.pop_front();
+      if (stopping) return std::nullopt;
+      for (auto& [id, job] : jobs) {
+        if (job.state != JobState::kRunning) continue;
+        // Skip pending copies whose rows arrived while they waited.
+        while (!job.pending.empty() &&
+               job.merger.has(job.pending.front().begin)) {
+          job.pending.pop_front();
+        }
+        if (job.pending.empty() || cores < job.min_cores) continue;
+        const WorkUnit unit = job.pending.front();
+        job.pending.pop_front();
+        in_flight.push_back(
+            {id, unit, conn_id,
+             Clock::now() +
+                 std::chrono::milliseconds(options.unit_timeout_ms)});
+        return Claim{id, unit};
       }
-      if (done || !pending.empty()) break;
       cv.wait(lock);
     }
-    if (done) return std::nullopt;
-    const WorkUnit unit = pending.front();
-    pending.pop_front();
-    in_flight.push_back(
-        {unit, conn_id,
-         Clock::now() + std::chrono::milliseconds(options.unit_timeout_ms)});
-    return unit;
   }
 
   void accept_loop() {
     for (;;) {
       {
         std::lock_guard<std::mutex> lock(mu);
-        if (done) return;
+        if (stopping) return;
       }
       std::optional<Socket> socket;
       try {
@@ -262,7 +575,6 @@ struct Coordinator::Impl {
       if (!socket.has_value()) continue;
       std::lock_guard<std::mutex> lock(mu);
       const uint64_t conn_id = next_conn_id++;
-      log(fmt("worker connected (connection {})", conn_id));
       handlers.emplace_back(
           [this, conn_id, sock = std::move(*socket)]() mutable {
             handle_connection(std::move(sock), conn_id);
@@ -272,13 +584,15 @@ struct Coordinator::Impl {
 
   void monitor_loop() {
     std::unique_lock<std::mutex> lock(mu);
-    while (!done) {
+    while (!stopping) {
       cv.wait_for(lock, std::chrono::milliseconds(options.tick_ms));
-      if (done) return;
+      if (stopping) return;
       const Clock::time_point now = Clock::now();
       for (auto it = in_flight.begin(); it != in_flight.end();) {
         if (it->deadline <= now) {
-          requeue_locked(it->unit, "unit timeout");
+          if (Job* job = find_job_locked(it->job)) {
+            requeue_locked(*job, it->unit, "unit timeout");
+          }
           it = in_flight.erase(it);
           cv.notify_all();
         } else {
@@ -290,15 +604,15 @@ struct Coordinator::Impl {
 
   std::vector<runner::RunRow> run() {
     {
-      // Partition the grid into contiguous units.
       std::lock_guard<std::mutex> lock(mu);
-      merger = runner::ResultMerger(spec_count);
-      pending.clear();
-      const size_t unit_size = std::max<size_t>(1, options.unit_size);
-      for (size_t id = 0; id * unit_size < spec_count; ++id) {
-        pending.push_back(partition_unit(id));
+      // A resumed primary job may already be fully merged; don't wait for
+      // a fleet that has nothing to do.
+      if (has_primary && !options.serve) {
+        const Job* primary = find_job_locked(0);
+        if (primary != nullptr && primary->state != JobState::kRunning) {
+          stopping = true;
+        }
       }
-      done = merger.complete();  // degenerate empty grid
     }
 
     std::thread acceptor([this] { accept_loop(); });
@@ -310,12 +624,12 @@ struct Coordinator::Impl {
     bool expired = false;
     {
       std::unique_lock<std::mutex> lock(mu);
-      while (!done) {
+      while (!stopping) {
         if (bounded) {
           if (cv.wait_until(lock, deadline) == std::cv_status::timeout &&
-              !done) {
+              !stopping) {
             expired = true;
-            done = true;  // unblock every thread; workers get stop
+            stopping = true;  // unblock every thread; workers get stop
             break;
           }
         } else {
@@ -327,8 +641,9 @@ struct Coordinator::Impl {
 
     acceptor.join();
     monitor.join();
-    // Handler threads wind down once their worker closes (stop was or will
-    // be sent on its next pull) or goes silent past the unit timeout.
+    // Handler threads wind down once their peer closes (stop was or will
+    // be sent on a worker's next pull; clients poll the stopping flag) or
+    // goes silent past the linger.
     for (;;) {
       std::vector<std::thread> batch;
       {
@@ -339,40 +654,117 @@ struct Coordinator::Impl {
       for (std::thread& handler : batch) handler.join();
     }
 
-    if (expired) {
-      std::lock_guard<std::mutex> lock(mu);
-      throw std::runtime_error(
-          fmt("distributed sweep timed out after {} ms with {}/{} runs "
-              "merged",
-              options.total_timeout_ms, merger.merged(), merger.total()));
-    }
     std::lock_guard<std::mutex> lock(mu);
-    return merger.take_rows();
+    if (expired) {
+      std::string progress;
+      if (const Job* primary = find_job_locked(0);
+          primary != nullptr && has_primary) {
+        progress = fmt(" with {}/{} runs merged", primary->merger.merged(),
+                       primary->merger.total());
+      }
+      throw std::runtime_error(fmt("distributed sweep timed out after {} ms{}",
+                                   options.total_timeout_ms, progress));
+    }
+    if (!has_primary) return {};
+    Job* primary = find_job_locked(0);
+    if (primary == nullptr || primary->state == JobState::kCancelled) {
+      throw std::runtime_error("sweep job was cancelled");
+    }
+    if (primary->state != JobState::kDone) {
+      throw std::runtime_error(
+          "coordinator shut down before the sweep completed");
+    }
+    return primary->merger.take_rows();
+  }
+
+  void shutdown() {
+    std::lock_guard<std::mutex> lock(mu);
+    stopping = true;
+    cv.notify_all();
   }
 };
 
 Coordinator::Coordinator(runner::SweepCliOptions grid_options,
                          Options options)
-    : impl_(std::make_unique<Impl>(std::move(grid_options), options)) {
+    : impl_(std::make_unique<Impl>(options)) {
   // Resolving the grid here (not in run) validates it before any worker is
-  // spawned and pins the spec count announced in job messages. The count is
-  // computed from the grid dimensions rather than a full expand(): the
-  // coordinator never executes a run, and expand() would copy each scenario
-  // (up to 10^6 blocks) into every one of its specs just to be counted.
-  const runner::SweepGrid grid =
-      runner::make_sweep_grid(impl_->grid_options);
-  const size_t seeds =
-      grid.seeds.empty() ? grid.seed_count : grid.seeds.size();
-  impl_->spec_count = grid.scenarios.size() *
-                      std::max<size_t>(1, grid.configs.size()) * seeds;
+  // spawned and pins the spec count announced in job messages.
+  const size_t spec_count = count_specs(grid_options);
+  if (!options.journal_path.empty()) {
+    impl_->journal = JournalWriter::create(
+        options.journal_path,
+        {options.bind_address, impl_->listener.port()});
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->add_job_locked(0, std::move(grid_options), spec_count,
+                        options.unit_size, /*min_cores=*/0, /*record=*/true);
+  impl_->has_primary = true;
+}
+
+Coordinator::Coordinator(Options options)
+    : impl_(std::make_unique<Impl>(options)) {
+  if (!options.journal_path.empty()) {
+    impl_->journal = JournalWriter::create(
+        options.journal_path,
+        {options.bind_address, impl_->listener.port()});
+  }
+}
+
+Coordinator::Coordinator(const JournalContents& contents, Options options)
+    : impl_(nullptr) {
+  // The journal header pins the coordinator's identity: orphaned workers
+  // are retrying that address, so the resumed instance must live there.
+  Options effective = options;
+  effective.bind_address = contents.header.bind_address;
+  effective.port = contents.header.port;
+  impl_ = std::make_unique<Impl>(effective);
+  if (!options.journal_path.empty()) {
+    impl_->journal = JournalWriter::append_to(options.journal_path);
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const JournalJob& job : contents.jobs) {
+    impl_->add_job_locked(job.job, job.options, job.spec_count,
+                          job.unit_size, job.min_cores, /*record=*/false);
+    impl_->next_job_id = std::max(impl_->next_job_id, job.job + 1);
+  }
+  for (const JournalBatch& batch : contents.batches) {
+    Impl::Job* job = impl_->find_job_locked(batch.job);
+    if (job == nullptr) {
+      throw std::runtime_error(
+          fmt("journal batch references unknown job {}", batch.job));
+    }
+    if (batch.unit != Impl::partition_unit(*job, batch.unit.id)) {
+      throw std::runtime_error(
+          fmt("journal batch for job {} unit {} does not match the "
+              "partition",
+              batch.job, batch.unit.id));
+    }
+    if (job->merger.has(batch.unit.begin)) continue;  // raced a crash
+    job->merger.accept(batch.unit.begin, batch.rows);
+    job->merge_log.push_back(batch.unit);
+    if (job->merger.complete()) job->state = JobState::kDone;
+  }
+  for (const uint64_t cancelled : contents.cancelled_jobs) {
+    if (Impl::Job* job = impl_->find_job_locked(cancelled)) {
+      if (job->state == JobState::kRunning) job->pending.clear();
+      job->state = JobState::kCancelled;
+    }
+  }
+  impl_->has_primary = impl_->find_job_locked(0) != nullptr;
 }
 
 Coordinator::~Coordinator() = default;
 
 uint16_t Coordinator::port() const { return impl_->listener.port(); }
 
-size_t Coordinator::spec_count() const { return impl_->spec_count; }
+size_t Coordinator::spec_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const Impl::Job* primary = impl_->find_job_locked(0);
+  return primary == nullptr ? 0 : primary->spec_count;
+}
 
 std::vector<runner::RunRow> Coordinator::run() { return impl_->run(); }
+
+void Coordinator::shutdown() { impl_->shutdown(); }
 
 }  // namespace sb::dist

@@ -1,19 +1,39 @@
 #pragma once
-// Wire protocol of the distributed sweep backend.
+// Wire protocol of the distributed sweep service.
 //
-// Coordinator and workers exchange JSON messages inside the length-prefixed
-// frames of dist/socket.hpp. The conversation is pull-based:
+// Coordinator, workers, and clients exchange JSON messages inside the
+// length-prefixed frames of dist/socket.hpp. Workers pull work; clients
+// queue and collect jobs. Version 2 turned the single-grid backend into a
+// job-queue service: every unit/result carries the job it belongs to,
+// hello announces a role plus the machine's cores/memory (heterogeneous
+// dispatch), and clients speak submit/status/fetch/cancel.
 //
-//   worker                         coordinator
-//   ------                         -----------
-//   hello{version}          ->
-//                           <-     job{options, spec_count}
-//   pull{}                  ->
-//                           <-     unit{id, begin, end}   (spec range)
-//   heartbeat{}             ->                            (while executing)
-//   result{id, begin, rows} ->
-//   pull{}                  ->
-//                           <-     ...more units... | stop{}
+//   worker                          coordinator
+//   ------                          -----------
+//   hello{v, role=worker, cores}  ->
+//                                 <- welcome{}
+//   pull{}                        ->
+//                                 <- unit{job, id, begin, end} | stop{}
+//   job_request{job}              ->                  (first unit of a job)
+//                                 <- job{job, options, spec_count}
+//   heartbeat{}                   ->                  (while executing)
+//   result{job, unit, rows}       ->
+//
+//   client                          coordinator
+//   ------                          -----------
+//   hello{v, role=client}         ->
+//                                 <- welcome{}
+//   submit{options, unit_size,
+//          min_cores}             ->
+//                                 <- submitted{job, spec_count}
+//   status{job}                   ->
+//                                 <- job_status{job, state, merged, total}
+//   fetch{job}                    ->
+//                                 <- result{job, unit, rows}...   (streamed
+//                                    incrementally as units merge)
+//                                 <- job_done{job, state}
+//   cancel{job}                   ->
+//                                 <- job_status{job, cancelled, ...}
 //
 // The job message carries the runner::SweepCliOptions grid description; the
 // worker re-materializes the identical RunSpec list locally (seed forking is
@@ -31,16 +51,44 @@
 namespace sb::dist {
 
 /// Bumped on any incompatible message or semantics change; hello carries it
-/// and the coordinator refuses mismatched workers.
-inline constexpr int kProtocolVersion = 1;
+/// and the coordinator refuses mismatched peers. 2 = job-queue service
+/// (job-tagged units, roles, client verbs).
+inline constexpr int kProtocolVersion = 2;
 
-enum class MsgType { kHello, kJob, kPull, kUnit, kResult, kHeartbeat, kStop };
+enum class MsgType {
+  kHello,
+  kWelcome,
+  kJob,
+  kJobRequest,
+  kPull,
+  kUnit,
+  kResult,
+  kHeartbeat,
+  kStop,
+  kSubmit,
+  kSubmitted,
+  kStatus,
+  kJobStatus,
+  kFetch,
+  kJobDone,
+  kCancel,
+};
 
 [[nodiscard]] std::string_view to_string(MsgType type);
 
-/// One contiguous slice [begin, end) of the expanded spec list. `id` is the
-/// unit's index in the coordinator's partition — the key of the at-most-once
-/// result merge.
+/// What a connection is for; carried in hello. Workers pull units; clients
+/// queue jobs and are exempt from the worker silence deadline (a client
+/// waiting on a long fetch legitimately sends nothing).
+enum class Role { kWorker, kClient };
+
+/// Lifecycle of a queued job.
+enum class JobState { kRunning, kDone, kCancelled };
+
+[[nodiscard]] std::string_view to_string(JobState state);
+
+/// One contiguous slice [begin, end) of a job's expanded spec list. `id` is
+/// the unit's index in that job's partition — with the job id, the key of
+/// the at-most-once result merge.
 struct WorkUnit {
   size_t id = 0;
   size_t begin = 0;
@@ -57,23 +105,48 @@ struct Message {
   // kHello
   int version = kProtocolVersion;
   uint64_t worker_pid = 0;
-  // kJob
+  Role role = Role::kWorker;
+  size_t cores = 1;
+  uint64_t memory_mb = 0;
+  // kJob / kSubmit
   runner::SweepCliOptions options;
-  size_t spec_count = 0;
+  size_t spec_count = 0;  // also kSubmitted
+  // kSubmit
+  size_t unit_size = 1;
+  size_t min_cores = 0;
+  // kJob / kJobRequest / kUnit / kResult / kSubmitted / kStatus /
+  // kJobStatus / kFetch / kJobDone / kCancel
+  uint64_t job = 0;
   // kUnit / kResult
   WorkUnit unit;
   // kResult
   std::vector<runner::RunRow> rows;
+  // kJobStatus / kJobDone
+  JobState state = JobState::kRunning;
+  size_t merged = 0;
+  size_t total = 0;
 
-  [[nodiscard]] static Message hello(uint64_t pid);
-  [[nodiscard]] static Message job(runner::SweepCliOptions options,
-                                   size_t spec_count);
+  [[nodiscard]] static Message hello(uint64_t pid, Role role, size_t cores,
+                                     uint64_t memory_mb);
+  [[nodiscard]] static Message welcome();
+  [[nodiscard]] static Message job_description(
+      uint64_t job, runner::SweepCliOptions options, size_t spec_count);
+  [[nodiscard]] static Message job_request(uint64_t job);
   [[nodiscard]] static Message pull();
-  [[nodiscard]] static Message make_unit(WorkUnit unit);
-  [[nodiscard]] static Message result(WorkUnit unit,
+  [[nodiscard]] static Message make_unit(uint64_t job, WorkUnit unit);
+  [[nodiscard]] static Message result(uint64_t job, WorkUnit unit,
                                       std::vector<runner::RunRow> rows);
   [[nodiscard]] static Message heartbeat();
   [[nodiscard]] static Message stop();
+  [[nodiscard]] static Message submit(runner::SweepCliOptions options,
+                                      size_t unit_size, size_t min_cores);
+  [[nodiscard]] static Message submitted(uint64_t job, size_t spec_count);
+  [[nodiscard]] static Message status(uint64_t job);
+  [[nodiscard]] static Message job_status(uint64_t job, JobState state,
+                                          size_t merged, size_t total);
+  [[nodiscard]] static Message fetch(uint64_t job);
+  [[nodiscard]] static Message job_done(uint64_t job, JobState state);
+  [[nodiscard]] static Message cancel(uint64_t job);
 };
 
 /// Serializes to the JSON frame payload.

@@ -163,6 +163,26 @@ void Socket::send_frame(std::string_view payload) {
   }
 }
 
+void Socket::send_partial_frame(std::string_view payload) {
+  // Chaos `partial`: a correct length prefix promising more bytes than will
+  // ever arrive. The peer's mid-frame stall timeout is what must save it.
+  unsigned char prefix[4];
+  store_le32(prefix, static_cast<uint32_t>(payload.size()));
+  std::string wire(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  wire.append(payload.substr(0, payload.size() / 2));
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  close();
+}
+
 RecvResult Socket::recv_frame(int timeout_ms) {
   // The idle wait before a frame starts honors the caller's timeout
   // (negative = forever, e.g. a worker waiting for its next unit); once the

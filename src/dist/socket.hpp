@@ -60,6 +60,12 @@ class Socket {
   /// thread) serialize with their own mutex.
   void send_frame(std::string_view payload);
 
+  /// Chaos injection (dist/chaos.hpp `partial`): writes the length prefix
+  /// and only the first half of the payload, leaving the peer stuck
+  /// mid-frame until it notices the close. The caller must treat the
+  /// connection as dead afterwards.
+  void send_partial_frame(std::string_view payload);
+
   /// Reads one frame, waiting up to `timeout_ms` (< 0 = forever) for data.
   /// The timeout guards the idle gap before a frame starts; once a length
   /// prefix arrives the body is read to completion. Corrupt prefixes throw.

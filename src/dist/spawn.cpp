@@ -21,11 +21,26 @@ bool file_exists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
 }
 
+/// The sweep_worker candidate sitting in the same directory as `exe_path`.
+std::string sibling_worker(const std::string& exe_path) {
+  std::string dir(exe_path);
+  const size_t slash = dir.rfind('/');
+  dir.resize(slash == std::string::npos ? 0 : slash + 1);
+  return dir + "sweep_worker";
+}
+
 }  // namespace
 
-std::string default_worker_binary() {
+std::string default_worker_binary(const std::string& argv0) {
+  const auto resolved = [](const std::string& path, const char* how) {
+    std::fprintf(stderr, "sweep dist: worker binary %s (via %s)\n",
+                 path.c_str(), how);
+    return path;
+  };
   if (const char* override_path = std::getenv("SB_SWEEP_WORKER_BIN")) {
-    if (file_exists(override_path)) return override_path;
+    if (file_exists(override_path)) {
+      return resolved(override_path, "SB_SWEEP_WORKER_BIN");
+    }
     throw std::runtime_error(fmt(
         "SB_SWEEP_WORKER_BIN points at '{}', which does not exist",
         override_path));
@@ -34,11 +49,19 @@ std::string default_worker_binary() {
   const ssize_t len = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
   if (len > 0) {
     self[len] = '\0';
-    std::string dir(self);
-    const size_t slash = dir.rfind('/');
-    dir.resize(slash == std::string::npos ? 0 : slash + 1);
-    const std::string candidate = dir + "sweep_worker";
-    if (file_exists(candidate)) return candidate;
+    const std::string candidate = sibling_worker(self);
+    if (file_exists(candidate)) {
+      return resolved(candidate, "/proc/self/exe");
+    }
+  }
+  // /proc may be unmounted (containers, chroots) or the readlink may fail;
+  // fall back to the invocation path. A bare command name carries no
+  // directory — only argv0 values with a slash can locate a sibling.
+  if (argv0.find('/') != std::string::npos) {
+    const std::string candidate = sibling_worker(argv0);
+    if (file_exists(candidate)) {
+      return resolved(candidate, "argv[0] fallback");
+    }
   }
   throw std::runtime_error(
       "cannot locate the sweep_worker binary next to this executable "
@@ -47,12 +70,13 @@ std::string default_worker_binary() {
 
 std::vector<WorkerProcess> spawn_worker_fleet(
     const std::string& worker_binary, const std::string& host, uint16_t port,
-    size_t count, long fault_after_units, bool verbose) {
+    size_t count, const FleetOptions& options) {
   if (!file_exists(worker_binary)) {
     throw std::runtime_error(
         fmt("worker binary '{}' does not exist", worker_binary));
   }
   const std::string connect = fmt("{}:{}", host, port);
+  const std::string reconnect_ms = std::to_string(options.reconnect_window_ms);
   std::vector<WorkerProcess> fleet;
   fleet.reserve(count);
   for (size_t index = 0; index < count; ++index) {
@@ -64,14 +88,19 @@ std::vector<WorkerProcess> spawn_worker_fleet(
     if (pid == 0) {
       // Child. Only async-signal-safe-ish work until exec; the parent is
       // still single-threaded here so setenv is fine.
-      if (index == 0 && fault_after_units >= 0) {
-        ::setenv(kWorkerFaultEnv, std::to_string(fault_after_units).c_str(),
-                 1);
+      if (index == 0 && options.fault_after_units >= 0) {
+        ::setenv(kWorkerFaultEnv,
+                 std::to_string(options.fault_after_units).c_str(), 1);
       }
-      const char* argv[] = {worker_binary.c_str(), "--connect",
-                            connect.c_str(),
-                            verbose ? "--verbose" : nullptr, nullptr};
-      ::execv(worker_binary.c_str(), const_cast<char* const*>(argv));
+      std::vector<const char*> argv = {worker_binary.c_str(), "--connect",
+                                       connect.c_str()};
+      if (options.reconnect_window_ms > 0) {
+        argv.push_back("--reconnect-window-ms");
+        argv.push_back(reconnect_ms.c_str());
+      }
+      if (options.verbose) argv.push_back("--verbose");
+      argv.push_back(nullptr);
+      ::execv(worker_binary.c_str(), const_cast<char* const*>(argv.data()));
       std::fprintf(stderr, "exec '%s' failed: %s\n", worker_binary.c_str(),
                    std::strerror(errno));
       ::_exit(127);

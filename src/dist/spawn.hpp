@@ -31,17 +31,32 @@ struct WorkerProcess {
 };
 
 /// Path of the sweep_worker binary expected to sit next to the running
-/// executable (overridable via SB_SWEEP_WORKER_BIN for tests). Throws when
-/// neither resolves to an existing file.
-[[nodiscard]] std::string default_worker_binary();
+/// executable (overridable via SB_SWEEP_WORKER_BIN for tests). Resolution
+/// order: the environment override, then /proc/self/exe's directory, then —
+/// on systems where /proc is unavailable — the directory of `argv0` (pass
+/// main's argv[0]; resolved against PATH-less invocation only, i.e. it must
+/// contain a slash to carry a directory). Logs one stderr line naming the
+/// path and how it was found. Throws when nothing resolves to an existing
+/// file.
+[[nodiscard]] std::string default_worker_binary(const std::string& argv0 = "");
 
-/// Forks/execs `count` workers connecting to host:port. When
-/// `fault_after_units` >= 0, worker 0 gets kWorkerFaultEnv=<value> and will
-/// die mid-sweep. Throws on fork failure (already-spawned workers are left
-/// running; they exit once the coordinator stops serving).
+/// Per-fleet spawn knobs beyond the connection target.
+struct FleetOptions {
+  /// When >= 0, worker 0 gets kWorkerFaultEnv=<value> and will die
+  /// mid-sweep (the CI dist-smoke reassignment proof).
+  long fault_after_units = -1;
+  /// Passed through as --reconnect-window-ms so the fleet survives a
+  /// coordinator kill + resume cycle; 0 keeps reconnect off.
+  int reconnect_window_ms = 0;
+  bool verbose = false;
+};
+
+/// Forks/execs `count` workers connecting to host:port. Throws on fork
+/// failure (already-spawned workers are left running; they exit once the
+/// coordinator stops serving).
 [[nodiscard]] std::vector<WorkerProcess> spawn_worker_fleet(
     const std::string& worker_binary, const std::string& host, uint16_t port,
-    size_t count, long fault_after_units = -1, bool verbose = false);
+    size_t count, const FleetOptions& options = {});
 
 /// Blocks until the worker exits; returns its exit code (or 128+signal when
 /// killed). Worker::kExitFault marks an intentional fault-injection death.

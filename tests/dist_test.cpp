@@ -92,6 +92,7 @@ TEST(WireSerialization, OptionsRoundTripExactly) {
   options.max_events = (1ULL << 60) + 3;
   options.shards = 8;
   options.shard_threads = 2;
+  options.threads = 5;
   const runner::SweepCliOptions back = runner::options_from_json(
       util::parse_json(runner::options_to_json(options).dump()));
   EXPECT_EQ(back.scenarios, options.scenarios);
@@ -101,6 +102,7 @@ TEST(WireSerialization, OptionsRoundTripExactly) {
   EXPECT_EQ(back.max_events, options.max_events);
   EXPECT_EQ(back.shards, options.shards);
   EXPECT_EQ(back.shard_threads, options.shard_threads);
+  EXPECT_EQ(back.threads, options.threads);
 }
 
 TEST(WireSerialization, MissingFieldsThrow) {
@@ -119,34 +121,77 @@ TEST(WireSerialization, MissingFieldsThrow) {
 // ---------------------------------------------------------------------------
 
 TEST(Protocol, MessagesRoundTrip) {
-  const Message hello = decode(encode(Message::hello(1234)));
+  const Message hello =
+      decode(encode(Message::hello(1234, Role::kWorker, 16, 64000)));
   EXPECT_EQ(hello.type, MsgType::kHello);
   EXPECT_EQ(hello.worker_pid, 1234u);
   EXPECT_EQ(hello.version, kProtocolVersion);
+  EXPECT_EQ(hello.role, Role::kWorker);
+  EXPECT_EQ(hello.cores, 16u);
+  EXPECT_EQ(hello.memory_mb, 64000u);
 
   runner::SweepCliOptions options;
   options.scenarios = {"tower16"};
   options.seed_count = 3;
-  const Message job = decode(encode(Message::job(options, 3)));
+  const Message job = decode(encode(Message::job_description(5, options, 3)));
   EXPECT_EQ(job.type, MsgType::kJob);
+  EXPECT_EQ(job.job, 5u);
   EXPECT_EQ(job.spec_count, 3u);
   EXPECT_EQ(job.options.scenarios, options.scenarios);
 
-  const Message unit = decode(encode(Message::make_unit({7, 14, 16})));
+  const Message unit = decode(encode(Message::make_unit(5, {7, 14, 16})));
   EXPECT_EQ(unit.type, MsgType::kUnit);
+  EXPECT_EQ(unit.job, 5u);
   EXPECT_EQ(unit.unit, (WorkUnit{7, 14, 16}));
 
   const Message result = decode(encode(
-      Message::result({7, 14, 16}, {sample_row(3), sample_row(4)})));
+      Message::result(5, {7, 14, 16}, {sample_row(3), sample_row(4)})));
   EXPECT_EQ(result.type, MsgType::kResult);
+  EXPECT_EQ(result.job, 5u);
   EXPECT_EQ(result.unit, (WorkUnit{7, 14, 16}));
   ASSERT_EQ(result.rows.size(), 2u);
   expect_rows_equal(result.rows[0], sample_row(3));
   expect_rows_equal(result.rows[1], sample_row(4));
 
+  EXPECT_EQ(decode(encode(Message::welcome())).type, MsgType::kWelcome);
   EXPECT_EQ(decode(encode(Message::pull())).type, MsgType::kPull);
   EXPECT_EQ(decode(encode(Message::heartbeat())).type, MsgType::kHeartbeat);
   EXPECT_EQ(decode(encode(Message::stop())).type, MsgType::kStop);
+}
+
+TEST(Protocol, ClientVerbsRoundTrip) {
+  const Message client =
+      decode(encode(Message::hello(42, Role::kClient, 1, 0)));
+  EXPECT_EQ(client.role, Role::kClient);
+
+  runner::SweepCliOptions grid;
+  grid.scenarios = {"blob100"};
+  const Message submit = decode(encode(Message::submit(grid, 4, 8)));
+  EXPECT_EQ(submit.type, MsgType::kSubmit);
+  EXPECT_EQ(submit.options.scenarios, grid.scenarios);
+  EXPECT_EQ(submit.unit_size, 4u);
+  EXPECT_EQ(submit.min_cores, 8u);
+
+  const Message submitted = decode(encode(Message::submitted(3, 12)));
+  EXPECT_EQ(submitted.type, MsgType::kSubmitted);
+  EXPECT_EQ(submitted.job, 3u);
+  EXPECT_EQ(submitted.spec_count, 12u);
+
+  EXPECT_EQ(decode(encode(Message::status(3))).job, 3u);
+  EXPECT_EQ(decode(encode(Message::job_request(3))).job, 3u);
+  EXPECT_EQ(decode(encode(Message::fetch(3))).type, MsgType::kFetch);
+  EXPECT_EQ(decode(encode(Message::cancel(3))).type, MsgType::kCancel);
+
+  const Message status =
+      decode(encode(Message::job_status(3, JobState::kCancelled, 7, 12)));
+  EXPECT_EQ(status.type, MsgType::kJobStatus);
+  EXPECT_EQ(status.state, JobState::kCancelled);
+  EXPECT_EQ(status.merged, 7u);
+  EXPECT_EQ(status.total, 12u);
+
+  const Message done = decode(encode(Message::job_done(3, JobState::kDone)));
+  EXPECT_EQ(done.type, MsgType::kJobDone);
+  EXPECT_EQ(done.state, JobState::kDone);
 }
 
 TEST(Protocol, RejectsGarbageAndVersionSkew) {
@@ -154,8 +199,8 @@ TEST(Protocol, RejectsGarbageAndVersionSkew) {
   EXPECT_THROW(decode("{\"type\":\"warp\"}"), std::runtime_error);
   EXPECT_THROW(decode("{\"type\":\"hello\",\"version\":999,\"pid\":1}"),
                std::runtime_error);
-  EXPECT_THROW(decode("{\"type\":\"unit\",\"unit\":{\"id\":0,\"begin\":5,"
-                      "\"end\":2}}"),
+  EXPECT_THROW(decode("{\"type\":\"unit\",\"job\":0,\"unit\":{\"id\":0,"
+                      "\"begin\":5,\"end\":2}}"),
                std::runtime_error);
 }
 
@@ -342,9 +387,10 @@ TEST(DistSweep, UnitTimeoutReassignsAndLateResultIsDropped) {
   std::thread healthy;  // started only once the stalled conn holds unit 0
 
   std::thread script([&] {
-    stalled.send_frame(encode(Message::hello(1)));
-    RecvResult job = stalled.recv_frame(10000);
-    ASSERT_EQ(job.status, RecvStatus::kFrame);
+    stalled.send_frame(encode(Message::hello(1, Role::kWorker, 1, 0)));
+    RecvResult welcome = stalled.recv_frame(10000);
+    ASSERT_EQ(welcome.status, RecvStatus::kFrame);
+    ASSERT_EQ(decode(welcome.payload).type, MsgType::kWelcome);
     stalled.send_frame(encode(Message::pull()));
     RecvResult assigned = stalled.recv_frame(10000);
     ASSERT_EQ(assigned.status, RecvStatus::kFrame);
@@ -364,7 +410,7 @@ TEST(DistSweep, UnitTimeoutReassignsAndLateResultIsDropped) {
     const runner::RunSpec spec =
         runner::expand(runner::make_sweep_grid(grid)).at(0);
     stalled.send_frame(encode(Message::result(
-        unit.unit, {runner::execute_run(spec).row})));
+        unit.job, unit.unit, {runner::execute_run(spec).row})));
     stalled.send_frame(encode(Message::pull()));
     // Drain frames until stop (heartbeat-free, so only unit/stop arrive).
     for (;;) {
@@ -380,7 +426,8 @@ TEST(DistSweep, UnitTimeoutReassignsAndLateResultIsDropped) {
       for (size_t i = message.unit.begin; i < message.unit.end; ++i) {
         rows.push_back(runner::execute_run(specs.at(i)).row);
       }
-      stalled.send_frame(encode(Message::result(message.unit, rows)));
+      stalled.send_frame(
+          encode(Message::result(message.job, message.unit, rows)));
       stalled.send_frame(encode(Message::pull()));
     }
     stalled.close();
@@ -418,8 +465,9 @@ TEST(DistSweep, HeartbeatingWedgedWorkerCannotHoldUpCompletion) {
   std::atomic<bool> quit{false};
   std::thread healthy;
   std::thread script([&] {
-    wedged.send_frame(encode(Message::hello(2)));
-    ASSERT_EQ(wedged.recv_frame(10000).status, RecvStatus::kFrame);  // job
+    wedged.send_frame(encode(Message::hello(2, Role::kWorker, 1, 0)));
+    // welcome
+    ASSERT_EQ(wedged.recv_frame(10000).status, RecvStatus::kFrame);
     wedged.send_frame(encode(Message::pull()));
     const RecvResult assigned = wedged.recv_frame(10000);
     ASSERT_EQ(assigned.status, RecvStatus::kFrame);

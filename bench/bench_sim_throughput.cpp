@@ -171,17 +171,21 @@ void report_table() {
 ///     bench measures event throughput, not completion). The 10^6 group is
 ///     the paper's §V.E scale on the batched row oracle: throughput must
 ///     hold flat across the 10^4 -> 10^6 decades;
+///   - blob10000000 (only with --giant): one decade past the paper, a
+///     10^7-module blob on a ~5000^2 surface. Too heavy for routine CI
+///     runners, so the group is opt-in and listed in perf_check --optional;
 ///   - blob100000 / shards<S> (S in 1,2,4,8): the shard-count scaling
 ///     group — the same giant blob on the sharded engine with S column
 ///     stripes and min(S, hardware) shard threads (docs/BENCHMARKS.md
 ///     "Shard scaling");
 ///   - flood-*: the raw event core.
-int report_json(const std::string& path, int repeat) {
+int report_json(const std::string& path, int repeat, bool include_giant) {
   runner::BenchReport report("bench_sim_throughput");
   constexpr uint64_t kMasterSeed = 0x5eedULL;
   constexpr uint64_t kGiantEventBudget = 1'500'000;
   report.set_master_seed(kMasterSeed);
   report.set_threads(1);
+  report.set_cores(std::max<size_t>(1, std::thread::hardware_concurrency()));
 
   runner::SweepGrid grid;
   grid.master_seed = kMasterSeed;
@@ -205,6 +209,11 @@ int report_json(const std::string& path, int repeat) {
     giant.scenarios.push_back(
         {fmt("blob{}", blocks),
          lat::make_giant_blob_scenario(blocks, kMasterSeed)});
+  }
+  if (include_giant) {
+    giant.scenarios.push_back(
+        {"blob10000000",
+         lat::make_giant_blob_scenario(10'000'000, kMasterSeed)});
   }
   core::SessionConfig capped;
   capped.max_events = kGiantEventBudget;
@@ -285,17 +294,22 @@ BENCHMARK(BM_EventChurn)->Arg(1024)->Arg(65536)->Unit(
 
 int main(int argc, char** argv) {
   // --json <path> switches to the machine-readable mode consumed by CI;
-  // parsed before Google Benchmark sees the arguments.
+  // parsed before Google Benchmark sees the arguments. --giant adds the
+  // event-capped 10^7-module group (minutes of wall clock and gigabytes of
+  // resident surface — opt-in).
   std::string json_path;
   int repeat = 3;
+  bool giant = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--giant") == 0) {
+      giant = true;
     }
   }
-  if (!json_path.empty()) return report_json(json_path, repeat);
+  if (!json_path.empty()) return report_json(json_path, repeat, giant);
 
   report_table();
   benchmark::Initialize(&argc, argv);

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -272,6 +273,17 @@ DiffOutcome run_case(const FuzzCase& fuzz_case, const DiffOptions& options) {
   DiffOutcome outcome;
   outcome.case_description = fuzz_case.describe();
 
+  // SB_DIFF_THREADS_OVERRIDE widens backend C's shard-thread count without
+  // touching every call site — CI reruns the suites at 4 threads to sweep
+  // the channel engine's rendezvous under real contention. Determinism
+  // makes the override safe: traces must not depend on the thread count,
+  // which is exactly what the comparison below enforces.
+  size_t alt_threads = options.alt_threads;
+  if (const char* env = std::getenv("SB_DIFF_THREADS_OVERRIDE");
+      env != nullptr && std::atoi(env) > 0) {
+    alt_threads = static_cast<size_t>(std::atoi(env));
+  }
+
   outcome.runs.push_back(
       run_backend(fuzz_case, "classic[shards=1]", 1, 1, options.oracle));
   outcome.runs.push_back(
@@ -280,8 +292,8 @@ DiffOutcome run_case(const FuzzCase& fuzz_case, const DiffOptions& options) {
                   options.alt_shards, 1, options.oracle));
   outcome.runs.push_back(
       run_backend(fuzz_case, fmt("sharded[shards={},threads={}]",
-                                 options.alt_shards, options.alt_threads),
-                  options.alt_shards, options.alt_threads, options.oracle));
+                                 options.alt_shards, alt_threads),
+                  options.alt_shards, alt_threads, options.oracle));
   const BackendRun& classic = outcome.runs[0];
   const BackendRun& sharded = outcome.runs[1];
   const BackendRun& sharded_mt = outcome.runs[2];

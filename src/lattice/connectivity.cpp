@@ -5,6 +5,13 @@
 
 #include "util/assert.hpp"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SB_CONN_HAVE_SSSE3 1
+#include <immintrin.h>
+#else
+#define SB_CONN_HAVE_SSSE3 0
+#endif
+
 namespace sb::lat {
 
 namespace {
@@ -154,7 +161,10 @@ uint32_t ring_mask(const Grid& grid, Vec2 center) {
 // rows of the SoA byte image — eight byte loads, shifts, and one table
 // lookup per cell, with no bounds branches (the padding ring reads 0). The
 // verdict bytes live in WorldState's per-row cache, stamped with the grid
-// version they were computed against.
+// version they were computed against. On SSSE3 hosts the sweep runs 16
+// cells per step: the eight neighbor loads become unaligned vector loads,
+// the mask assembly becomes shifts and ORs, and the 256-entry bool table
+// becomes a 32-byte bitset gathered with two pshufbs.
 // ---------------------------------------------------------------------------
 
 bool batch_enabled_from_env() {
@@ -167,16 +177,13 @@ bool batch_enabled_from_env() {
 #endif
 }
 
-/// One cache-linear sweep over row `y`. The bit positions follow kRing
-/// exactly, so kRemovalSafe answers are identical to the scalar ring_mask
-/// path by construction.
-void compute_removal_row(const Grid& grid, int32_t y, uint8_t* out) {
-  const WorldState& state = grid.state();
-  const uint8_t* up = state.occupancy_row(y + 1);
-  const uint8_t* mid = state.occupancy_row(y);
-  const uint8_t* dn = state.occupancy_row(y - 1);
-  const int32_t width = grid.width();
-  for (int32_t x = 0; x < width; ++x) {
+/// Scalar mask assembly for cells [x0, x1) of one row. The bit positions
+/// follow kRing exactly, so kRemovalSafe answers are identical to the
+/// per-candidate ring_mask path by construction.
+void removal_masks_scalar(const uint8_t* up, const uint8_t* mid,
+                          const uint8_t* dn, int32_t x0, int32_t x1,
+                          uint8_t* out) {
+  for (int32_t x = x0; x < x1; ++x) {
     const uint32_t mask = (static_cast<uint32_t>(up[x]) << 0) |
                           (static_cast<uint32_t>(up[x + 1]) << 1) |
                           (static_cast<uint32_t>(mid[x + 1]) << 2) |
@@ -189,7 +196,131 @@ void compute_removal_row(const Grid& grid, int32_t y, uint8_t* out) {
   }
 }
 
+#if SB_CONN_HAVE_SSSE3
+
+/// kRemovalSafe as a 256-bit set: byte mask >> 3, bit mask & 7. Small
+/// enough to gather with two pshufbs.
+constexpr std::array<uint8_t, 32> make_removal_bitset() {
+  std::array<uint8_t, 32> bits{};
+  for (uint32_t mask = 0; mask < 256; ++mask) {
+    if (kRemovalSafe[mask]) {
+      bits[mask >> 3] = static_cast<uint8_t>(bits[mask >> 3] |
+                                             (1u << (mask & 7u)));
+    }
+  }
+  return bits;
+}
+
+alignas(16) constexpr std::array<uint8_t, 32> kRemovalBitset =
+    make_removal_bitset();
+
+/// 16 cells per step. The occupancy bytes are 0/1, so a 16-bit-lane left
+/// shift by <= 7 never carries across byte lanes and assembles the same
+/// per-byte ring mask as the scalar path; the padding ring guarantees the
+/// x-1 / x+1 loads stay in bounds for every step with x + 16 <= width.
+__attribute__((target("ssse3"))) void removal_row_ssse3(
+    const uint8_t* up, const uint8_t* mid, const uint8_t* dn, int32_t width,
+    uint8_t* out) {
+  const auto load = [](const uint8_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  };
+  const __m128i table_lo = load(kRemovalBitset.data());
+  const __m128i table_hi = load(kRemovalBitset.data() + 16);
+  // 1 << (mask & 7), indexed by the low three mask bits.
+  const __m128i bit_select =
+      _mm_setr_epi8(1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64,
+                    -128);
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi8(1);
+  int32_t x = 0;
+  for (; x + 16 <= width; x += 16) {
+    __m128i mask = load(up + x);                                  // bit 0
+    mask = _mm_or_si128(mask, _mm_slli_epi16(load(up + x + 1), 1));
+    mask = _mm_or_si128(mask, _mm_slli_epi16(load(mid + x + 1), 2));
+    mask = _mm_or_si128(mask, _mm_slli_epi16(load(dn + x + 1), 3));
+    mask = _mm_or_si128(mask, _mm_slli_epi16(load(dn + x), 4));
+    mask = _mm_or_si128(mask, _mm_slli_epi16(load(dn + x - 1), 5));
+    mask = _mm_or_si128(mask, _mm_slli_epi16(load(mid + x - 1), 6));
+    mask = _mm_or_si128(mask, _mm_slli_epi16(load(up + x - 1), 7));
+    // Bitset gather: byte index mask >> 3 is 0..31 (the 16-bit shift leaks
+    // the neighbor byte's bits into positions 5..7 — masked off). Adding
+    // 112 keeps indices 0..15 addressing table_lo and pushes 16..31 into
+    // pshufb's zeroing range; subtracting 16 does the mirror for table_hi.
+    const __m128i byte_index =
+        _mm_and_si128(_mm_srli_epi16(mask, 3), _mm_set1_epi8(31));
+    const __m128i gathered = _mm_or_si128(
+        _mm_shuffle_epi8(table_lo,
+                         _mm_add_epi8(byte_index, _mm_set1_epi8(112))),
+        _mm_shuffle_epi8(table_hi,
+                         _mm_sub_epi8(byte_index, _mm_set1_epi8(16))));
+    const __m128i bit =
+        _mm_shuffle_epi8(bit_select, _mm_and_si128(mask, _mm_set1_epi8(7)));
+    // (gathered & bit) != 0 -> verdict byte 1, else 0.
+    const __m128i unsafe = _mm_cmpeq_epi8(_mm_and_si128(gathered, bit), zero);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + x),
+                     _mm_add_epi8(unsafe, one));
+  }
+  removal_masks_scalar(up, mid, dn, x, width, out);  // tail
+}
+
+#endif  // SB_CONN_HAVE_SSSE3
+
+bool wide_enabled_from_env() {
+  const char* env = std::getenv("SB_CONN_WIDE");
+  const bool requested =
+      env == nullptr || !(env[0] == '0' && env[1] == '\0');
+#if SB_CONN_HAVE_SSSE3
+  return requested && __builtin_cpu_supports("ssse3");
+#else
+  (void)requested;
+  return false;
+#endif
+}
+
+/// One cache-linear sweep over row `y`, wide when the host allows it.
+void compute_removal_row(const Grid& grid, int32_t y, uint8_t* out) {
+  const WorldState& state = grid.state();
+  const uint8_t* up = state.occupancy_row(y + 1);
+  const uint8_t* mid = state.occupancy_row(y);
+  const uint8_t* dn = state.occupancy_row(y - 1);
+  const int32_t width = grid.width();
+#if SB_CONN_HAVE_SSSE3
+  if (detail::connectivity_wide_enabled()) {
+    removal_row_ssse3(up, mid, dn, width, out);
+    return;
+  }
+#endif
+  removal_masks_scalar(up, mid, dn, 0, width, out);
+}
+
 }  // namespace
+
+namespace detail {
+
+void compute_removal_row_scalar(const Grid& grid, int32_t y, uint8_t* out) {
+  const WorldState& state = grid.state();
+  removal_masks_scalar(state.occupancy_row(y + 1), state.occupancy_row(y),
+                       state.occupancy_row(y - 1), 0, grid.width(), out);
+}
+
+void compute_removal_row_wide(const Grid& grid, int32_t y, uint8_t* out) {
+#if SB_CONN_HAVE_SSSE3
+  if (__builtin_cpu_supports("ssse3")) {
+    const WorldState& state = grid.state();
+    removal_row_ssse3(state.occupancy_row(y + 1), state.occupancy_row(y),
+                      state.occupancy_row(y - 1), grid.width(), out);
+    return;
+  }
+#endif
+  compute_removal_row_scalar(grid, y, out);
+}
+
+bool connectivity_wide_enabled() {
+  static const bool enabled = wide_enabled_from_env();
+  return enabled;
+}
+
+}  // namespace detail
 
 bool connectivity_batch_enabled() {
   static const bool enabled = batch_enabled_from_env();

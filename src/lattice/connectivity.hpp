@@ -137,6 +137,27 @@ enum class LocalVerdict : uint8_t {
 void batch_removal_verdicts(const Grid& grid, const Vec2* cells, size_t count,
                             uint8_t* out);
 
+namespace detail {
+
+// Row-sweep kernels behind removal_verdict_row, exposed so the equivalence
+// tests can compare them cell for cell. Both assemble the same kRing bit
+// layout from the same padded occupancy bytes; the wide kernel processes 16
+// cells per step (SSSE3 table gathers) with a scalar tail, so its verdict
+// bytes are identical to the scalar sweep by construction.
+
+/// Reference sweep: one table lookup per cell.
+void compute_removal_row_scalar(const Grid& grid, int32_t y, uint8_t* out);
+
+/// SIMD sweep; falls back to the scalar sweep on hosts without SSSE3.
+void compute_removal_row_wide(const Grid& grid, int32_t y, uint8_t* out);
+
+/// Whether row recomputation takes the SIMD kernel: the CPU supports SSSE3
+/// and SB_CONN_WIDE is not "0" (the env latch exists so perf triage can
+/// isolate the kernel without rebuilding).
+[[nodiscard]] bool connectivity_wide_enabled();
+
+}  // namespace detail
+
 /// Number of 4-connected components among the blocks.
 [[nodiscard]] int component_count(const Grid& grid);
 

@@ -176,7 +176,7 @@ long parse_sized_scenario_name(const std::string& name, const char* prefix) {
 Scenario resolve_scenario(const std::string& name, uint64_t master_seed) {
   if (const long blocks = parse_sized_scenario_name(name, "tower");
       blocks >= 0) {
-    if (blocks >= 4 && blocks <= 1'000'000 && blocks % 2 == 0) {
+    if (blocks >= 4 && blocks <= 10'000'000 && blocks % 2 == 0) {
       return make_tower_scenario(static_cast<int32_t>(blocks / 2));
     }
     throw std::runtime_error("tower<N> needs an even N >= 4, got '" + name +
@@ -184,19 +184,19 @@ Scenario resolve_scenario(const std::string& name, uint64_t master_seed) {
   }
   if (const long blocks = parse_sized_scenario_name(name, "blob");
       blocks >= 0) {
-    if (blocks >= 64 && blocks <= 1'000'000) {
+    if (blocks >= 64 && blocks <= 10'000'000) {
       return make_giant_blob_scenario(static_cast<int32_t>(blocks),
                                       master_seed);
     }
-    throw std::runtime_error("blob<N> needs 64 <= N <= 1000000, got '" +
+    throw std::runtime_error("blob<N> needs 64 <= N <= 10000000, got '" +
                              name + "'");
   }
   if (const long blocks = parse_sized_scenario_name(name, "rect");
       blocks >= 0) {
-    if (blocks >= 64 && blocks <= 1'000'000) {
+    if (blocks >= 64 && blocks <= 10'000'000) {
       return make_giant_rect_scenario(static_cast<int32_t>(blocks));
     }
-    throw std::runtime_error("rect<N> needs 64 <= N <= 1000000, got '" +
+    throw std::runtime_error("rect<N> needs 64 <= N <= 10000000, got '" +
                              name + "'");
   }
   if (name == "fig10") return make_fig10_scenario();

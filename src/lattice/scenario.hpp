@@ -63,9 +63,9 @@ struct Scenario {
 /// Resolves a scenario by CLI-style name — the one scenario vocabulary
 /// shared by tools/sweep, examples/large_scale, and the benches:
 ///   tower<N>   Lemma-1 tower of N blocks (even N >= 4)
-///   blob<N>    giant random blob, 64 <= N <= 1000000 (seeded by
+///   blob<N>    giant random blob, 64 <= N <= 10000000 (seeded by
 ///              `master_seed`)
-///   rect<N>    giant block rectangle, 64 <= N <= 1000000
+///   rect<N>    giant block rectangle, 64 <= N <= 10000000
 ///   fig10      the paper's Figs 10-11 example
 ///   <path>     anything else is loaded as a .surf scenario file
 /// Throws std::runtime_error with a usage-style message on bad names or

@@ -49,10 +49,13 @@ void add_sweep_flags(CliParser& cli, const SweepCliOptions& defaults) {
               "event budget per run (0 = default; giant blob/rect runs "
               "need a cap — completion is O(N^2) hops)");
   cli.add_int("shards", static_cast<int64_t>(defaults.shards),
-              "column-stripe shards per world (1 = classic event loop)");
+              "shards per world (1 = classic event loop)");
   cli.add_int("shard-threads", static_cast<int64_t>(defaults.shard_threads),
               "threads draining shard windows per world (0 = hardware "
               "concurrency; multiplies with --threads)");
+  cli.add_string("shard-map", defaults.shard_map,
+                 "shard partition geometry: columns | rows | tiles | "
+                 "adaptive (columns re-striped by a pilot run's load)");
 }
 
 SweepCliOptions parse_sweep_flags(const CliParser& cli, size_t min_seeds) {
@@ -86,6 +89,13 @@ SweepCliOptions parse_sweep_flags(const CliParser& cli, size_t min_seeds) {
   options.max_events = parse_count(cli, "max-events", 0);
   options.shards = parse_count(cli, "shards", 1);
   options.shard_threads = parse_count(cli, "shard-threads", 0);
+  options.shard_map = cli.get_string("shard-map");
+  if (options.shard_map != "columns" && options.shard_map != "rows" &&
+      options.shard_map != "tiles" && options.shard_map != "adaptive") {
+    throw std::runtime_error(fmt(
+        "unknown --shard-map '{}' (columns | rows | tiles | adaptive)",
+        options.shard_map));
+  }
   // The engine caps worker threads at the shard count, so extra threads
   // would silently idle; clamp here and say so. 0 is the
   // hardware-concurrency sentinel and is never clamped (the cap still
@@ -109,6 +119,13 @@ core::SessionConfig make_session_config(const SweepCliOptions& options) {
   // Options::shard_threads, whose 0 means "leave the spec's value") so that
   // --shard-threads 0 really selects hardware concurrency.
   config.sim.shard_threads = options.shard_threads;
+  if (options.shard_map == "rows") {
+    config.sim.shard_map = lat::ShardMapKind::kRows;
+  } else if (options.shard_map == "tiles") {
+    config.sim.shard_map = lat::ShardMapKind::kTiles;
+  } else if (options.shard_map == "adaptive") {
+    config.sim.shard_autobalance = true;
+  }
   if (options.latency == "uniform") {
     config.sim.latency = msg::LatencyModel::uniform(1, 8);
   } else if (options.latency == "exponential") {
@@ -122,7 +139,12 @@ core::SessionConfig make_session_config(const SweepCliOptions& options) {
 }
 
 std::string ruleset_label(const SweepCliOptions& options) {
-  return options.latency == "fixed" ? "standard" : options.latency;
+  std::string label =
+      options.latency == "fixed" ? "standard" : options.latency;
+  // Non-default shard maps change the execution schedule (a different but
+  // equally valid trace), so they are a config variant, not the same rows.
+  if (options.shard_map != "columns") label += "-" + options.shard_map;
+  return label;
 }
 
 SweepGrid make_sweep_grid(const SweepCliOptions& options) {
@@ -161,10 +183,10 @@ int parse_ms_flag(const CliParser& cli, const std::string& name,
 std::string scenario_vocabulary() {
   return
       "Scenario names (lat::resolve_scenario vocabulary):\n"
-      "  tower<N>   Lemma-1 tower of N blocks (even N, 4 <= N <= 1000000)\n"
-      "  blob<N>    giant random blob, 64 <= N <= 1000000 (seeded by "
+      "  tower<N>   Lemma-1 tower of N blocks (even N, 4 <= N <= 10000000)\n"
+      "  blob<N>    giant random blob, 64 <= N <= 10000000 (seeded by "
       "--master-seed)\n"
-      "  rect<N>    giant block rectangle, 64 <= N <= 1000000\n"
+      "  rect<N>    giant block rectangle, 64 <= N <= 10000000\n"
       "  fig10      the paper's Figs 10-11 twelve-block example\n"
       "  <path>     anything else is loaded as a .surf scenario file\n";
 }

@@ -34,6 +34,10 @@ struct SweepCliOptions {
   uint64_t max_events = 0;
   size_t shards = 1;
   size_t shard_threads = 1;
+  /// Partition geometry label: columns | rows | tiles | adaptive.
+  /// "adaptive" is columns plus a load-measuring pilot run whose per-shard
+  /// event counts re-stripe the boundaries (SimConfig::shard_autobalance).
+  std::string shard_map = "columns";
   /// Local worker threads (0 = hardware concurrency). Not part of the grid
   /// identity, but recorded in the report header by both backends.
   size_t threads = 0;

@@ -30,6 +30,7 @@ RunRow make_row(const std::string& scenario, const std::string& ruleset,
   row.shards = result.shards;
   row.conn_fast_hits = result.conn_fast_hits;
   row.conn_slow_floods = result.conn_slow_floods;
+  row.shard_events = result.shard_events;
   row.stop_reason = result.stop_reason;
   return row;
 }
@@ -68,6 +69,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
     Accumulator elementary_moves;
     Accumulator messages_sent;
     Accumulator conn_fast_rate;
+    Accumulator shard_imbalance;
   };
   std::vector<Group> groups;
   for (const RunRow& row : rows_) {
@@ -93,6 +95,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
     group->elementary_moves.add(static_cast<double>(row.elementary_moves));
     group->messages_sent.add(static_cast<double>(row.messages_sent));
     group->conn_fast_rate.add(row.conn_fast_rate());
+    group->shard_imbalance.add(row.shard_imbalance());
   }
   std::vector<GroupSummary> out;
   out.reserve(groups.size());
@@ -103,6 +106,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
     g.out.elementary_moves = summarize_metric(g.elementary_moves);
     g.out.messages_sent = summarize_metric(g.messages_sent);
     g.out.conn_fast_rate = summarize_metric(g.conn_fast_rate);
+    g.out.shard_imbalance = summarize_metric(g.shard_imbalance);
     out.push_back(std::move(g.out));
   }
   return out;
@@ -114,6 +118,7 @@ util::JsonValue BenchReport::to_json() const {
   root["generator"] = util::JsonValue(generator_);
   root["master_seed"] = util::JsonValue(util::hex_u64(master_seed_));
   root["threads"] = util::JsonValue(threads_);
+  if (cores_ > 0) root["cores"] = util::JsonValue(cores_);
 
   util::JsonValue runs = util::JsonValue::array();
   for (const RunRow& row : rows_) {
@@ -134,6 +139,13 @@ util::JsonValue BenchReport::to_json() const {
     r["shards"] = util::JsonValue(row.shards);
     r["conn_fast_hits"] = util::JsonValue(row.conn_fast_hits);
     r["conn_slow_floods"] = util::JsonValue(row.conn_slow_floods);
+    if (!row.shard_events.empty()) {
+      util::JsonValue per_shard = util::JsonValue::array();
+      for (const uint64_t events : row.shard_events) {
+        per_shard.push_back(util::JsonValue(events));
+      }
+      r["shard_events"] = std::move(per_shard);
+    }
     runs.push_back(std::move(r));
   }
   root["runs"] = std::move(runs);
@@ -152,6 +164,7 @@ util::JsonValue BenchReport::to_json() const {
     g["elementary_moves"] = metric_json(group.elementary_moves);
     g["messages_sent"] = metric_json(group.messages_sent);
     g["conn_fast_rate"] = metric_json(group.conn_fast_rate);
+    g["shard_imbalance"] = metric_json(group.shard_imbalance);
     summary.push_back(std::move(g));
   }
   root["summary"] = std::move(summary);

@@ -37,6 +37,9 @@ struct RunRow {
   /// by the O(1) local rule vs. full floods (docs/BENCHMARKS.md).
   uint64_t conn_fast_hits = 0;
   uint64_t conn_slow_floods = 0;
+  /// Cumulative events per shard (empty in classic mode): the raw material
+  /// for diagnosing pathological shard maps and for adaptive re-striping.
+  std::vector<uint64_t> shard_events;
   /// Why the run stopped. Travels over the dist wire (runner/serialize) so
   /// remote front ends can apply the same exit-code policy as local ones;
   /// not part of the BENCH_sim.json schema.
@@ -45,6 +48,21 @@ struct RunRow {
   [[nodiscard]] double conn_fast_rate() const {
     return lat::ConnectivityStats{conn_fast_hits, conn_slow_floods}
         .fast_path_rate();
+  }
+
+  /// Busiest-shard load relative to the mean (1.0 = perfectly balanced,
+  /// S = one shard did all the work of S). 0 when not sharded.
+  [[nodiscard]] double shard_imbalance() const {
+    if (shard_events.size() < 2) return 0.0;
+    uint64_t total = 0;
+    uint64_t busiest = 0;
+    for (const uint64_t events : shard_events) {
+      total += events;
+      if (events > busiest) busiest = events;
+    }
+    if (total == 0) return 0.0;
+    return static_cast<double>(busiest) * static_cast<double>(
+               shard_events.size()) / static_cast<double>(total);
   }
 };
 
@@ -76,6 +94,9 @@ struct GroupSummary {
   MetricSummary messages_sent;
   /// Per-run fast-path hit rate of the connectivity oracle.
   MetricSummary conn_fast_rate;
+  /// Per-run busiest-shard/mean load ratio (RunRow::shard_imbalance);
+  /// all-zero for unsharded groups.
+  MetricSummary shard_imbalance;
 };
 
 class BenchReport {
@@ -85,6 +106,10 @@ class BenchReport {
 
   void set_master_seed(uint64_t seed) { master_seed_ = seed; }
   void set_threads(size_t threads) { threads_ = threads; }
+  /// Physical core count of the measuring host; recorded in the JSON so
+  /// consumers (tools/perf_check's shard-scaling gate) can tell whether a
+  /// parallel-speedup claim was measurable on that box. 0 = not recorded.
+  void set_cores(size_t cores) { cores_ = cores; }
 
   void add_row(RunRow row) { rows_.push_back(std::move(row)); }
 
@@ -117,6 +142,7 @@ class BenchReport {
   std::string generator_;
   uint64_t master_seed_ = 0;
   size_t threads_ = 1;
+  size_t cores_ = 0;
   std::vector<RunRow> rows_;
 };
 

@@ -63,6 +63,11 @@ JsonValue row_to_json(const RunRow& row) {
   out["shards"] = JsonValue(row.shards);
   out["conn_fast_hits"] = JsonValue(util::hex_u64(row.conn_fast_hits));
   out["conn_slow_floods"] = JsonValue(util::hex_u64(row.conn_slow_floods));
+  JsonValue shard_events = JsonValue::array();
+  for (const uint64_t events : row.shard_events) {
+    shard_events.push_back(JsonValue(util::hex_u64(events)));
+  }
+  out["shard_events"] = std::move(shard_events);
   out["stop_reason"] = JsonValue(static_cast<int>(row.stop_reason));
   return out;
 }
@@ -85,6 +90,13 @@ RunRow row_from_json(const JsonValue& json) {
   row.shards = get_size(json, "shards");
   row.conn_fast_hits = get_u64(json, "conn_fast_hits");
   row.conn_slow_floods = get_u64(json, "conn_slow_floods");
+  for (const JsonValue& events :
+       require(json, "shard_events", JsonValue::Kind::kArray).as_array()) {
+    if (events.kind() != JsonValue::Kind::kString) {
+      throw std::runtime_error("wire shard_events entries must be strings");
+    }
+    row.shard_events.push_back(util::parse_u64(events.as_string()));
+  }
   const int reason = static_cast<int>(get_number(json, "stop_reason"));
   if (reason < static_cast<int>(sim::StopReason::kQueueEmpty) ||
       reason > static_cast<int>(sim::StopReason::kHalted)) {
@@ -107,6 +119,7 @@ JsonValue options_to_json(const SweepCliOptions& options) {
   out["max_events"] = JsonValue(util::hex_u64(options.max_events));
   out["shards"] = JsonValue(options.shards);
   out["shard_threads"] = JsonValue(options.shard_threads);
+  out["shard_map"] = JsonValue(options.shard_map);
   // Not grid identity, but the report header records it — a resumed
   // coordinator rebuilding a report from the journal must reproduce it.
   out["threads"] = JsonValue(options.threads);
@@ -128,6 +141,7 @@ SweepCliOptions options_from_json(const JsonValue& json) {
   options.max_events = get_u64(json, "max_events");
   options.shards = get_size(json, "shards");
   options.shard_threads = get_size(json, "shard_threads");
+  options.shard_map = get_string(json, "shard_map");
   options.threads = get_size(json, "threads");
   return options;
 }

@@ -61,11 +61,36 @@ size_t SweepRunner::effective_threads(size_t jobs) const {
   return std::max<size_t>(1, std::min(threads, jobs));
 }
 
+namespace {
+
+/// Event budget of the adaptive-map measurement pilot: enough windows to
+/// see where the load lives, far too few to matter next to a real run.
+constexpr uint64_t kAutobalancePilotEvents = 50'000;
+
+/// Measures the per-shard load distribution with a short capped run on the
+/// uniform column map and returns its per-shard event counts (the load
+/// hints for ShardMap::restriped). Deterministic: same seed, same pilot.
+std::vector<uint64_t> measure_shard_load(const RunSpec& spec,
+                                         core::SessionConfig config) {
+  config.sim.shard_autobalance = false;
+  config.sim.shard_load_hints.clear();
+  config.max_events = std::min(config.max_events, kAutobalancePilotEvents);
+  core::ReconfigurationSession pilot(spec.scenario, config);
+  return pilot.run().shard_events;
+}
+
+}  // namespace
+
 SweepRun execute_run(const RunSpec& spec, bool capture_trace,
                      size_t shard_threads) {
   core::SessionConfig config = spec.config;
   config.sim.seed = spec.seed;
   if (shard_threads != 0) config.sim.shard_threads = shard_threads;
+  if (config.sim.shard_autobalance && config.sim.shards > 1 &&
+      config.sim.shard_map == lat::ShardMapKind::kColumns &&
+      config.sim.shard_load_hints.empty()) {
+    config.sim.shard_load_hints = measure_shard_load(spec, config);
+  }
 
   core::ReconfigurationSession session(spec.scenario, config);
   SweepRun out;
@@ -132,6 +157,8 @@ BenchReport assemble_report(const SweepRunner::Options& options,
   BenchReport report(options.generator);
   report.set_master_seed(options.master_seed);
   report.set_threads(SweepRunner(options).effective_threads(rows.size()));
+  report.set_cores(
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
   for (const RunRow& row : rows) report.add_row(row);
   return report;
 }

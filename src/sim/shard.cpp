@@ -4,64 +4,78 @@
 
 namespace sb::sim {
 
-ShardWorkerPool::ShardWorkerPool(size_t threads)
-    : threads_(threads < 1 ? 1 : threads) {
+ShardEngine::ShardEngine(size_t threads, size_t shards)
+    : threads_(threads < 1 ? 1 : threads),
+      shards_(shards),
+      barrier_(static_cast<uint32_t>(threads_)) {
+  SB_EXPECTS(shards_ >= threads_, "ShardEngine wants a shard per worker");
   workers_.reserve(threads_ - 1);
-  for (size_t w = 0; w + 1 < threads_; ++w) {
+  for (size_t w = 1; w < threads_; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });
   }
 }
 
-ShardWorkerPool::~ShardWorkerPool() {
+ShardEngine::~ShardEngine() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+    shutdown_ = true;
   }
   cv_start_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
-void ShardWorkerPool::run(size_t jobs, const std::function<void(size_t)>& fn) {
-  if (jobs == 0) return;
-  if (workers_.empty() || jobs == 1) {
-    for (size_t i = 0; i < jobs; ++i) fn(i);
+void ShardEngine::run(const Hooks& hooks) {
+  stop_ = false;
+  hooks_ = &hooks;
+  if (workers_.empty()) {
+    round_loop(0);
+    hooks_ = nullptr;
     return;
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    SB_ASSERT(running_ == 0, "ShardWorkerPool::run re-entered");
-    job_ = &fn;
-    jobs_ = jobs;
-    running_ = workers_.size();
+    SB_ASSERT(active_ == 0, "ShardEngine::run re-entered");
+    active_ = workers_.size();
     ++generation_;
   }
   cv_start_.notify_all();
-  // The caller is the last worker: strided jobs after the spawned threads'.
-  for (size_t i = workers_.size(); i < jobs; i += threads_) fn(i);
+  round_loop(0);
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return running_ == 0; });
-  job_ = nullptr;
+  cv_done_.wait(lock, [this] { return active_ == 0; });
+  hooks_ = nullptr;
 }
 
-void ShardWorkerPool::worker_main(size_t worker) {
+void ShardEngine::round_loop(size_t worker) {
+  const Hooks& hooks = *hooks_;
+  for (;;) {
+    // Fold the previous window (a no-op on the bootstrap round), then let
+    // every worker integrate its own shards' channels in parallel.
+    barrier_.arrive([&] { hooks.fold(); });
+    for (size_t s = worker; s < shards_; s += threads_) hooks.integrate(s);
+    // Decide serially: apply due sequential events, pick the next horizon
+    // or stop. The barrier's release edge publishes window_end_/stop_.
+    barrier_.arrive([&] { stop_ = !hooks.decide(&window_end_); });
+    if (stop_) return;
+    for (size_t s = worker; s < shards_; s += threads_) {
+      hooks.drain(s, window_end_);
+    }
+  }
+}
+
+void ShardEngine::worker_main(size_t worker) {
   uint64_t seen = 0;
   for (;;) {
-    const std::function<void(size_t)>* job = nullptr;
-    size_t jobs = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_start_.wait(lock,
-                     [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
+      cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
       seen = generation_;
-      job = job_;
-      jobs = jobs_;
     }
-    for (size_t i = worker; i < jobs; i += threads_) (*job)(i);
+    round_loop(worker);
     bool last = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      last = --running_ == 0;
+      last = --active_ == 0;
     }
     if (last) cv_done_.notify_one();
   }

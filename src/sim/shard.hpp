@@ -1,24 +1,28 @@
 #pragma once
-// Per-shard execution state and the worker pool of the sharded simulator.
+// Per-shard execution state and the channel-driven engine of the sharded
+// simulator.
 //
-// When SimConfig::shards > 1 the simulator partitions the surface into
-// column stripes (lattice/shard.hpp) and runs a conservative windowed
-// schedule: each shard drains its own event queue for one lookahead window
-// of simulated time, all shards synchronize at the window edge, and only
-// there do cross-shard messages, grid mutations, and external events move
-// between shards. ShardState is everything one stripe owns; ShardWorkerPool
-// fans the per-window drains out over a fixed set of threads.
+// When SimConfig::shards > 1 the simulator partitions the surface
+// (lattice/shard.hpp) and runs a conservative windowed schedule: each shard
+// drains its own event queue for one lookahead window of simulated time,
+// pushing cross-shard deliveries straight into the destination shard's
+// inbound channel as it goes. Shards rendezvous only at window edges, where
+// grid mutations and external events are applied sequentially; a resident
+// worker set (ShardEngine) cycles integrate -> decide -> drain rounds over
+// a lightweight sense-reversing barrier instead of forking and joining a
+// coordinator every window.
 //
 // Determinism contract (docs/ARCHITECTURE.md "Sharded worlds"): every field
 // here is either touched by exactly one worker during a window, or only by
-// the coordinating thread between windows — so the event trace depends on
-// the shard count, never on the thread count.
+// the barrier's serial section between windows — so the event trace depends
+// on the shard count, never on the thread count.
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,12 +33,13 @@
 
 namespace sb::sim {
 
-/// Everything one column-stripe shard owns. The owning worker mutates this
-/// freely during its window drain; the coordinator reads and resets the
-/// exchange buffers at barriers.
+/// Everything one shard owns. The owning worker mutates this freely during
+/// its window drain; the inbound channel slots are each written by exactly
+/// one producer shard per window and consumed by the owner in the
+/// integrate phase of the next round.
 struct ShardState {
   size_t index = 0;
-  /// Pending events addressed to blocks inside this stripe.
+  /// Pending events addressed to blocks inside this shard.
   std::unique_ptr<EventQueue> queue;
   /// Independent latency stream, forked from the master seed by shard
   /// index; consumed only while this shard drains, so draw order is
@@ -44,7 +49,7 @@ struct ShardState {
   SimTime now = 0;
   /// Time of the last event this shard processed.
   SimTime last_time = 0;
-  /// Events processed in the current window; reset by the coordinator.
+  /// Events processed in the current window; reset at the fold rendezvous.
   uint64_t window_events = 0;
   /// Cumulative events processed by this shard (reported per-shard).
   uint64_t total_events = 0;
@@ -54,49 +59,130 @@ struct ShardState {
   /// Per-shard connectivity verdict cache + oracle counters, installed as
   /// the thread's scratch view while this shard drains.
   lat::ConnectivityScratchView conn_view;
-  /// Cross-shard deliveries produced this window: (destination shard,
-  /// record). Routed into destination queues at the barrier, in shard
-  /// order.
-  std::vector<std::pair<size_t, EventRecord>> outbox;
+  /// Inbound message channel: one slot per producer shard. While shard
+  /// `src` drains a window it appends cross-shard deliveries straight into
+  /// `inbound[src]` of the destination — single producer per slot, no
+  /// locks; the owner integrates all slots in producer order during the
+  /// next round's parallel integrate phase. The window barrier is the
+  /// happens-before edge between the producer's writes and the owner's
+  /// reads.
+  std::vector<std::vector<EventRecord>> inbound;
   /// Grid-mutating / external events scheduled this window (motion
-  /// completions); merged into the sequential global queue at the barrier.
+  /// completions); merged into the sequential global queue at the fold.
   std::vector<EventRecord> pending_global;
-  /// A module on this shard called halt(); honored at the barrier.
+  /// A module on this shard called halt(); honored at the fold.
   bool halt_requested = false;
 };
 
-/// Persistent pool running `fn(job)` for jobs 0..jobs-1 across a fixed
-/// thread count, with the caller participating as the last worker. run()
-/// is a full barrier: it returns only when every job finished. Jobs are
-/// assigned by stride (worker w takes jobs w, w+T, ...), so the assignment
-/// is static and scheduling-independent.
-class ShardWorkerPool {
+/// Sense-reversing barrier for the engine's rendezvous points. arrive()
+/// blocks until all `threads` participants arrive; the last arriver runs
+/// the serial section before releasing the rest, so serial work happens
+/// exactly once per rendezvous with no extra handoff. Waiters spin briefly
+/// (windows are short), then yield, then park on the atomic (futex-backed)
+/// so oversubscribed or single-core boxes do not burn their quantum.
+class WindowBarrier {
  public:
-  /// `threads` >= 1 total workers (threads - 1 are spawned).
-  explicit ShardWorkerPool(size_t threads);
-  ~ShardWorkerPool();
+  explicit WindowBarrier(uint32_t threads) : threads_(threads) {}
 
-  ShardWorkerPool(const ShardWorkerPool&) = delete;
-  ShardWorkerPool& operator=(const ShardWorkerPool&) = delete;
+  WindowBarrier(const WindowBarrier&) = delete;
+  WindowBarrier& operator=(const WindowBarrier&) = delete;
+
+  [[nodiscard]] uint32_t threads() const { return threads_; }
+
+  template <typename SerialFn>
+  void arrive(SerialFn&& serial) {
+    const uint32_t ticket = phase_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == threads_) {
+      serial();
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.store(ticket + 1, std::memory_order_release);
+      phase_.notify_all();
+      return;
+    }
+    for (int spin = 0; spin < 1024; ++spin) {
+      if (phase_.load(std::memory_order_acquire) != ticket) return;
+      if (spin >= 64) std::this_thread::yield();
+    }
+    uint32_t seen = phase_.load(std::memory_order_acquire);
+    while (seen == ticket) {
+      phase_.wait(seen, std::memory_order_acquire);
+      seen = phase_.load(std::memory_order_acquire);
+    }
+  }
+
+ private:
+  const uint32_t threads_;
+  std::atomic<uint32_t> arrived_{0};
+  /// Round counter; a changed phase releases the current rendezvous.
+  std::atomic<uint32_t> phase_{0};
+};
+
+/// The channel-driven shard engine: a fixed set of resident workers that
+/// own shards by stride (worker w owns shards w, w+T, ...). run() executes
+/// rounds of
+///
+///   rendezvous[fold] -> integrate(owned) -> rendezvous[decide] ->
+///   drain(owned, horizon)
+///
+/// until decide() stops the loop. The parallel phases touch only
+/// worker-owned shards (plus single-producer channel slots); the two
+/// rendezvous run their serial hooks in the last-arriving worker. Workers
+/// park between run() calls; the caller always participates as worker 0,
+/// and with one thread the loop runs inline with no spawned threads at
+/// all.
+class ShardEngine {
+ public:
+  struct Hooks {
+    /// Serial: fold the just-drained window (counters, pending globals,
+    /// connectivity hints). The first fold of a run() precedes any drain
+    /// and must be a no-op on untouched state.
+    std::function<void()> fold;
+    /// Parallel: integrate one shard's inbound channel slots.
+    std::function<void(size_t shard)> integrate;
+    /// Serial: run due sequential events and pick the next window horizon.
+    /// Returns false to stop the round loop.
+    std::function<bool(SimTime* window_end)> decide;
+    /// Parallel: drain one shard's queue up to `window_end`.
+    std::function<void(size_t shard, SimTime window_end)> drain;
+  };
+
+  /// `threads` >= 1 total workers (threads - 1 are spawned and parked).
+  ShardEngine(size_t threads, size_t shards);
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
 
   [[nodiscard]] size_t threads() const { return threads_; }
+  [[nodiscard]] size_t shards() const { return shards_; }
 
-  /// Runs fn(0..jobs-1) across the pool and blocks until all complete.
-  void run(size_t jobs, const std::function<void(size_t)>& fn);
+  /// Runs rounds until hooks.decide() returns false; the caller
+  /// participates as worker 0 and the call returns only when every worker
+  /// is parked again.
+  void run(const Hooks& hooks);
 
  private:
   void worker_main(size_t worker);
+  void round_loop(size_t worker);
 
-  size_t threads_;
-  std::vector<std::thread> workers_;
+  const size_t threads_;
+  const size_t shards_;
+  WindowBarrier barrier_;
+
+  /// Round decision, written only inside barrier serial sections and read
+  /// by all workers after the release edge.
+  SimTime window_end_ = 0;
+  bool stop_ = false;
+  const Hooks* hooks_ = nullptr;
+
+  /// Resident-worker parking between run() calls.
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(size_t)>* job_ = nullptr;
-  size_t jobs_ = 0;
   uint64_t generation_ = 0;
-  size_t running_ = 0;
-  bool stop_ = false;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace sb::sim

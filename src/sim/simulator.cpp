@@ -127,8 +127,11 @@ void Simulator::schedule_record(EventRecord record) {
   }
   // Sharded routing: grid-mutating / external events go to the sequential
   // global queue; module events go to the queue of the shard owning the
-  // target block. From inside a window, cross-shard pushes are buffered and
-  // flushed at the barrier so no thread ever touches another shard's queue.
+  // target block. From inside a window, cross-shard deliveries go straight
+  // into the destination shard's inbound channel slot for this producer —
+  // single-writer, so no thread ever touches another shard's queue or
+  // contends on a lock; the destination integrates the slot after the next
+  // rendezvous.
   ShardState* ctx = tls_exec_;
   SB_EXPECTS(record.time >= (ctx != nullptr ? ctx->now : now_),
              "cannot schedule into the past (t=", record.time, ")");
@@ -164,7 +167,7 @@ void Simulator::schedule_record(EventRecord record) {
                    : 0;
       }
       if (ctx != nullptr && dest != ctx->index) {
-        ctx->outbox.emplace_back(dest, std::move(record));
+        shards_[dest]->inbound[ctx->index].push_back(std::move(record));
       } else {
         shards_[dest]->queue->push(std::move(record));
       }

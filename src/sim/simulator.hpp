@@ -37,16 +37,30 @@ struct SimConfig {
   QueueKind queue = QueueKind::kBinaryHeap;
   /// Disable per-kind counter maps in tight throughput benches.
   bool detailed_stats = true;
-  /// Column-stripe shards the world is partitioned into. 1 keeps the
-  /// classic single event loop byte-for-byte; > 1 switches to the windowed
-  /// sharded schedule (per-shard queues, RNG streams, and counters;
-  /// clamped to the surface width). See docs/ARCHITECTURE.md.
+  /// Shards the world is partitioned into. 1 keeps the classic single
+  /// event loop byte-for-byte; > 1 switches to the windowed sharded
+  /// schedule (per-shard queues, RNG streams, and counters; clamped to the
+  /// surface extent). See docs/ARCHITECTURE.md.
   size_t shards = 1;
   /// Worker threads draining shard windows in parallel (only used when
   /// shards > 1). 0 = hardware concurrency; always capped at the shard
   /// count. Event traces are byte-identical for every value — thread count
   /// affects wall-clock only.
   size_t shard_threads = 1;
+  /// Partition geometry (lattice/shard.hpp): column stripes (default),
+  /// row stripes, or 2-D tiles. The trace contract is per-map: different
+  /// maps give different (all valid) executions.
+  lat::ShardMapKind shard_map = lat::ShardMapKind::kColumns;
+  /// Per-shard event counts from a previous run on the uniform column map
+  /// with the same `shards`. Non-empty (and matching that map's shard
+  /// count) re-stripes column boundaries adaptively so hot regions split
+  /// finer; ignored for row/tile maps. See ShardMap::restriped.
+  std::vector<uint64_t> shard_load_hints;
+  /// Runner-level directive (runner::execute_run): when set and
+  /// shard_load_hints is empty, run a short measurement pilot first and
+  /// feed its per-shard event counts back as load hints for the real run.
+  /// The simulator itself ignores this flag.
+  bool shard_autobalance = false;
 };
 
 struct RunLimits {
@@ -89,6 +103,8 @@ class Simulator {
   [[nodiscard]] size_t shard_for(lat::Vec2 pos) const {
     return sharded_ ? shard_map_.shard_of(pos) : 0;
   }
+  /// The partition geometry in effect (identity map in classic mode).
+  [[nodiscard]] const lat::ShardMap& shard_map() const { return shard_map_; }
   /// Cumulative events processed per shard (empty in classic mode).
   [[nodiscard]] std::vector<uint64_t> shard_event_counts() const;
 
@@ -251,13 +267,19 @@ class Simulator {
 
   void init_shards();
   StopReason run_sharded(RunLimits limits);
-  StopReason run_sharded_loop(RunLimits limits);
-  void run_window(SimTime window_end);
+  /// Serial rendezvous hook: folds the just-drained window's counters,
+  /// merges pending grid-mutating events into the sequential queue, and
+  /// publishes a shard flood verdict to the grid's own cache. Fixed shard
+  /// order; runs in the barrier's last-arriving worker.
+  void sharded_fold();
+  /// Parallel rendezvous hook: drains one shard's inbound channel slots
+  /// into its queue, in producer-shard order.
+  void sharded_integrate(size_t index);
+  /// Serial rendezvous hook: executes due sequential (grid-mutating /
+  /// external) events and picks the next window horizon. Returns false to
+  /// stop the round loop, recording the reason in run_reason_.
+  bool sharded_decide(SimTime* window_end);
   void drain_shard_window(ShardState& shard, SimTime window_end);
-  /// Barrier work: routes outboxes into destination queues, merges pending
-  /// grid-mutating events into the sequential queue, and publishes a shard
-  /// flood verdict to the grid's own cache. Fixed shard order.
-  void flush_shard_buffers();
   /// Moves a migrated block's pending events to its new home shard.
   void rehome_block_events(lat::BlockId id, size_t from_shard,
                            size_t to_shard);
@@ -295,14 +317,28 @@ class Simulator {
   /// Grid-mutating (motion-complete) and external events; always executed
   /// sequentially between windows so handlers see a quiescent world.
   std::unique_ptr<EventQueue> global_queue_;
-  std::unique_ptr<ShardWorkerPool> pool_;
+  std::unique_ptr<ShardEngine> engine_;
+  /// Per-run() loop state shared by the engine hooks: limits, events
+  /// counted so far, and the stop reason sharded_decide() settled on.
+  /// Written only inside barrier serial sections.
+  RunLimits run_limits_{};
+  uint64_t run_processed_ = 0;
+  StopReason run_reason_ = StopReason::kQueueEmpty;
+  /// True between a window drain and the fold that consumes it; the
+  /// bootstrap fold of a run() (no window drained yet) must not advance
+  /// the fault-flush counter.
+  bool window_pending_fold_ = false;
+  /// Set by the fold when the injected fault fires: the following
+  /// integrate phase discards every channel slot instead of routing it.
+  bool drop_integration_ = false;
   bool trace_events_ = false;
   std::vector<std::vector<std::string>> trace_streams_;
   /// Deliberate-bug injection for the differential fuzzer's self-test
   /// (tools/fuzz_sim, tests/check_test): when the SB_SIM_FAULT_DROP_FLUSH
-  /// env var holds N >= 0, the N-th barrier flush silently discards its
-  /// cross-shard outboxes — a lost-message bug that only the sharded
-  /// engine exhibits, so the differential harness must catch it. -1 = off.
+  /// env var holds N >= 0, the rendezvous after the N-th window silently
+  /// discards the cross-shard channel slots instead of integrating them —
+  /// a lost-message bug that only the sharded engine exhibits, so the
+  /// differential harness must catch it. -1 = off.
   int64_t fault_drop_flush_ = -1;
   int64_t flush_count_ = 0;
   /// The shard whose window the current thread is draining (null outside

@@ -360,7 +360,7 @@ TEST(ResolveScenario, RejectsBadSizes) {
   EXPECT_THROW(resolve_scenario("tower15"), std::runtime_error);  // odd
   EXPECT_THROW(resolve_scenario("tower2"), std::runtime_error);   // too small
   EXPECT_THROW(resolve_scenario("blob63"), std::runtime_error);
-  EXPECT_THROW(resolve_scenario("blob1000001"), std::runtime_error);
+  EXPECT_THROW(resolve_scenario("blob10000001"), std::runtime_error);
   EXPECT_THROW(resolve_scenario("rect1"), std::runtime_error);
 }
 

@@ -1,14 +1,16 @@
-// Tests for the sharded world: ShardMap geometry, the windowed sharded
-// schedule (sim/simulator_sharded.cpp), cross-shard messaging, event
-// re-homing on stripe migration, and the determinism contract — event and
-// move traces byte-identical across shard-thread counts (the sharded
-// counterpart of runner_test's sweep determinism).
+// Tests for the sharded world: ShardMap geometry (columns, rows, tiles,
+// adaptive re-striping), the channel-driven sharded schedule
+// (sim/simulator_sharded.cpp), cross-shard messaging, event re-homing on
+// shard migration, and the determinism contract — event and move traces
+// byte-identical across shard-thread counts (the sharded counterpart of
+// runner_test's sweep determinism).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/oracle.hpp"
@@ -70,6 +72,87 @@ TEST(ShardMap, SingleShardOwnsEverything) {
   EXPECT_EQ(map.count(), 1u);
   EXPECT_EQ(map.shard_of({0, 0}), 0u);
   EXPECT_EQ(map.shard_of({63, 9}), 0u);
+}
+
+TEST(ShardMap, RowStripesSplitHeight) {
+  const lat::ShardMap map = lat::ShardMap::rows(8, 12, 4);
+  EXPECT_EQ(map.kind(), lat::ShardMapKind::kRows);
+  EXPECT_EQ(map.count(), 4u);
+  EXPECT_EQ(map.stripe_height(), 3);
+  EXPECT_EQ(map.shard_of({0, 0}), 0u);
+  EXPECT_EQ(map.shard_of({7, 2}), 0u);
+  EXPECT_EQ(map.shard_of({3, 3}), 1u);
+  EXPECT_EQ(map.shard_of({0, 11}), 3u);
+}
+
+TEST(ShardMap, TileMapCoversTheSurfaceInQuadrants) {
+  const lat::ShardMap map = lat::ShardMap::tiles(16, 16, 4);
+  EXPECT_EQ(map.kind(), lat::ShardMapKind::kTiles);
+  EXPECT_EQ(map.count(), 4u);
+  EXPECT_EQ(map.shard_of({0, 0}), 0u);
+  EXPECT_EQ(map.shard_of({15, 0}), 1u);
+  EXPECT_EQ(map.shard_of({0, 15}), 2u);
+  EXPECT_EQ(map.shard_of({15, 15}), 3u);
+}
+
+TEST(ShardMap, TileMapNeverCreatesEmptyTiles) {
+  // A short surface clamps the tile rows: every shard index must own at
+  // least one cell, and every cell must map into range.
+  const lat::ShardMap map = lat::ShardMap::tiles(10, 3, 8);
+  std::vector<int> owned(map.count(), 0);
+  for (int32_t y = 0; y < 3; ++y) {
+    for (int32_t x = 0; x < 10; ++x) {
+      const size_t shard = map.shard_of({x, y});
+      ASSERT_LT(shard, map.count());
+      ++owned[shard];
+    }
+  }
+  for (size_t shard = 0; shard < map.count(); ++shard) {
+    EXPECT_GT(owned[shard], 0) << "tile " << shard << " owns no cells";
+  }
+}
+
+TEST(ShardMap, AdaptiveColumnsSplitTheHotRegionFiner) {
+  // All load in the first four columns: the boundaries crowd there and the
+  // cold tail collapses into one wide stripe.
+  std::vector<uint64_t> load(16, 0);
+  for (size_t c = 0; c < 4; ++c) load[c] = 100;
+  const lat::ShardMap map = lat::ShardMap::adaptive_columns(16, load, 4);
+  EXPECT_EQ(map.count(), 4u);
+  EXPECT_EQ(map.stripe_width(), 0);  // explicit boundaries
+  EXPECT_EQ(map.shard_of_column(0), 0u);
+  EXPECT_EQ(map.shard_of_column(1), 1u);
+  EXPECT_EQ(map.shard_of_column(2), 2u);
+  EXPECT_EQ(map.shard_of_column(3), 3u);
+  EXPECT_EQ(map.shard_of_column(15), 3u);
+  EXPECT_NE(map.describe().find("adaptive"), std::string::npos);
+}
+
+TEST(ShardMap, AdaptiveWithZeroLoadFallsBackToUniform) {
+  const std::vector<uint64_t> load(8, 0);
+  const lat::ShardMap map = lat::ShardMap::adaptive_columns(8, load, 4);
+  EXPECT_EQ(map.count(), 4u);
+  EXPECT_EQ(map.stripe_width(), 2);
+}
+
+TEST(ShardMap, RestripedSpreadsAPreviousRunsLoad) {
+  // Shard 0 of a uniform 4-stripe map did 100x the work: the re-striped
+  // map gives its columns three of the four stripes.
+  const lat::ShardMap uniform(16, 4);
+  const std::vector<uint64_t> shard_events = {1000, 10, 10, 10};
+  const lat::ShardMap map = lat::ShardMap::restriped(uniform, shard_events, 4);
+  EXPECT_EQ(map.count(), 4u);
+  EXPECT_EQ(map.first_column(0), 0);
+  EXPECT_LE(map.first_column(3), 4);  // stripes 0-2 all inside old shard 0
+  // Every column still maps to exactly one in-range shard, monotonically.
+  size_t prev = 0;
+  for (int32_t x = 0; x < 16; ++x) {
+    const size_t shard = map.shard_of_column(x);
+    ASSERT_LT(shard, map.count());
+    ASSERT_GE(shard, prev);
+    prev = shard;
+  }
+  EXPECT_EQ(prev, map.count() - 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -287,31 +370,152 @@ TEST(ShardedDeterminism, RerunReproducesByteIdentically) {
 }
 
 // ---------------------------------------------------------------------------
-// ShardWorkerPool
+// Shard-map kinds drive whole sessions
 // ---------------------------------------------------------------------------
 
-TEST(ShardWorkerPool, RunsEveryJobExactlyOnce) {
-  sim::ShardWorkerPool pool(4);
-  std::vector<std::atomic<int>> hits(64);
-  pool.run(64, [&](size_t i) { hits[i].fetch_add(1); });
-  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+// Row stripes and tiles are full peers of the column map: sessions finish,
+// the oracle stays clean, outcome metrics match the classic engine, and the
+// thread-count determinism contract holds per map.
+TEST(ShardedSession, RowMapMatchesClassicOutcome) {
+  core::SessionConfig config;
+  config.sim.shard_map = lat::ShardMapKind::kRows;
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun classic = run_session(scenario, {}, 1, 1);
+  const SessionRun serial = run_session(scenario, config, 3, 1);
+  const SessionRun parallel = run_session(scenario, config, 3, 4);
+
+  ASSERT_TRUE(serial.result.complete);
+  EXPECT_TRUE(oracle_clean(serial));
+  EXPECT_TRUE(oracle_clean(parallel));
+  EXPECT_EQ(serial.event_trace, parallel.event_trace);
+  EXPECT_EQ(serial.move_trace, parallel.move_trace);
+  EXPECT_EQ(serial.result.hops, classic.result.hops);
+  EXPECT_EQ(serial.result.elementary_moves, classic.result.elementary_moves);
 }
 
-TEST(ShardWorkerPool, ReusableAcrossRounds) {
-  sim::ShardWorkerPool pool(3);
-  std::atomic<int> total{0};
-  for (int round = 0; round < 50; ++round) {
-    pool.run(5, [&](size_t) { total.fetch_add(1); });
+TEST(ShardedSession, TileMapMatchesClassicOutcome) {
+  core::SessionConfig config;
+  config.sim.shard_map = lat::ShardMapKind::kTiles;
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun classic = run_session(scenario, {}, 1, 1);
+  const SessionRun serial = run_session(scenario, config, 4, 1);
+  const SessionRun parallel = run_session(scenario, config, 4, 4);
+
+  ASSERT_TRUE(serial.result.complete);
+  EXPECT_TRUE(oracle_clean(serial));
+  EXPECT_TRUE(oracle_clean(parallel));
+  EXPECT_EQ(serial.event_trace, parallel.event_trace);
+  EXPECT_EQ(serial.move_trace, parallel.move_trace);
+  EXPECT_EQ(serial.result.hops, classic.result.hops);
+}
+
+// Feeding a run's per-shard event counts back as load hints re-stripes the
+// columns; the adapted map is still a deterministic, oracle-clean engine.
+TEST(ShardedSession, AdaptiveHintsKeepDeterminism) {
+  const lat::Scenario scenario = lat::make_tower_scenario(8);
+  const SessionRun pilot = run_session(scenario, {}, 3, 1);
+  ASSERT_TRUE(pilot.result.complete);
+  ASSERT_EQ(pilot.result.shard_events.size(), 3u);
+
+  core::SessionConfig config;
+  config.sim.shard_load_hints = pilot.result.shard_events;
+  const lat::Scenario rerun = lat::make_tower_scenario(8);
+  const SessionRun serial = run_session(rerun, config, 3, 1);
+  const SessionRun parallel = run_session(rerun, config, 3, 4);
+
+  ASSERT_TRUE(serial.result.complete);
+  EXPECT_TRUE(oracle_clean(serial));
+  EXPECT_TRUE(oracle_clean(parallel));
+  EXPECT_EQ(serial.event_trace, parallel.event_trace);
+  EXPECT_EQ(serial.move_trace, parallel.move_trace);
+  EXPECT_EQ(serial.result.hops, pilot.result.hops);
+}
+
+// ---------------------------------------------------------------------------
+// WindowBarrier / ShardEngine
+// ---------------------------------------------------------------------------
+
+TEST(WindowBarrier, RunsTheSerialSectionOncePerRendezvous) {
+  constexpr uint32_t kThreads = 4;
+  constexpr int kRounds = 200;
+  sim::WindowBarrier barrier(kThreads);
+  int serial_runs = 0;  // written only inside the serial section
+  std::atomic<int> parallel_work{0};
+  auto participant = [&] {
+    for (int round = 0; round < kRounds; ++round) {
+      parallel_work.fetch_add(1, std::memory_order_relaxed);
+      barrier.arrive([&] { ++serial_runs; });
+    }
+  };
+  std::vector<std::thread> threads;
+  for (uint32_t t = 1; t < kThreads; ++t) threads.emplace_back(participant);
+  participant();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serial_runs, kRounds);
+  EXPECT_EQ(parallel_work.load(), kRounds * static_cast<int>(kThreads));
+}
+
+TEST(ShardEngine, CyclesFoldIntegrateDecideDrainRounds) {
+  constexpr size_t kShards = 6;
+  sim::ShardEngine engine(3, kShards);
+  EXPECT_EQ(engine.threads(), 3u);
+  int folds = 0;
+  int windows = 0;
+  std::atomic<int> integrates{0};
+  std::atomic<int> drains{0};
+  sim::ShardEngine::Hooks hooks;
+  hooks.fold = [&] { ++folds; };
+  hooks.integrate = [&](size_t) { integrates.fetch_add(1); };
+  hooks.decide = [&](sim::SimTime* window_end) {
+    if (windows == 4) return false;
+    *window_end = static_cast<sim::SimTime>(++windows);
+    return true;
+  };
+  hooks.drain = [&](size_t, sim::SimTime) { drains.fetch_add(1); };
+  engine.run(hooks);
+  // 4 windows: each preceded by a fold+integrate round, plus the final
+  // round that folds the last window and decides to stop.
+  EXPECT_EQ(folds, 5);
+  EXPECT_EQ(integrates.load(), 5 * static_cast<int>(kShards));
+  EXPECT_EQ(drains.load(), 4 * static_cast<int>(kShards));
+}
+
+TEST(ShardEngine, SingleThreadRunsInline) {
+  sim::ShardEngine engine(1, 3);
+  EXPECT_EQ(engine.threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool inline_drain = true;
+  int windows = 0;
+  sim::ShardEngine::Hooks hooks;
+  hooks.fold = [] {};
+  hooks.integrate = [](size_t) {};
+  hooks.decide = [&](sim::SimTime* window_end) {
+    *window_end = 1;
+    return windows++ < 1;
+  };
+  hooks.drain = [&](size_t, sim::SimTime) {
+    inline_drain = inline_drain && std::this_thread::get_id() == caller;
+  };
+  engine.run(hooks);
+  EXPECT_TRUE(inline_drain);
+}
+
+TEST(ShardEngine, ReusableAcrossRuns) {
+  sim::ShardEngine engine(2, 4);
+  std::atomic<int> drains{0};
+  for (int round = 0; round < 25; ++round) {
+    int windows = 0;
+    sim::ShardEngine::Hooks hooks;
+    hooks.fold = [] {};
+    hooks.integrate = [](size_t) {};
+    hooks.decide = [&](sim::SimTime* window_end) {
+      *window_end = 1;
+      return windows++ < 2;
+    };
+    hooks.drain = [&](size_t, sim::SimTime) { drains.fetch_add(1); };
+    engine.run(hooks);
   }
-  EXPECT_EQ(total.load(), 250);
-}
-
-TEST(ShardWorkerPool, SingleThreadRunsInline) {
-  sim::ShardWorkerPool pool(1);
-  EXPECT_EQ(pool.threads(), 1u);
-  int calls = 0;
-  pool.run(7, [&](size_t) { ++calls; });
-  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(drains.load(), 25 * 2 * 4);
 }
 
 }  // namespace

@@ -242,6 +242,37 @@ TEST(SoaEquivalence, BatchedVerdictRowsMatchTheScalarOracle) {
   }
 }
 
+TEST(SoaEquivalence, WideRowSweepMatchesTheScalarKernel) {
+  // The SIMD row kernel (16 cells per step, SSSE3 bitset gathers) against
+  // the scalar reference, cell for cell. Widths straddle the vector step:
+  // below 16 (pure scalar tail), exact multiples (no tail), and odd
+  // offsets around them (worst-case tails). On hosts without SSSE3 the
+  // wide kernel falls back to the scalar one and the test pins that too.
+  Rng rng(0x51DE0ULL);
+  for (const int32_t width : {5, 15, 16, 17, 31, 32, 33, 48, 61}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      lat::Grid grid(width, 12);
+      uint32_t next_id = 1;
+      for (int32_t y = 0; y < grid.height(); ++y) {
+        for (int32_t x = 0; x < width; ++x) {
+          // Trial 0 is fully occupied (every cell takes the 0xFF full-ring
+          // mask); later trials thin out at random.
+          if (trial != 0 && rng.next_in(0, 2) != 0) continue;
+          grid.place(lat::BlockId{next_id++}, {x, y});
+        }
+      }
+      std::vector<uint8_t> scalar(static_cast<size_t>(width), 0xAA);
+      std::vector<uint8_t> wide(static_cast<size_t>(width), 0x55);
+      for (int32_t y = 0; y < grid.height(); ++y) {
+        lat::detail::compute_removal_row_scalar(grid, y, scalar.data());
+        lat::detail::compute_removal_row_wide(grid, y, wide.data());
+        ASSERT_EQ(wide, scalar)
+            << "width " << width << " trial " << trial << " row " << y;
+      }
+    }
+  }
+}
+
 TEST(SoaEquivalence, LocalChecksAgreeAcrossThePathSelector) {
   // local_removal_check routes through the row cache sequentially and
   // through the scalar lookup under a scratch view; both must answer

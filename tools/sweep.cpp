@@ -29,6 +29,7 @@
 // grid (the CI dist-smoke and dist-chaos jobs diff the backends this way,
 // across coordinator kills and worker reconnects).
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -248,6 +249,26 @@ int emit_report(runner::BenchReport& report, const CliParser& cli,
                 group.runs, group.completed, group.events_per_sec.mean,
                 group.hops.mean, group.elementary_moves.mean,
                 group.conn_fast_rate.mean);
+    if (group.shards < 2) continue;
+    // Shard-load diagnostic: a pathological map shows up as a busiest
+    // shard far above the mean (imbalance 1.0 = perfectly balanced).
+    uint64_t lightest = UINT64_MAX;
+    uint64_t busiest = 0;
+    for (const runner::RunRow& row : report.rows()) {
+      if (row.scenario != group.scenario || row.ruleset != group.ruleset) {
+        continue;
+      }
+      for (const uint64_t events : row.shard_events) {
+        lightest = std::min(lightest, events);
+        busiest = std::max(busiest, events);
+      }
+    }
+    if (busiest == 0) continue;
+    std::printf("  %-10s shard events min %llu max %llu imbalance %.2fx "
+                "(busiest/mean)\n",
+                "", static_cast<unsigned long long>(lightest),
+                static_cast<unsigned long long>(busiest),
+                group.shard_imbalance.mean);
   }
 
   const std::string json_path = cli.get_string("json");

@@ -146,6 +146,7 @@ SessionResult ReconfigurationSession::run() {
   result.events_processed = stats.events_processed;
   result.shards = simulator_->shard_count();
   result.shard_events = simulator_->shard_event_counts();
+  result.phases = simulator_->phase_breakdown();
   result.sim_ticks = simulator_->now();
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();

@@ -92,6 +92,9 @@ struct SessionResult {
   /// The scalar counters above are the per-shard counters merged via
   /// util::FlatCounts / SimStats::accumulate.
   std::vector<uint64_t> shard_events;
+  /// Round-phase wall-clock totals from the shard engine (all-zero when
+  /// shards == 1); barrier_wait_fraction() is the headline number.
+  sim::PhaseBreakdown phases;
 
   // Outcome.
   size_t block_count = 0;

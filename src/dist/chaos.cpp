@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/fmt.hpp"
 #include "util/log.hpp"
 #include "util/string_util.hpp"
@@ -137,6 +138,7 @@ Action hit(std::string_view point) {
     fault = match->fault;
     delay_ms = match->delay_ms;
   }
+  obs::TraceWriter::instance().instant("chaos", "dist", {{"hit", ordinal}});
   switch (fault) {
     case Fault::kKill:
       // Abrupt, SIGKILL-grade: no destructors, no stream flushes, no

@@ -113,4 +113,8 @@ Client::JobStatus Client::cancel(uint64_t job) {
   return {reply.job, reply.state, reply.merged, reply.total};
 }
 
+util::JsonValue Client::metrics() {
+  return request(Message::metrics_request(), MsgType::kMetricsReport).metrics;
+}
+
 }  // namespace sb::dist

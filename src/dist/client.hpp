@@ -63,6 +63,13 @@ class Client {
   /// Cancels a running job (idempotent); returns its final status.
   JobStatus cancel(uint64_t job);
 
+  /// Snapshot of the coordinator's live metrics: service counters and
+  /// gauges under "metrics" (obs::Registry JSON — queue depth, in-flight
+  /// units, reassignments, journal fsync latency) and a per-worker listing
+  /// under "workers" (cores, memory_mb, heartbeat gap histogram). Shape in
+  /// docs/OBSERVABILITY.md.
+  [[nodiscard]] util::JsonValue metrics();
+
  private:
   [[nodiscard]] Message request(const Message& message, MsgType expected);
 

@@ -14,6 +14,8 @@
 #include "dist/chaos.hpp"
 #include "dist/protocol.hpp"
 #include "dist/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runner/merge.hpp"
 #include "runner/sweep.hpp"
 #include "util/fmt.hpp"
@@ -70,6 +72,28 @@ struct Coordinator::Impl {
     Clock::time_point deadline;
   };
   std::vector<InFlight> in_flight;
+  /// Every worker connection ever seen (disconnected ones stay, flagged,
+  /// so --status can show a fleet's history). The heartbeat inter-arrival
+  /// histogram is the liveness latency signal: its spread over the worker's
+  /// configured heartbeat period is queueing + network delay, and a fat
+  /// tail means a stalled or overloaded worker.
+  struct WorkerInfo {
+    uint64_t conn_id = 0;
+    uint64_t pid = 0;
+    size_t cores = 1;
+    uint64_t memory_mb = 0;
+    uint64_t units_dispatched = 0;
+    uint64_t results_merged = 0;
+    uint64_t heartbeats = 0;
+    obs::Histogram heartbeat_gap_ms;
+    std::optional<Clock::time_point> last_heartbeat;
+    bool connected = true;
+  };
+  std::vector<WorkerInfo> workers;
+  /// Service event counters (reassignments, dispatches, merges); the
+  /// `metrics` verb merges a snapshot of obs::service() (journal fsync
+  /// latency) into it.
+  obs::Registry service_registry;
   bool has_primary = false;
   bool stopping = false;
   uint64_t next_conn_id = 1;
@@ -91,6 +115,13 @@ struct Coordinator::Impl {
   [[nodiscard]] Job* find_job_locked(uint64_t id) {
     const auto it = jobs.find(id);
     return it == jobs.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] WorkerInfo* find_worker_locked(uint64_t conn_id) {
+    for (WorkerInfo& worker : workers) {
+      if (worker.conn_id == conn_id) return &worker;
+    }
+    return nullptr;
   }
 
   /// The unit `job`'s own partition assigns to `id` (units are contiguous
@@ -141,6 +172,7 @@ struct Coordinator::Impl {
     if (job.state != JobState::kRunning) return;
     if (job.merger.has(unit.begin)) return;
     job.pending.push_back(unit);
+    service_registry.add("coord.reassignments");
     log(fmt("job {} unit {} [{}, {}) requeued ({})", job.id, unit.id,
             unit.begin, unit.end, why));
   }
@@ -199,6 +231,7 @@ struct Coordinator::Impl {
     if (job->merger.has(unit.begin)) {
       // Late redelivery of an already-merged batch (timeout reassignment or
       // a reconnecting worker replaying its unacknowledged result).
+      service_registry.add("coord.duplicates_dropped");
       log(fmt("dropped duplicate result for job {} unit {} from "
               "connection {}",
               job->id, unit.id, conn_id));
@@ -225,6 +258,10 @@ struct Coordinator::Impl {
           fmt("job {} unit {} journaled but not merged", job->id, unit.id));
     }
     job->merge_log.push_back(unit);
+    service_registry.add("coord.results_merged");
+    if (WorkerInfo* worker = find_worker_locked(conn_id)) {
+      worker->results_merged += 1;
+    }
     // The batch is journaled and merged — the documented coord.merge
     // instant. kill here models a crash after durability but before the
     // worker's ack, which resume + duplicate-drop must absorb.
@@ -242,6 +279,10 @@ struct Coordinator::Impl {
   // --- threads ------------------------------------------------------------
 
   void handle_connection(Socket socket, uint64_t conn_id) {
+    obs::TraceWriter& tracer = obs::TraceWriter::instance();
+    if (tracer.enabled()) {
+      tracer.set_thread_name(fmt("coord-conn-{}", conn_id));
+    }
     try {
       serve_connection(socket, conn_id);
     } catch (const std::exception& error) {
@@ -249,6 +290,9 @@ struct Coordinator::Impl {
     }
     std::lock_guard<std::mutex> lock(mu);
     abandon_connection_locked(conn_id, "peer died");
+    if (WorkerInfo* worker = find_worker_locked(conn_id)) {
+      worker->connected = false;
+    }
     cv.notify_all();
   }
 
@@ -270,6 +314,15 @@ struct Coordinator::Impl {
     } else {
       log(fmt("worker connected (connection {}, pid {}, {} cores, {} MB)",
               conn_id, hello.worker_pid, hello.cores, hello.memory_mb));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        WorkerInfo worker;
+        worker.conn_id = conn_id;
+        worker.pid = hello.worker_pid;
+        worker.cores = hello.cores;
+        worker.memory_mb = hello.memory_mb;
+        workers.push_back(std::move(worker));
+      }
       serve_worker(socket, conn_id, hello.cores);
     }
   }
@@ -317,9 +370,29 @@ struct Coordinator::Impl {
       if (frame.status == RecvStatus::kClosed) return;  // orderly exit
       const Message message = decode(frame.payload);
       switch (message.type) {
-        case MsgType::kHeartbeat:
-          break;  // liveness only — the recv timeout just reset
+        case MsgType::kHeartbeat: {
+          // Liveness (the recv timeout just reset) plus latency: the gap
+          // between consecutive heartbeats, against the worker's fixed
+          // send period, measures delivery + scheduling delay.
+          std::lock_guard<std::mutex> lock(mu);
+          service_registry.add("coord.heartbeats");
+          if (WorkerInfo* worker = find_worker_locked(conn_id)) {
+            const Clock::time_point now = Clock::now();
+            worker->heartbeats += 1;
+            if (worker->last_heartbeat.has_value()) {
+              const auto gap =
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now - *worker->last_heartbeat);
+              worker->heartbeat_gap_ms.record(
+                  static_cast<uint64_t>(gap.count()));
+            }
+            worker->last_heartbeat = now;
+          }
+          break;
+        }
         case MsgType::kResult: {
+          obs::TraceSpan span("merge", "dist",
+                              {{"job", message.job}, {"unit", message.unit.id}});
           std::lock_guard<std::mutex> lock(mu);
           merge_result_locked(message, conn_id);
           break;
@@ -341,6 +414,13 @@ struct Coordinator::Impl {
         }
         case MsgType::kPull: {
           const std::optional<Claim> claim = claim_unit(conn_id, cores);
+          if (claim.has_value()) {
+            obs::TraceWriter& tracer = obs::TraceWriter::instance();
+            if (tracer.enabled()) {
+              tracer.instant("dispatch", "dist",
+                             {{"job", claim->job}, {"unit", claim->unit.id}});
+            }
+          }
           if (!claim.has_value()) {
             // Service wound down while this worker waited; tell it to stop
             // (unless the proactive stop above already did) and keep
@@ -453,6 +533,15 @@ struct Coordinator::Impl {
           stream_job(socket, message.job);
           break;
         }
+        case MsgType::kMetrics: {
+          Message reply;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            reply = Message::metrics_report(build_metrics_locked());
+          }
+          socket.send_frame(encode(reply));
+          break;
+        }
         case MsgType::kJobRequest: {
           // Clients may ask for a job's grid description too (a fetching
           // client rebuilds the report header from it).
@@ -523,6 +612,69 @@ struct Coordinator::Impl {
     }
   }
 
+  /// The `metrics` reply payload: service registry snapshot (event
+  /// counters + journal fsync latency from obs::service()) with live
+  /// queue/fleet gauges, plus a per-worker listing. Shape documented in
+  /// docs/OBSERVABILITY.md.
+  [[nodiscard]] util::JsonValue build_metrics_locked() const {
+    obs::Registry registry = obs::service().snapshot();
+    registry.merge(service_registry);
+    size_t queue_depth = 0;
+    size_t running = 0;
+    size_t done = 0;
+    size_t cancelled = 0;
+    for (const auto& [id, job] : jobs) {
+      switch (job.state) {
+        case JobState::kRunning:
+          running += 1;
+          queue_depth += job.pending.size();
+          break;
+        case JobState::kDone: done += 1; break;
+        case JobState::kCancelled: cancelled += 1; break;
+      }
+    }
+    size_t connected = 0;
+    for (const WorkerInfo& worker : workers) {
+      if (worker.connected) connected += 1;
+    }
+    registry.set_gauge("coord.queue_depth", static_cast<double>(queue_depth));
+    registry.set_gauge("coord.in_flight", static_cast<double>(in_flight.size()));
+    registry.set_gauge("coord.jobs_running", static_cast<double>(running));
+    registry.set_gauge("coord.jobs_done", static_cast<double>(done));
+    registry.set_gauge("coord.jobs_cancelled", static_cast<double>(cancelled));
+    registry.set_gauge("coord.workers_connected",
+                       static_cast<double>(connected));
+    util::JsonValue out = util::JsonValue::object();
+    out["metrics"] = registry.to_json();
+    util::JsonValue listing = util::JsonValue::array();
+    const Clock::time_point now = Clock::now();
+    for (const WorkerInfo& worker : workers) {
+      util::JsonValue w = util::JsonValue::object();
+      w["conn"] = util::JsonValue(worker.conn_id);
+      w["pid"] = util::JsonValue(worker.pid);
+      w["cores"] = util::JsonValue(worker.cores);
+      w["memory_mb"] = util::JsonValue(worker.memory_mb);
+      w["connected"] = util::JsonValue(worker.connected);
+      w["units_dispatched"] = util::JsonValue(worker.units_dispatched);
+      w["results_merged"] = util::JsonValue(worker.results_merged);
+      w["heartbeats"] = util::JsonValue(worker.heartbeats);
+      w["heartbeat_gap_ms"] = worker.heartbeat_gap_ms.to_json();
+      w["heartbeat_gap_mean_ms"] =
+          util::JsonValue(worker.heartbeat_gap_ms.mean());
+      w["heartbeat_gap_p95_ms"] = util::JsonValue(
+          static_cast<double>(worker.heartbeat_gap_ms.quantile_bound(0.95)));
+      if (worker.last_heartbeat.has_value()) {
+        const auto ago = std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - *worker.last_heartbeat);
+        w["last_heartbeat_ms_ago"] =
+            util::JsonValue(static_cast<double>(ago.count()));
+      }
+      listing.push_back(std::move(w));
+    }
+    out["workers"] = std::move(listing);
+    return out;
+  }
+
   struct Claim {
     uint64_t job = 0;
     WorkUnit unit;
@@ -549,6 +701,10 @@ struct Coordinator::Impl {
             {id, unit, conn_id,
              Clock::now() +
                  std::chrono::milliseconds(options.unit_timeout_ms)});
+        service_registry.add("coord.units_dispatched");
+        if (WorkerInfo* worker = find_worker_locked(conn_id)) {
+          worker->units_dispatched += 1;
+        }
         return Claim{id, unit};
       }
       cv.wait(lock);

@@ -4,11 +4,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runner/serialize.hpp"
 #include "util/fmt.hpp"
 #include "util/json.hpp"
@@ -139,6 +142,9 @@ JournalWriter JournalWriter::append_to(const std::string& path) {
 }
 
 void JournalWriter::append_line(const std::string& line) {
+  const obs::TraceSpan span("journal_fsync", "dist",
+                            {{"bytes", line.size() + 1}});
+  const auto start = std::chrono::steady_clock::now();
   // One write per record: O_APPEND makes the offset atomic, and a crash
   // mid-call tears at most this line — which read_journal drops.
   std::string wire = line;
@@ -158,6 +164,10 @@ void JournalWriter::append_line(const std::string& line) {
   if (::fdatasync(fd_) != 0) {
     throw_errno(fmt("journal '{}' fsync failed", path_));
   }
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  obs::service().record("journal.fsync_us",
+                        static_cast<uint64_t>(micros.count()));
 }
 
 void JournalWriter::record_job(const JournalJob& job) {

@@ -74,6 +74,8 @@ std::string_view to_string(MsgType type) {
     case MsgType::kFetch: return "fetch";
     case MsgType::kJobDone: return "job_done";
     case MsgType::kCancel: return "cancel";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kMetricsReport: return "metrics_report";
   }
   return "?";
 }
@@ -216,6 +218,19 @@ Message Message::cancel(uint64_t job) {
   return m;
 }
 
+Message Message::metrics_request() {
+  Message m;
+  m.type = MsgType::kMetrics;
+  return m;
+}
+
+Message Message::metrics_report(util::JsonValue metrics) {
+  Message m;
+  m.type = MsgType::kMetricsReport;
+  m.metrics = std::move(metrics);
+  return m;
+}
+
 std::string encode(const Message& message) {
   JsonValue out = JsonValue::object();
   out["type"] = JsonValue(to_string(message.type));
@@ -272,10 +287,14 @@ std::string encode(const Message& message) {
       out["job"] = JsonValue(message.job);
       out["state"] = JsonValue(to_string(message.state));
       break;
+    case MsgType::kMetricsReport:
+      out["metrics"] = message.metrics;
+      break;
     case MsgType::kWelcome:
     case MsgType::kPull:
     case MsgType::kHeartbeat:
-    case MsgType::kStop: break;
+    case MsgType::kStop:
+    case MsgType::kMetrics: break;
   }
   return out.dump();
 }
@@ -369,6 +388,11 @@ Message decode(const std::string& payload) {
   } else if (type == "cancel") {
     m.type = MsgType::kCancel;
     m.job = static_cast<uint64_t>(get_size(json, "job"));
+  } else if (type == "metrics") {
+    m.type = MsgType::kMetrics;
+  } else if (type == "metrics_report") {
+    m.type = MsgType::kMetricsReport;
+    m.metrics = require(json, "metrics", JsonValue::Kind::kObject);
   } else {
     throw std::runtime_error("unknown dist message type '" + type + "'");
   }

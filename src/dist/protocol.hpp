@@ -34,6 +34,9 @@
 //                                 <- job_done{job, state}
 //   cancel{job}                   ->
 //                                 <- job_status{job, cancelled, ...}
+//   metrics{}                     ->
+//                                 <- metrics_report{metrics}   (service-wide
+//                                    queue/worker/journal metrics snapshot)
 //
 // The job message carries the runner::SweepCliOptions grid description; the
 // worker re-materializes the identical RunSpec list locally (seed forking is
@@ -47,6 +50,7 @@
 
 #include "runner/cli_options.hpp"
 #include "runner/report.hpp"
+#include "util/json.hpp"
 
 namespace sb::dist {
 
@@ -72,6 +76,8 @@ enum class MsgType {
   kFetch,
   kJobDone,
   kCancel,
+  kMetrics,
+  kMetricsReport,
 };
 
 [[nodiscard]] std::string_view to_string(MsgType type);
@@ -125,6 +131,11 @@ struct Message {
   JobState state = JobState::kRunning;
   size_t merged = 0;
   size_t total = 0;
+  // kMetricsReport: the coordinator's service metrics snapshot (queue
+  // depth, in-flight units, per-worker listing — dist/coordinator.cpp
+  // builds it, docs/OBSERVABILITY.md documents the shape). Carried as an
+  // opaque JSON object so the wire schema can grow without protocol bumps.
+  util::JsonValue metrics;
 
   [[nodiscard]] static Message hello(uint64_t pid, Role role, size_t cores,
                                      uint64_t memory_mb);
@@ -147,6 +158,8 @@ struct Message {
   [[nodiscard]] static Message fetch(uint64_t job);
   [[nodiscard]] static Message job_done(uint64_t job, JobState state);
   [[nodiscard]] static Message cancel(uint64_t job);
+  [[nodiscard]] static Message metrics_request();
+  [[nodiscard]] static Message metrics_report(util::JsonValue metrics);
 };
 
 /// Serializes to the JSON frame payload.

@@ -16,6 +16,7 @@
 
 #include "dist/chaos.hpp"
 #include "dist/protocol.hpp"
+#include "obs/trace.hpp"
 #include "dist/socket.hpp"
 #include "runner/sweep.hpp"
 #include "util/fmt.hpp"
@@ -167,6 +168,10 @@ struct WorkerLoop {
       throw std::runtime_error("coordinator did not say welcome");
     }
     session_established = true;
+    if (obs::TraceWriter::instance().enabled()) {
+      obs::TraceWriter::instance().set_thread_name(
+          fmt("worker-{}", static_cast<int>(::getpid())));
+    }
     log(fmt("connected to {}:{} ({} cores, {} MB announced)", options.host,
             options.port, cores, memory_mb));
 
@@ -250,11 +255,15 @@ struct WorkerLoop {
         chaos::hit(chaos::kWorkerUnit);
         std::vector<runner::RunRow> rows;
         rows.reserve(unit.size());
-        for (size_t index = unit.begin; index < unit.end; ++index) {
-          rows.push_back(runner::execute_run((*specs)[index],
-                                             /*capture_trace=*/false,
-                                             options.shard_threads)
-                             .row);
+        {
+          const obs::TraceSpan span(
+              "unit", "dist", {{"job", message.job}, {"unit", unit.id}});
+          for (size_t index = unit.begin; index < unit.end; ++index) {
+            rows.push_back(runner::execute_run((*specs)[index],
+                                               /*capture_trace=*/false,
+                                               options.shard_threads)
+                               .row);
+          }
         }
         Message result = Message::result(message.job, unit, std::move(rows));
         // Remember the result before any bytes hit the wire: a connection
@@ -311,6 +320,8 @@ struct WorkerLoop {
         std::uniform_int_distribution<int> jitter(delay / 2,
                                                   std::max(delay, 1));
         const int sleep_ms = jitter(jitter_rng);
+        obs::TraceWriter::instance().instant("reconnect", "dist",
+                                             {{"attempt", attempt + 1}});
         log(fmt("connection lost ({}); reconnect attempt {} in {} ms",
                 error.what(), attempt + 1, sleep_ms));
         std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));

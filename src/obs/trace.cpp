@@ -1,0 +1,177 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace sb::obs {
+
+namespace {
+
+uint64_t steady_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<uint32_t> g_next_tid{1};
+
+uint32_t tls_thread_id() {
+  thread_local uint32_t id = 0;
+  if (id == 0) id = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceWriter& TraceWriter::instance() {
+  static TraceWriter writer;
+  return writer;
+}
+
+void TraceWriter::enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  epoch_ns_ = steady_ns();
+  generation_ += 1;
+  pid_ = static_cast<int>(::getpid());
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceWriter::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+uint64_t TraceWriter::now_us() const {
+  if (!enabled()) return 0;
+  return (steady_ns() - epoch_ns_) / 1000;
+}
+
+uint32_t TraceWriter::thread_id() { return tls_thread_id(); }
+
+void TraceWriter::set_thread_name(const std::string& name) {
+  if (!enabled()) return;
+  // One metadata event per distinct name per capture; shard workers re-name
+  // their thread every run, so cache the last emission per thread.
+  struct NameCache {
+    uint64_t generation = 0;
+    std::string name;
+  };
+  thread_local NameCache cache;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache.generation == generation_ && cache.name == name) return;
+    cache.generation = generation_;
+    cache.name = name;
+  }
+  Event event;
+  event.name = "thread_name";
+  event.category = "__metadata";
+  event.phase = 'M';
+  event.tid = thread_id();
+  event.ts_us = now_us();
+  event.string_arg = name;
+  push(std::move(event));
+}
+
+void TraceWriter::begin(const char* name, const char* category,
+                        std::initializer_list<Arg> args) {
+  if (!enabled()) return;
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'B';
+  event.tid = thread_id();
+  event.ts_us = now_us();
+  for (const Arg& arg : args) event.args.emplace_back(arg.first, arg.second);
+  push(std::move(event));
+}
+
+void TraceWriter::end(const char* name, const char* category) {
+  if (!enabled()) return;
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'E';
+  event.tid = thread_id();
+  event.ts_us = now_us();
+  push(std::move(event));
+}
+
+void TraceWriter::instant(const char* name, const char* category,
+                          std::initializer_list<Arg> args) {
+  if (!enabled()) return;
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.tid = thread_id();
+  event.ts_us = now_us();
+  for (const Arg& arg : args) event.args.emplace_back(arg.first, arg.second);
+  push(std::move(event));
+}
+
+uint64_t TraceWriter::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceWriter::push(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_ += 1;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+util::JsonValue TraceWriter::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::JsonValue trace = util::JsonValue::object();
+  util::JsonValue events = util::JsonValue::array();
+  for (const Event& event : events_) {
+    util::JsonValue json = util::JsonValue::object();
+    json["name"] = event.name;
+    json["cat"] = event.category;
+    json["ph"] = std::string(1, event.phase);
+    json["pid"] = pid_;
+    json["tid"] = event.tid;
+    json["ts"] = event.ts_us;
+    if (event.phase == 'i') json["s"] = "t";  // thread-scoped instant
+    if (event.phase == 'M') {
+      util::JsonValue args = util::JsonValue::object();
+      args["name"] = event.string_arg;
+      json["args"] = std::move(args);
+    } else if (!event.args.empty()) {
+      util::JsonValue args = util::JsonValue::object();
+      for (const auto& [key, value] : event.args) args[key] = value;
+      json["args"] = std::move(args);
+    }
+    events.push_back(std::move(json));
+  }
+  trace["traceEvents"] = std::move(events);
+  if (dropped_ > 0) trace["sb_dropped_events"] = dropped_;
+  return trace;
+}
+
+bool TraceWriter::write_file(const std::string& path) const {
+  const std::string text = to_json().dump(2);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  return written == text.size() && closed;
+}
+
+void TraceWriter::reset_for_tests() {
+  enabled_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  generation_ += 1;
+}
+
+}  // namespace sb::obs

@@ -1,0 +1,118 @@
+#pragma once
+// Chrome Trace Event Format writer (Perfetto / chrome://tracing loadable).
+//
+// One process-wide buffer behind a mutex; emission is gated on a relaxed
+// atomic so a disabled writer costs one load and a branch per call site.
+// All spans are B/E duration pairs stamped at the moment they happen (never
+// retroactive "X" events), so within one thread the buffer is ordered by
+// timestamp and nests by construction — tools/trace_check.cpp and
+// tests/obs_test.cpp verify both properties on real output. Timestamps are
+// microseconds on the steady clock since enable().
+//
+// docs/OBSERVABILITY.md documents the event catalog and how to load a
+// trace in Perfetto.
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace sb::obs {
+
+class TraceWriter {
+ public:
+  /// One numeric argument attached to an event ("shard": 3, "unit": 17).
+  using Arg = std::pair<const char*, uint64_t>;
+
+  static TraceWriter& instance();
+
+  /// Starts capturing: clears the buffer and stamps the timestamp epoch.
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since enable(); 0 when disabled.
+  [[nodiscard]] uint64_t now_us() const;
+
+  /// Names the calling thread in the trace (emits a "M"/thread_name
+  /// metadata event once per distinct name per capture).
+  void set_thread_name(const std::string& name);
+
+  /// Duration span open/close on the calling thread. Calls must nest.
+  void begin(const char* name, const char* category,
+             std::initializer_list<Arg> args = {});
+  void end(const char* name, const char* category);
+
+  /// Thread-scoped instant event.
+  void instant(const char* name, const char* category,
+               std::initializer_list<Arg> args = {});
+
+  /// Events dropped after the buffer cap was hit (0 in healthy captures).
+  [[nodiscard]] uint64_t dropped() const;
+
+  /// The whole capture as {"traceEvents": [...]}.
+  [[nodiscard]] util::JsonValue to_json() const;
+  /// Serializes to_json() to `path`; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  void reset_for_tests();
+
+ private:
+  struct Event {
+    std::string name;
+    const char* category;
+    char phase;  // 'B', 'E', 'i', 'M'
+    uint32_t tid;
+    uint64_t ts_us;
+    std::vector<std::pair<std::string, uint64_t>> args;
+    std::string string_arg;  // thread_name payload for 'M'
+  };
+
+  static constexpr size_t kMaxEvents = size_t{1} << 20;
+
+  void push(Event event);
+  static uint32_t thread_id();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  uint64_t epoch_ns_ = 0;
+  uint64_t generation_ = 0;  // invalidates per-thread name caches
+  uint64_t dropped_ = 0;
+  int pid_ = 0;
+};
+
+/// RAII span: opens on construction when tracing is enabled, closes on
+/// destruction. Capture state is latched at construction so an enable()
+/// racing the span cannot emit an unmatched "E".
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category,
+            std::initializer_list<TraceWriter::Arg> args = {})
+      : name_(name), category_(category) {
+    TraceWriter& writer = TraceWriter::instance();
+    if (writer.enabled()) {
+      active_ = true;
+      writer.begin(name_, category_, args);
+    }
+  }
+  ~TraceSpan() {
+    if (active_) TraceWriter::instance().end(name_, category_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool active_ = false;
+};
+
+}  // namespace sb::obs

@@ -31,6 +31,14 @@ RunRow make_row(const std::string& scenario, const std::string& ruleset,
   row.conn_fast_hits = result.conn_fast_hits;
   row.conn_slow_floods = result.conn_slow_floods;
   row.shard_events = result.shard_events;
+  row.phase_fold_s = static_cast<double>(result.phases.fold_ns) * 1e-9;
+  row.phase_integrate_s =
+      static_cast<double>(result.phases.integrate_ns) * 1e-9;
+  row.phase_decide_s = static_cast<double>(result.phases.decide_ns) * 1e-9;
+  row.phase_drain_s = static_cast<double>(result.phases.drain_ns) * 1e-9;
+  row.phase_barrier_wait_s =
+      static_cast<double>(result.phases.barrier_wait_ns) * 1e-9;
+  row.barrier_wait_fraction = result.phases.barrier_wait_fraction();
   row.stop_reason = result.stop_reason;
   return row;
 }
@@ -70,6 +78,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
     Accumulator messages_sent;
     Accumulator conn_fast_rate;
     Accumulator shard_imbalance;
+    Accumulator barrier_wait_fraction;
   };
   std::vector<Group> groups;
   for (const RunRow& row : rows_) {
@@ -96,6 +105,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
     group->messages_sent.add(static_cast<double>(row.messages_sent));
     group->conn_fast_rate.add(row.conn_fast_rate());
     group->shard_imbalance.add(row.shard_imbalance());
+    group->barrier_wait_fraction.add(row.barrier_wait_fraction);
   }
   std::vector<GroupSummary> out;
   out.reserve(groups.size());
@@ -107,6 +117,7 @@ std::vector<GroupSummary> BenchReport::summarize() const {
     g.out.messages_sent = summarize_metric(g.messages_sent);
     g.out.conn_fast_rate = summarize_metric(g.conn_fast_rate);
     g.out.shard_imbalance = summarize_metric(g.shard_imbalance);
+    g.out.barrier_wait_fraction = summarize_metric(g.barrier_wait_fraction);
     out.push_back(std::move(g.out));
   }
   return out;
@@ -146,6 +157,17 @@ util::JsonValue BenchReport::to_json() const {
       }
       r["shard_events"] = std::move(per_shard);
     }
+    if (row.shards > 1) {
+      util::JsonValue phases = util::JsonValue::object();
+      phases["fold_s"] = util::JsonValue(row.phase_fold_s);
+      phases["integrate_s"] = util::JsonValue(row.phase_integrate_s);
+      phases["decide_s"] = util::JsonValue(row.phase_decide_s);
+      phases["drain_s"] = util::JsonValue(row.phase_drain_s);
+      phases["barrier_wait_s"] = util::JsonValue(row.phase_barrier_wait_s);
+      r["phase_seconds"] = std::move(phases);
+      r["barrier_wait_fraction"] =
+          util::JsonValue(row.barrier_wait_fraction);
+    }
     runs.push_back(std::move(r));
   }
   root["runs"] = std::move(runs);
@@ -165,6 +187,7 @@ util::JsonValue BenchReport::to_json() const {
     g["messages_sent"] = metric_json(group.messages_sent);
     g["conn_fast_rate"] = metric_json(group.conn_fast_rate);
     g["shard_imbalance"] = metric_json(group.shard_imbalance);
+    g["barrier_wait_fraction"] = metric_json(group.barrier_wait_fraction);
     summary.push_back(std::move(g));
   }
   root["summary"] = std::move(summary);
@@ -175,6 +198,12 @@ void BenchReport::scrub_timing() {
   for (RunRow& row : rows_) {
     row.wall_seconds = 0.0;
     row.events_per_sec = 0.0;
+    row.phase_fold_s = 0.0;
+    row.phase_integrate_s = 0.0;
+    row.phase_decide_s = 0.0;
+    row.phase_drain_s = 0.0;
+    row.phase_barrier_wait_s = 0.0;
+    row.barrier_wait_fraction = 0.0;
   }
 }
 

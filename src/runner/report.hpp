@@ -40,6 +40,18 @@ struct RunRow {
   /// Cumulative events per shard (empty in classic mode): the raw material
   /// for diagnosing pathological shard maps and for adaptive re-striping.
   std::vector<uint64_t> shard_events;
+  /// Shard-engine round-phase breakdown in seconds of summed worker time
+  /// (all-zero when shards == 1). Wall-clock-derived, so scrub_timing()
+  /// zeroes all five along with barrier_wait_fraction.
+  double phase_fold_s = 0.0;
+  double phase_integrate_s = 0.0;
+  double phase_decide_s = 0.0;
+  double phase_drain_s = 0.0;
+  double phase_barrier_wait_s = 0.0;
+  /// Worker time blocked at the window rendezvous as a share of total
+  /// worker time — the time counterpart of shard_imbalance (0 = never
+  /// waited, 0.75 = three quarters of worker time spent at barriers).
+  double barrier_wait_fraction = 0.0;
   /// Why the run stopped. Travels over the dist wire (runner/serialize) so
   /// remote front ends can apply the same exit-code policy as local ones;
   /// not part of the BENCH_sim.json schema.
@@ -97,6 +109,9 @@ struct GroupSummary {
   /// Per-run busiest-shard/mean load ratio (RunRow::shard_imbalance);
   /// all-zero for unsharded groups.
   MetricSummary shard_imbalance;
+  /// Per-run barrier-wait share of worker time (RunRow::
+  /// barrier_wait_fraction); all-zero for unsharded or scrubbed groups.
+  MetricSummary barrier_wait_fraction;
 };
 
 class BenchReport {
@@ -115,8 +130,9 @@ class BenchReport {
 
   [[nodiscard]] const std::vector<RunRow>& rows() const { return rows_; }
 
-  /// Zeroes the wall-clock-derived fields (wall_seconds, events_per_sec) of
-  /// every row, making to_json_text() a pure function of the grid. The
+  /// Zeroes the wall-clock-derived fields (wall_seconds, events_per_sec,
+  /// the phase breakdown and barrier_wait_fraction) of every row, making
+  /// to_json_text() a pure function of the grid. The
   /// dist-vs-local byte-identity checks compare reports scrubbed on both
   /// sides (docs/BENCHMARKS.md).
   void scrub_timing();

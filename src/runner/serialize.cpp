@@ -68,6 +68,14 @@ JsonValue row_to_json(const RunRow& row) {
     shard_events.push_back(JsonValue(util::hex_u64(events)));
   }
   out["shard_events"] = std::move(shard_events);
+  JsonValue phases = JsonValue::object();
+  phases["fold_s"] = JsonValue(row.phase_fold_s);
+  phases["integrate_s"] = JsonValue(row.phase_integrate_s);
+  phases["decide_s"] = JsonValue(row.phase_decide_s);
+  phases["drain_s"] = JsonValue(row.phase_drain_s);
+  phases["barrier_wait_s"] = JsonValue(row.phase_barrier_wait_s);
+  out["phase_seconds"] = std::move(phases);
+  out["barrier_wait_fraction"] = JsonValue(row.barrier_wait_fraction);
   out["stop_reason"] = JsonValue(static_cast<int>(row.stop_reason));
   return out;
 }
@@ -96,6 +104,18 @@ RunRow row_from_json(const JsonValue& json) {
       throw std::runtime_error("wire shard_events entries must be strings");
     }
     row.shard_events.push_back(util::parse_u64(events.as_string()));
+  }
+  // Absent in journals written before the phase-timing fields existed;
+  // default-zero keeps old journals resumable.
+  if (const JsonValue* phases = json.find("phase_seconds")) {
+    row.phase_fold_s = get_number(*phases, "fold_s");
+    row.phase_integrate_s = get_number(*phases, "integrate_s");
+    row.phase_decide_s = get_number(*phases, "decide_s");
+    row.phase_drain_s = get_number(*phases, "drain_s");
+    row.phase_barrier_wait_s = get_number(*phases, "barrier_wait_s");
+  }
+  if (json.find("barrier_wait_fraction") != nullptr) {
+    row.barrier_wait_fraction = get_number(json, "barrier_wait_fraction");
   }
   const int reason = static_cast<int>(get_number(json, "stop_reason"));
   if (reason < static_cast<int>(sim::StopReason::kQueueEmpty) ||

@@ -27,11 +27,46 @@
 #include <vector>
 
 #include "lattice/grid.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "util/rng.hpp"
 
 namespace sb::sim {
+
+/// Wall-clock totals for the engine's round phases. fold/decide are the
+/// serial sections (accrued by whichever worker ran them); integrate/drain
+/// sum every worker's parallel loops; barrier_wait is worker time blocked
+/// at a rendezvous with no serial work to run. barrier_wait_fraction is the
+/// share of total worker time spent waiting — the *time* counterpart of the
+/// event-count shard_imbalance metric (docs/OBSERVABILITY.md).
+struct PhaseBreakdown {
+  uint64_t fold_ns = 0;
+  uint64_t integrate_ns = 0;
+  uint64_t decide_ns = 0;
+  uint64_t drain_ns = 0;
+  uint64_t barrier_wait_ns = 0;
+  /// Drained windows (rounds that reached the drain phase).
+  uint64_t windows = 0;
+
+  [[nodiscard]] uint64_t busy_ns() const {
+    return fold_ns + integrate_ns + decide_ns + drain_ns;
+  }
+  [[nodiscard]] double barrier_wait_fraction() const {
+    const double total =
+        static_cast<double>(busy_ns()) + static_cast<double>(barrier_wait_ns);
+    if (total <= 0.0) return 0.0;
+    return static_cast<double>(barrier_wait_ns) / total;
+  }
+  void merge(const PhaseBreakdown& other) {
+    fold_ns += other.fold_ns;
+    integrate_ns += other.integrate_ns;
+    decide_ns += other.decide_ns;
+    drain_ns += other.drain_ns;
+    barrier_wait_ns += other.barrier_wait_ns;
+    windows += other.windows;
+  }
+};
 
 /// Everything one shard owns. The owning worker mutates this freely during
 /// its window drain; the inbound channel slots are each written by exactly
@@ -161,7 +196,25 @@ class ShardEngine {
   /// is parked again.
   void run(const Hooks& hooks);
 
+  /// Phase totals summed over workers since the last reset. Only valid
+  /// while the workers are parked (i.e. outside run()).
+  [[nodiscard]] PhaseBreakdown phase_totals() const;
+  /// Per-worker metric registries (per-phase duration histograms) merged
+  /// into one snapshot. Only valid while the workers are parked.
+  [[nodiscard]] obs::Registry merged_metrics() const;
+  /// Zeroes phase totals and per-worker registries (after the simulator
+  /// folds them into its own accumulators).
+  void reset_observability();
+
  private:
+  /// Per-worker observability state, cache-line separated: each worker is
+  /// the only writer of its slot during a round; readers run while the
+  /// workers are parked.
+  struct alignas(64) WorkerObs {
+    PhaseBreakdown phases;
+    obs::Registry metrics;
+  };
+
   void worker_main(size_t worker);
   void round_loop(size_t worker);
 
@@ -183,6 +236,7 @@ class ShardEngine {
   size_t active_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+  std::vector<WorkerObs> worker_obs_;
 };
 
 }  // namespace sb::sim

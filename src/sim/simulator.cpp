@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace sb::sim {
@@ -167,6 +168,11 @@ void Simulator::schedule_record(EventRecord record) {
                    : 0;
       }
       if (ctx != nullptr && dest != ctx->index) {
+        obs::TraceWriter& tracer = obs::TraceWriter::instance();
+        if (tracer.enabled()) {
+          tracer.instant("xshard_push", "sim",
+                         {{"src", ctx->index}, {"dst", dest}});
+        }
         shards_[dest]->inbound[ctx->index].push_back(std::move(record));
       } else {
         shards_[dest]->queue->push(std::move(record));

@@ -118,6 +118,16 @@ class Simulator {
     return trace_streams_;
   }
 
+  /// Round-phase wall-clock accumulated over every sharded run() call
+  /// (all-zero in classic mode); see sim/shard.hpp PhaseBreakdown. Purely
+  /// observational — never feeds back into scheduling.
+  [[nodiscard]] const PhaseBreakdown& phase_breakdown() const {
+    return phases_;
+  }
+  /// Merged shard-worker metrics registry (per-phase latency histograms),
+  /// accumulated like phase_breakdown(). Empty in classic mode.
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+
   // -- modules --------------------------------------------------------------
 
   /// Registers the program for a block already placed on the grid.
@@ -324,6 +334,10 @@ class Simulator {
   RunLimits run_limits_{};
   uint64_t run_processed_ = 0;
   StopReason run_reason_ = StopReason::kQueueEmpty;
+  /// Observability accumulators, folded in from the engine after each
+  /// sharded run() while the workers are parked.
+  PhaseBreakdown phases_;
+  obs::Registry metrics_;
   /// True between a window drain and the fold that consumes it; the
   /// bootstrap fold of a run() (no window drained yet) must not advance
   /// the fault-flush counter.

@@ -151,6 +151,10 @@ StopReason Simulator::run_sharded(RunLimits limits) {
   };
   engine_->run(hooks);
   merge_shard_stats();
+  // Fold the engine's observability state while its workers are parked.
+  phases_.merge(engine_->phase_totals());
+  metrics_.merge(engine_->merged_metrics());
+  engine_->reset_observability();
   return run_reason_;
 }
 

@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace sb {
 
@@ -17,21 +19,52 @@ std::string_view to_string(LogLevel level) {
 }
 
 namespace {
+
 void stderr_sink(LogLevel level, const std::string& line) {
-  std::fprintf(stderr, "[%s] %s\n", std::string(to_string(level)).c_str(),
-               line.c_str());
+  std::fprintf(stderr, "[%s +%.3fs t%02u] %s\n",
+               std::string(to_string(level)).c_str(), Log::uptime_seconds(),
+               Log::thread_tag(), line.c_str());
 }
+
+// The mutex and sink live behind accessors so a log call from another
+// translation unit's static initializer cannot observe them unconstructed.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+Log::Sink& sink_slot() {
+  static Log::Sink sink = stderr_sink;
+  return sink;
+}
+
 }  // namespace
 
-LogLevel Log::level_ = LogLevel::kWarn;
-Log::Sink Log::sink_ = stderr_sink;
+std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
 
 void Log::set_sink(Sink sink) {
-  sink_ = sink ? std::move(sink) : Sink(stderr_sink);
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = sink ? std::move(sink) : Sink(stderr_sink);
+}
+
+unsigned Log::thread_tag() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+double Log::uptime_seconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
 }
 
 void Log::emit(LogLevel level, const std::string& line) {
-  sink_(level, line);
+  // Emission holds the sink mutex: lines from concurrent threads stay
+  // whole, and a sink is never destroyed while running.
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot()(level, line);
 }
 
 }  // namespace sb

@@ -1,9 +1,12 @@
 #pragma once
 // Leveled logging with a pluggable sink.
 //
-// The default sink writes to stderr. Benchmarks and tests can raise the
-// level to Silence or capture output through a custom sink.
+// The default sink writes to stderr, prefixing each line with a monotonic
+// timestamp (seconds since process start) and a small per-thread tag.
+// Benchmarks and tests can raise the level to Silence or capture output
+// through a custom sink.
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -23,19 +26,24 @@ enum class LogLevel : int {
 
 [[nodiscard]] std::string_view to_string(LogLevel level);
 
-/// Process-wide logger configuration. Not thread-safe by design: the
-/// simulator is single-threaded and benchmarks configure logging up front.
+/// Process-wide logger configuration. Thread-safe: callers include shard
+/// workers, the dist heartbeat thread, and reconnect backoff paths. The
+/// level is a relaxed atomic (the common disabled path is one load and a
+/// compare), and sink swaps and emission share a mutex so a sink never runs
+/// concurrently with its own replacement.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
 
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
   /// Replaces the output sink; passing nullptr restores the stderr sink.
   static void set_sink(Sink sink);
 
-  static bool enabled(LogLevel level) { return level >= level_; }
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
 
   template <typename... Args>
   static void write(LogLevel level, std::string_view spec,
@@ -44,10 +52,15 @@ class Log {
     emit(level, fmt(spec, args...));
   }
 
+  /// Small sequential id of the calling thread ("t00" is whichever thread
+  /// logged first); the default sink tags every line with it.
+  [[nodiscard]] static unsigned thread_tag();
+  /// Monotonic seconds since the first log emission of the process.
+  [[nodiscard]] static double uptime_seconds();
+
  private:
   static void emit(LogLevel level, const std::string& line);
-  static LogLevel level_;
-  static Sink sink_;
+  static std::atomic<LogLevel> level_;
 };
 
 template <typename... Args>

@@ -33,6 +33,7 @@
 #include "dist/journal.hpp"
 #include "dist/socket.hpp"
 #include "dist/worker.hpp"
+#include "obs/metrics.hpp"
 #include "runner/cli_options.hpp"
 #include "runner/sweep.hpp"
 #include "util/fmt.hpp"
@@ -463,6 +464,65 @@ TEST(JobQueue, MinCoresGatesDispatchToBigWorkers) {
   big_worker.join();
   EXPECT_EQ(small_code, Worker::kExitOk);
   EXPECT_EQ(big_code, Worker::kExitOk);
+}
+
+TEST(JobQueue, MetricsVerbReportsQueueAndWorkerVitals) {
+  obs::service().reset_for_tests();
+  Service service;
+  Worker::Options wopts;
+  wopts.port = service.coordinator.port();
+  wopts.heartbeat_ms = 50;
+  wopts.cores = 4;
+  wopts.memory_mb = 2048;
+  int code = -1;
+  std::thread worker([&] { code = Worker(wopts).run(); });
+
+  Client client({.host = "127.0.0.1", .port = service.coordinator.port()});
+  const runner::SweepCliOptions grid = small_grid(4);
+  const uint64_t job = client.submit(grid);
+  (void)client.fetch(job);  // drains the queue; every unit dispatched
+
+  const util::JsonValue reply = client.metrics();
+  const util::JsonValue* gauges = reply.find_path({"metrics", "gauges"});
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("coord.queue_depth"), nullptr);
+  EXPECT_EQ(gauges->find("coord.queue_depth")->as_number(), 0.0);
+  ASSERT_NE(gauges->find("coord.in_flight"), nullptr);
+  EXPECT_EQ(gauges->find("coord.in_flight")->as_number(), 0.0);
+  ASSERT_NE(gauges->find("coord.workers_connected"), nullptr);
+  EXPECT_EQ(gauges->find("coord.workers_connected")->as_number(), 1.0);
+
+  const util::JsonValue* counters = reply.find_path({"metrics", "counters"});
+  ASSERT_NE(counters, nullptr);
+  const util::JsonValue* dispatched =
+      counters->find("coord.units_dispatched");
+  ASSERT_NE(dispatched, nullptr);
+  EXPECT_EQ(util::parse_u64(dispatched->as_string()), 4u);
+
+  // The hello's capability announcement must surface in the listing, and
+  // the 50 ms heartbeats must have landed in the gap histogram.
+  const util::JsonValue* workers = reply.find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_EQ(workers->size(), 1u);
+  const util::JsonValue& vitals = workers->as_array()[0];
+  EXPECT_EQ(vitals.find("cores")->as_number(), 4.0);
+  EXPECT_EQ(vitals.find("memory_mb")->as_number(), 2048.0);
+  EXPECT_TRUE(vitals.find("connected")->as_bool());
+  EXPECT_EQ(vitals.find("units_dispatched")->as_number(), 4.0);
+  EXPECT_EQ(vitals.find("results_merged")->as_number(), 4.0);
+  ASSERT_NE(vitals.find("heartbeat_gap_ms"), nullptr);
+  ASSERT_NE(vitals.find("heartbeat_gap_p95_ms"), nullptr);
+
+  // The snapshot must rebuild into a Registry (the --metrics-out path) and
+  // render Prometheus text naming the queue gauge.
+  const obs::Registry registry =
+      obs::Registry::from_json(*reply.find("metrics"));
+  EXPECT_NE(registry.to_prometheus().find("sb_coord_queue_depth"),
+            std::string::npos);
+
+  service.coordinator.shutdown();
+  worker.join();
+  EXPECT_EQ(code, Worker::kExitOk);
 }
 
 // ---------------------------------------------------------------------------

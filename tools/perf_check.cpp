@@ -76,6 +76,9 @@ int main(int argc, char** argv) {
                  "required events_per_sec ratio shards4/shards1 per "
                  "scenario; enforced only when the current report was "
                  "measured on >= 4 cores (0 = off)");
+  cli.add_double("max-barrier-wait", 0.0,
+                 "fail when a current sharded group's mean "
+                 "barrier_wait_fraction exceeds this (0 = report only)");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positionals().size() != 2) {
     std::fprintf(stderr,
@@ -189,6 +192,33 @@ int main(int argc, char** argv) {
       std::printf("shard balance  %-16s %-12s busiest/mean %.2fx\n",
                   scenario_v->as_string().c_str(),
                   ruleset_v->as_string().c_str(), imbalance_v->as_number());
+    }
+  }
+
+  // Barrier-wait share of worker time per current sharded group — the time
+  // counterpart of the balance figure above. --max-barrier-wait turns the
+  // report line into a gate.
+  const double max_barrier_wait = cli.get_double("max-barrier-wait");
+  if (cur_summary != nullptr && cur_summary->is_array()) {
+    for (const JsonValue& group : cur_summary->as_array()) {
+      const JsonValue* scenario_v = group.find("scenario");
+      const JsonValue* ruleset_v = group.find("ruleset");
+      const JsonValue* shards_v = group.find("shards");
+      const JsonValue* wait_v =
+          group.find_path({"barrier_wait_fraction", "mean"});
+      if (scenario_v == nullptr || ruleset_v == nullptr ||
+          shards_v == nullptr || wait_v == nullptr ||
+          shards_v->as_number() < 2.0 || wait_v->as_number() <= 0.0) {
+        continue;
+      }
+      const double wait = wait_v->as_number();
+      const bool gated = max_barrier_wait > 0.0;
+      const bool ok = !gated || wait <= max_barrier_wait;
+      std::printf("barrier wait   %-16s %-12s %.1f%% of worker time%s%s\n",
+                  scenario_v->as_string().c_str(),
+                  ruleset_v->as_string().c_str(), wait * 100.0,
+                  gated ? "" : " (not gated)", ok ? "" : "  TOO HIGH");
+      failed |= !ok;
     }
   }
 

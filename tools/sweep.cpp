@@ -45,6 +45,8 @@
 #include "dist/journal.hpp"
 #include "dist/spawn.hpp"
 #include "dist/worker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runner/cli_options.hpp"
 #include "runner/sweep.hpp"
 #include "util/fmt.hpp"
@@ -292,6 +294,83 @@ int emit_report(runner::BenchReport& report, const CliParser& cli,
   return 0;
 }
 
+/// Scoped trace capture: enables the process-wide TraceWriter when a path
+/// was given and serializes the buffer on scope exit — every mode path
+/// (local, dist, serve, client) and the exception unwind all pass through
+/// the same destructor.
+class TraceCapture {
+ public:
+  explicit TraceCapture(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) obs::TraceWriter::instance().enable();
+  }
+  ~TraceCapture() {
+    if (path_.empty()) return;
+    obs::TraceWriter& tracer = obs::TraceWriter::instance();
+    tracer.disable();
+    if (!tracer.write_file(path_)) {
+      std::fprintf(stderr, "sweep: cannot write trace to %s\n",
+                   path_.c_str());
+      return;
+    }
+    if (tracer.dropped() != 0) {
+      std::fprintf(stderr,
+                   "sweep: trace buffer overflowed, %llu events dropped\n",
+                   static_cast<unsigned long long>(tracer.dropped()));
+    }
+    std::printf("wrote %s\n", path_.c_str());
+  }
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+ private:
+  std::string path_;
+};
+
+double metrics_number(const util::JsonValue& metrics, const char* group,
+                      const char* name) {
+  const util::JsonValue* value = metrics.find_path({group, name});
+  if (value == nullptr) return 0.0;
+  if (value->kind() == util::JsonValue::Kind::kString) {
+    return static_cast<double>(util::parse_u64(value->as_string()));
+  }
+  return value->as_number();
+}
+
+/// Prints the coordinator's live metrics under a --status line: queue and
+/// fleet gauges first, then one row per worker the coordinator has seen.
+void print_service_metrics(const util::JsonValue& reply) {
+  const util::JsonValue* metrics = reply.find("metrics");
+  if (metrics == nullptr) return;
+  std::printf(
+      "  queue depth %.0f  in-flight %.0f  workers %.0f  "
+      "reassignments %.0f  dispatched %.0f  merged %.0f\n",
+      metrics_number(*metrics, "gauges", "coord.queue_depth"),
+      metrics_number(*metrics, "gauges", "coord.in_flight"),
+      metrics_number(*metrics, "gauges", "coord.workers_connected"),
+      metrics_number(*metrics, "counters", "coord.reassignments"),
+      metrics_number(*metrics, "counters", "coord.units_dispatched"),
+      metrics_number(*metrics, "counters", "coord.results_merged"));
+  const util::JsonValue* workers = reply.find("workers");
+  if (workers == nullptr || workers->as_array().empty()) return;
+  std::printf("  %-6s %-8s %6s %10s %6s %8s %11s %14s\n", "conn", "pid",
+              "cores", "memory_mb", "units", "merged", "hb gap p95",
+              "state");
+  for (const util::JsonValue& worker : workers->as_array()) {
+    const auto number = [&worker](const char* name) {
+      const util::JsonValue* value = worker.find(name);
+      return value != nullptr ? value->as_number() : 0.0;
+    };
+    const util::JsonValue* connected = worker.find("connected");
+    std::printf("  %-6.0f %-8.0f %6.0f %10.0f %6.0f %8.0f %9.0fms %14s\n",
+                number("conn"), number("pid"), number("cores"),
+                number("memory_mb"), number("units_dispatched"),
+                number("results_merged"), number("heartbeat_gap_p95_ms"),
+                connected != nullptr && connected->as_bool()
+                    ? "connected"
+                    : "disconnected");
+  }
+}
+
 /// Client verbs against a `--serve` coordinator.
 int run_client(const CliParser& cli) {
   const HostPort addr =
@@ -323,6 +402,24 @@ int run_client(const CliParser& cli) {
     std::printf("sweep: job %lld %s %zu/%zu\n", static_cast<long long>(id),
                 std::string(dist::to_string(status.state)).c_str(),
                 status.merged, status.total);
+    const util::JsonValue reply = client.metrics();
+    print_service_metrics(reply);
+    const std::string metrics_path = cli.get_string("metrics-out");
+    if (!metrics_path.empty()) {
+      const util::JsonValue* registry_json = reply.find("metrics");
+      const obs::Registry registry =
+          registry_json != nullptr ? obs::Registry::from_json(*registry_json)
+                                   : obs::Registry{};
+      std::FILE* out = std::fopen(metrics_path.c_str(), "w");
+      if (out == nullptr) {
+        throw std::runtime_error(
+            fmt("cannot write --metrics-out '{}'", metrics_path));
+      }
+      const std::string text = registry.to_prometheus();
+      std::fwrite(text.data(), 1, text.size(), out);
+      std::fclose(out);
+      std::printf("wrote %s\n", metrics_path.c_str());
+    }
     return status.state == dist::JobState::kCancelled ? 3 : 0;
   }
   if (const int64_t id = cli.get_int("cancel"); id >= 0) {
@@ -410,6 +507,13 @@ int run_sweep(int argc, char** argv) {
   cli.add_int("min-cores", 0,
               "client --submit: only dispatch to workers announcing at "
               "least this many cores");
+  cli.add_string("trace-out", "",
+                 "write a Chrome Trace Event Format file (load in Perfetto "
+                 "or chrome://tracing) covering this process's shard "
+                 "phases and dist milestones");
+  cli.add_string("metrics-out", "",
+                 "client --status: also write the coordinator's metrics in "
+                 "Prometheus text format here");
   cli.add_bool("verbose", false, "dist: fleet chatter on stderr");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -417,6 +521,8 @@ int run_sweep(int argc, char** argv) {
     std::printf("%s", runner::scenario_vocabulary().c_str());
     return 0;
   }
+
+  const TraceCapture capture(cli.get_string("trace-out"));
 
   if (!cli.get_string("coordinator").empty()) return run_client(cli);
   if (cli.get_bool("serve")) return run_serve(cli, argv[0]);

@@ -17,6 +17,7 @@
 
 #include "dist/spawn.hpp"
 #include "dist/worker.hpp"
+#include "obs/trace.hpp"
 #include "runner/cli_options.hpp"
 #include "util/cli.hpp"
 #include "util/string_util.hpp"
@@ -40,6 +41,9 @@ int main(int argc, char** argv) {
               "override SimConfig::shard_threads on every run executed here "
               "(0 = keep each spec's value); rows are independent of it, so "
               "big boxes can raise it safely");
+  cli.add_string("trace-out", "",
+                 "write a Chrome Trace Event Format file of this worker's "
+                 "unit executions and reconnects on exit");
   cli.add_bool("verbose", false, "progress chatter on stderr");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -82,7 +86,17 @@ int main(int argc, char** argv) {
       }
       options.abandon_after_units = static_cast<size_t>(*after);
     }
-    return sb::dist::Worker(options).run();
+    const std::string trace_out = cli.get_string("trace-out");
+    if (!trace_out.empty()) sb::obs::TraceWriter::instance().enable();
+    const int code = sb::dist::Worker(options).run();
+    if (!trace_out.empty()) {
+      sb::obs::TraceWriter::instance().disable();
+      if (!sb::obs::TraceWriter::instance().write_file(trace_out)) {
+        std::fprintf(stderr, "sweep_worker: cannot write trace to %s\n",
+                     trace_out.c_str());
+      }
+    }
+    return code;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sweep_worker: %s\n", error.what());
     return 1;
